@@ -1,0 +1,118 @@
+//! FairBalance (Yu, Chakraborty & Menzies, 2021).
+//!
+//! Like reweighting, FairBalance assigns per-(subgroup, label) weights —
+//! but instead of matching each subgroup's class distribution to the
+//! dataset's, it enforces a *balanced* (1:1) class distribution inside
+//! every subgroup:
+//!
+//! ```text
+//! W(s, y) = |s| / (2 · |s ∧ y|)
+//! ```
+//!
+//! This targets equalized odds but, as the paper observes (§V-B4), forcing
+//! 1:1 balance on naturally imbalanced data costs accuracy.
+
+use remedy_dataset::Dataset;
+use std::collections::HashMap;
+
+/// Returns a copy of the dataset with FairBalance weights.
+pub fn fairbalance_weights(data: &Dataset) -> Dataset {
+    let protected = data.schema().protected_indices();
+    assert!(!protected.is_empty(), "no protected attributes declared");
+    if data.is_empty() {
+        return data.clone();
+    }
+
+    let mut group: HashMap<Vec<u32>, [f64; 2]> = HashMap::new();
+    let mut key = Vec::with_capacity(protected.len());
+    for i in 0..data.len() {
+        key.clear();
+        key.extend(protected.iter().map(|&a| data.value(i, a)));
+        group.entry(key.clone()).or_default()[data.label(i) as usize] += 1.0;
+    }
+
+    let mut out = data.clone();
+    for i in 0..data.len() {
+        key.clear();
+        key.extend(protected.iter().map(|&a| data.value(i, a)));
+        let cell = group[&key];
+        let s_total = cell[0] + cell[1];
+        let s_y = cell[data.label(i) as usize];
+        let w = if s_y > 0.0 { s_total / (2.0 * s_y) } else { 1.0 };
+        out.set_weight(i, w);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remedy_dataset::{Attribute, Schema};
+
+    fn skewed() -> Dataset {
+        let schema = Schema::new(
+            vec![Attribute::from_strs("g", &["a", "b"]).protected()],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        for _ in 0..36 {
+            d.push_row(&[0], 1).unwrap();
+        }
+        for _ in 0..4 {
+            d.push_row(&[0], 0).unwrap();
+        }
+        for _ in 0..10 {
+            d.push_row(&[1], 1).unwrap();
+        }
+        for _ in 0..30 {
+            d.push_row(&[1], 0).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn each_group_becomes_balanced() {
+        let d = fairbalance_weights(&skewed());
+        for g in 0..2u32 {
+            let pos: f64 = (0..d.len())
+                .filter(|&i| d.value(i, 0) == g && d.label(i) == 1)
+                .map(|i| d.weight(i))
+                .sum();
+            let neg: f64 = (0..d.len())
+                .filter(|&i| d.value(i, 0) == g && d.label(i) == 0)
+                .map(|i| d.weight(i))
+                .sum();
+            assert!((pos - neg).abs() < 1e-9, "group {g}: {pos} vs {neg}");
+        }
+    }
+
+    #[test]
+    fn group_mass_is_preserved() {
+        let original = skewed();
+        let d = fairbalance_weights(&original);
+        for g in 0..2u32 {
+            let mass: f64 = (0..d.len())
+                .filter(|&i| d.value(i, 0) == g)
+                .map(|i| d.weight(i))
+                .sum();
+            let count = (0..original.len())
+                .filter(|&i| original.value(i, 0) == g)
+                .count();
+            assert!((mass - count as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn differs_from_reweighting_on_imbalanced_labels() {
+        // overall labels are 46 pos / 34 neg (not 1:1), so FairBalance and
+        // reweighting must assign different weights
+        let fb = fairbalance_weights(&skewed());
+        let rw = crate::reweighting::reweight(&skewed());
+        assert!(fb
+            .weights()
+            .iter()
+            .zip(rw.weights())
+            .any(|(a, b)| (a - b).abs() > 1e-9));
+    }
+}

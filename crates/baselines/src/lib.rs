@@ -1,0 +1,38 @@
+//! # remedy-baselines
+//!
+//! From-scratch implementations of the five subgroup-unfairness mitigation
+//! baselines the paper compares against in §V-B4 / Table III:
+//!
+//! * [`coverage`] — **Coverage** (Asudeh, Jin & Jagadish, ICDE'18):
+//!   identifies intersectional patterns lacking adequate representation and
+//!   augments them with additional tuples.
+//! * [`reweighting`] — **Reweighting** (Kamiran & Calders, KAIS'12):
+//!   per-(subgroup, label) weights making labels independent of the
+//!   subgroup.
+//! * [`fairbalance`] — **FairBalance** (Yu, Chakraborty & Menzies, 2021):
+//!   weights enforcing a balanced (1:1) class distribution within every
+//!   subgroup.
+//! * [`mod@fair_smote`] — **Fair-SMOTE** (Chakraborty, Majumder & Menzies,
+//!   ESEC/FSE'21): synthetic minority oversampling per (subgroup, label)
+//!   cell via k-nearest-neighbor crossover.
+//! * [`gerryfair`] — **GerryFair** (Kearns, Neel, Roth & Wu, ICML'18): an
+//!   in-processing learner/auditor game against the most-violated
+//!   subgroup.
+//!
+//! The pre-processing baselines consume and produce [`Dataset`]s
+//! (reweighting variants only touch instance weights); GerryFair trains and
+//! returns a classifier.
+//!
+//! [`Dataset`]: remedy_dataset::Dataset
+
+pub mod coverage;
+pub mod fair_smote;
+pub mod fairbalance;
+pub mod gerryfair;
+pub mod reweighting;
+
+pub use coverage::{coverage_augment, CoverageParams};
+pub use fair_smote::{fair_smote, FairSmoteParams};
+pub use fairbalance::fairbalance_weights;
+pub use gerryfair::{GerryFair, GerryFairModel};
+pub use reweighting::reweight;

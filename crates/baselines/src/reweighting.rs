@@ -1,0 +1,150 @@
+//! Reweighting (Kamiran & Calders, *Data preprocessing techniques for
+//! classification without discrimination*, KAIS 2012), generalized to
+//! intersectional subgroups.
+//!
+//! Each instance in subgroup `s` (a full assignment of the protected
+//! attributes) with label `y` receives weight
+//!
+//! ```text
+//! W(s, y) = (|s| · |y|) / (|D| · |s ∧ y|)
+//! ```
+//!
+//! — the ratio between the expected probability of `(s, y)` under
+//! independence and its observed probability. After reweighting, every
+//! subgroup's weighted class distribution equals the dataset's, which is
+//! how the baseline achieves "equivalent class distribution across all
+//! subgroups".
+
+use remedy_dataset::Dataset;
+use std::collections::HashMap;
+
+/// Returns a copy of the dataset with reweighted instances.
+///
+/// Weight-aware learners (all of `remedy-classifiers`) then train on the
+/// weighted data directly.
+pub fn reweight(data: &Dataset) -> Dataset {
+    let protected = data.schema().protected_indices();
+    assert!(!protected.is_empty(), "no protected attributes declared");
+    let n = data.len();
+    if n == 0 {
+        return data.clone();
+    }
+
+    // tally subgroup sizes and (subgroup, label) sizes
+    let mut group: HashMap<Vec<u32>, [f64; 2]> = HashMap::new();
+    let mut label_total = [0.0f64; 2];
+    let mut key = Vec::with_capacity(protected.len());
+    for i in 0..n {
+        key.clear();
+        key.extend(protected.iter().map(|&a| data.value(i, a)));
+        let y = data.label(i) as usize;
+        group.entry(key.clone()).or_default()[y] += 1.0;
+        label_total[y] += 1.0;
+    }
+
+    let mut out = data.clone();
+    for i in 0..n {
+        key.clear();
+        key.extend(protected.iter().map(|&a| data.value(i, a)));
+        let y = data.label(i) as usize;
+        let cell = group[&key];
+        let s_total = cell[0] + cell[1];
+        let s_y = cell[y];
+        let w = if s_y > 0.0 {
+            (s_total * label_total[y]) / (n as f64 * s_y)
+        } else {
+            1.0
+        };
+        out.set_weight(i, w);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remedy_dataset::{Attribute, Schema};
+
+    fn skewed() -> Dataset {
+        let schema = Schema::new(
+            vec![Attribute::from_strs("g", &["a", "b"]).protected()],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        // group a: 30 pos, 10 neg; group b: 10 pos, 30 neg
+        for _ in 0..30 {
+            d.push_row(&[0], 1).unwrap();
+        }
+        for _ in 0..10 {
+            d.push_row(&[0], 0).unwrap();
+        }
+        for _ in 0..10 {
+            d.push_row(&[1], 1).unwrap();
+        }
+        for _ in 0..30 {
+            d.push_row(&[1], 0).unwrap();
+        }
+        d
+    }
+
+    fn weighted_cell(d: &Dataset, g: u32, y: u8) -> f64 {
+        (0..d.len())
+            .filter(|&i| d.value(i, 0) == g && d.label(i) == y)
+            .map(|i| d.weight(i))
+            .sum()
+    }
+
+    #[test]
+    fn weights_equalize_class_distribution_per_group() {
+        let d = reweight(&skewed());
+        for g in 0..2u32 {
+            let pos = weighted_cell(&d, g, 1);
+            let neg = weighted_cell(&d, g, 0);
+            // overall label distribution is 50/50, so each group's weighted
+            // distribution must be 50/50 too
+            assert!(
+                (pos - neg).abs() < 1e-9,
+                "group {g}: pos {pos} vs neg {neg}"
+            );
+        }
+    }
+
+    #[test]
+    fn total_weight_is_preserved() {
+        let original = skewed();
+        let d = reweight(&original);
+        let total: f64 = d.weights().iter().sum();
+        assert!((total - original.len() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kamiran_calders_formula() {
+        let d = reweight(&skewed());
+        // group a positives: W = (40 * 40) / (80 * 30) = 2/3
+        let w = d.weight(0);
+        assert!((w - 2.0 / 3.0).abs() < 1e-12);
+        // group a negatives: W = (40 * 40) / (80 * 10) = 2
+        let w = d.weight(30);
+        assert!((w - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_data_gets_unit_weights() {
+        let schema = Schema::new(
+            vec![Attribute::from_strs("g", &["a", "b"]).protected()],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        for g in 0..2u32 {
+            for i in 0..20 {
+                d.push_row(&[g], u8::from(i % 2 == 0)).unwrap();
+            }
+        }
+        let w = reweight(&d);
+        for i in 0..w.len() {
+            assert!((w.weight(i) - 1.0).abs() < 1e-12);
+        }
+    }
+}

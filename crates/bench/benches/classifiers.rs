@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks of the classifier substrate: training each
+//! model family on the COMPAS stand-in (the inner loop of every
+//! trade-off experiment) and single-row prediction latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use remedy_classifiers::{train, ModelKind, NaiveBayes};
+use remedy_dataset::synth;
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_compas");
+    group.sample_size(10);
+    let data = synth::compas_n(3_000, 42);
+    for kind in ModelKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.abbrev()), &kind, |b, &k| {
+            b.iter(|| train(k, std::hint::black_box(&data), 42))
+        });
+    }
+    group.bench_function("NB_ranker", |b| {
+        b.iter(|| NaiveBayes::fit(std::hint::black_box(&data)))
+    });
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let data = synth::compas_n(3_000, 42);
+    let mut group = c.benchmark_group("predict_row");
+    let row = data.row(0);
+    for kind in ModelKind::ALL {
+        let model = train(kind, &data, 42);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.abbrev()),
+            &row,
+            |b, row| b.iter(|| model.predict_proba_row(std::hint::black_box(row))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_prediction);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of IBS identification (the Fig 9a kernel):
+//! hierarchy construction and the naïve vs. optimized neighbor
+//! computation, per dataset and per |X|.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use remedy_core::identify::identify_in;
+use remedy_core::{Algorithm, Hierarchy, IbsParams};
+use remedy_dataset::synth::{self, ADULT_SCALABILITY_PROTECTED};
+
+fn bench_hierarchy_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy_build");
+    let compas = synth::compas(42);
+    group.bench_function("compas_|X|=3", |b| {
+        b.iter(|| Hierarchy::build(std::hint::black_box(&compas)))
+    });
+    let adult = synth::adult_n(10_000, 42);
+    for k in [4usize, 6, 8] {
+        let cols: Vec<usize> = ADULT_SCALABILITY_PROTECTED[..k]
+            .iter()
+            .map(|n| adult.schema().require(n).unwrap())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("adult10k", k), &cols, |b, cols| {
+            b.iter(|| Hierarchy::build_over(std::hint::black_box(&adult), cols))
+        });
+    }
+    group.finish();
+}
+
+fn bench_identification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("identify");
+    let adult = synth::adult_n(10_000, 42);
+    let params = IbsParams::default();
+    for k in [4usize, 6, 8] {
+        let cols: Vec<usize> = ADULT_SCALABILITY_PROTECTED[..k]
+            .iter()
+            .map(|n| adult.schema().require(n).unwrap())
+            .collect();
+        let hierarchy = Hierarchy::build_over(&adult, &cols);
+        group.bench_with_input(BenchmarkId::new("naive", k), &hierarchy, |b, h| {
+            b.iter(|| identify_in(std::hint::black_box(h), &params, Algorithm::Naive))
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", k), &hierarchy, |b, h| {
+            b.iter(|| identify_in(std::hint::black_box(h), &params, Algorithm::Optimized))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy_build, bench_identification);
+criterion_main!(benches);

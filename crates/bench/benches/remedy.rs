@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of the dataset remedy (the Fig 9b kernel):
+//! one benchmark per pre-processing technique, plus the scope ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use remedy_core::{remedy, RemedyParams, Scope, Technique};
+use remedy_dataset::synth;
+
+fn bench_techniques(c: &mut Criterion) {
+    let mut group = c.benchmark_group("remedy_technique");
+    group.sample_size(10);
+    let data = synth::compas(42);
+    for technique in Technique::ALL {
+        let params = RemedyParams {
+            technique,
+            ..RemedyParams::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(technique.label()),
+            &params,
+            |b, params| b.iter(|| remedy(std::hint::black_box(&data), params)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_scopes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("remedy_scope");
+    group.sample_size(10);
+    let data = synth::compas(42);
+    for scope in [Scope::Lattice, Scope::Leaf, Scope::Top] {
+        let params = RemedyParams {
+            scope,
+            ..RemedyParams::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scope.name()),
+            &params,
+            |b, params| b.iter(|| remedy(std::hint::black_box(&data), params)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_techniques, bench_scopes);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Figure 8 — fairness index and accuracy under different distance
+//! thresholds `T`.
+//!
+//! ```text
+//! cargo run -p remedy-bench --bin fig8 --release
+//! ```
+//!
+//! Compares `T = 1` (unit neighborhood) against `T = |X|` (the complement
+//! of each region within its node) on the ProPublica and Adult stand-ins,
+//! decision tree, preferential sampling. The paper's shape: both settings
+//! mitigate unfairness; `T = |X|` tends to win on few protected attributes
+//! (ProPublica, |X| = 3) while `T = 1` wins as |X| grows (Adult, |X| = 6).
+
+use remedy_bench::datasets::{load, DatasetSpec};
+use remedy_bench::eval::{paper_split, run_pipeline, PipelineConfig};
+use remedy_bench::table::{f3, TsvWriter};
+use remedy_classifiers::ModelKind;
+use remedy_core::{Neighborhood, RemedyParams, Technique};
+
+fn main() {
+    let seed = 42;
+    let mut table = TsvWriter::new(
+        "fig8_distance_threshold",
+        &["dataset", "T", "FI(FPR)", "FI(FNR)", "accuracy"],
+    );
+    for spec in [DatasetSpec::Compas, DatasetSpec::Adult] {
+        let data = load(spec, seed);
+        let (train_set, test_set) = paper_split(&data, seed);
+        let configs: [(String, Option<Neighborhood>); 3] = [
+            ("orig".to_string(), None),
+            (Neighborhood::Unit.name(), Some(Neighborhood::Unit)),
+            (Neighborhood::Full.name(), Some(Neighborhood::Full)),
+        ];
+        for (name, neighborhood) in configs {
+            let remedy = neighborhood.map(|n| RemedyParams {
+                technique: Technique::PreferentialSampling,
+                tau_c: spec.default_tau_c(),
+                neighborhood: n,
+                ..RemedyParams::default()
+            });
+            let eval = run_pipeline(
+                &train_set,
+                &test_set,
+                &PipelineConfig {
+                    model: ModelKind::DecisionTree,
+                    remedy,
+                    seed,
+                },
+            );
+            table.row(&[
+                spec.name().to_string(),
+                name,
+                f3(eval.fi_fpr),
+                f3(eval.fi_fnr),
+                f3(eval.accuracy),
+            ]);
+        }
+    }
+    table.finish();
+}

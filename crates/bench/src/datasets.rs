@@ -1,0 +1,100 @@
+//! Dataset registry for the experiment binaries.
+
+use remedy_dataset::{synth, Dataset};
+
+/// The three evaluation datasets (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetSpec {
+    /// UCI Adult stand-in: 45,222 rows, 6 protected attributes.
+    Adult,
+    /// ProPublica COMPAS stand-in: 6,172 rows, 3 protected attributes.
+    Compas,
+    /// Law School stand-in: 4,590 rows (balanced), 4 protected attributes.
+    LawSchool,
+}
+
+impl DatasetSpec {
+    /// All three datasets in the paper's order.
+    pub const ALL: [DatasetSpec; 3] = [
+        DatasetSpec::Adult,
+        DatasetSpec::Compas,
+        DatasetSpec::LawSchool,
+    ];
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetSpec::Adult => "Adult",
+            DatasetSpec::Compas => "ProPublica",
+            DatasetSpec::LawSchool => "Law School",
+        }
+    }
+
+    /// Parses a CLI argument.
+    pub fn parse(arg: &str) -> Option<Self> {
+        match arg.to_ascii_lowercase().as_str() {
+            "adult" => Some(DatasetSpec::Adult),
+            "compas" | "propublica" => Some(DatasetSpec::Compas),
+            "law" | "lawschool" | "law-school" => Some(DatasetSpec::LawSchool),
+            _ => None,
+        }
+    }
+
+    /// The τ_c the paper found optimal for this dataset (§V-B2).
+    pub fn default_tau_c(self) -> f64 {
+        match self {
+            DatasetSpec::Adult => 0.5,
+            DatasetSpec::Compas | DatasetSpec::LawSchool => 0.1,
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Materializes a dataset at full paper size.
+pub fn load(spec: DatasetSpec, seed: u64) -> Dataset {
+    match spec {
+        DatasetSpec::Adult => synth::adult(seed),
+        DatasetSpec::Compas => synth::compas(seed),
+        DatasetSpec::LawSchool => synth::law_school(seed),
+    }
+}
+
+/// Materializes a smaller variant (for quick runs and unit tests).
+pub fn load_n(spec: DatasetSpec, n: usize, seed: u64) -> Dataset {
+    match spec {
+        DatasetSpec::Adult => synth::adult_n(n, seed),
+        DatasetSpec::Compas => synth::compas_n(n, seed),
+        DatasetSpec::LawSchool => synth::law_school_n(n, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_paper_names() {
+        assert_eq!(DatasetSpec::parse("Adult"), Some(DatasetSpec::Adult));
+        assert_eq!(DatasetSpec::parse("propublica"), Some(DatasetSpec::Compas));
+        assert_eq!(DatasetSpec::parse("law"), Some(DatasetSpec::LawSchool));
+        assert_eq!(DatasetSpec::parse("mnist"), None);
+    }
+
+    #[test]
+    fn tau_defaults_match_section_5b2() {
+        assert_eq!(DatasetSpec::Adult.default_tau_c(), 0.5);
+        assert_eq!(DatasetSpec::Compas.default_tau_c(), 0.1);
+        assert_eq!(DatasetSpec::LawSchool.default_tau_c(), 0.1);
+    }
+
+    #[test]
+    fn load_n_scales() {
+        let d = load_n(DatasetSpec::Compas, 500, 1);
+        assert_eq!(d.len(), 500);
+    }
+}

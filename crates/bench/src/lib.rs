@@ -1,0 +1,29 @@
+//! # remedy-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§V). Each binary prints the same rows/series the paper
+//! reports and writes a TSV into `results/`:
+//!
+//! | binary    | reproduces |
+//! |-----------|------------|
+//! | `table2`  | Table II — dataset characteristics |
+//! | `fig3`    | Figure 3 — unfair subgroups vs. IBS membership |
+//! | `fig456`  | Figures 4/5/6 — fairness–accuracy trade-off per dataset |
+//! | `fig7`    | Figure 7 — sweep of the imbalance threshold τ_c |
+//! | `fig8`    | Figure 8 — T = 1 vs. T = |X| |
+//! | `table3`  | Table III — baseline comparison |
+//! | `fig9`    | Figure 9 — identification/remedy runtime scalability |
+//!
+//! The library half hosts shared plumbing: dataset registry, the
+//! train→remedy→retrain→evaluate pipeline, a TSV writer, and wall-clock
+//! timing helpers.
+
+pub mod datasets;
+pub mod eval;
+pub mod table;
+pub mod timing;
+
+pub use datasets::{load, DatasetSpec};
+pub use eval::{evaluate, run_pipeline, Evaluation, PipelineConfig};
+pub use table::TsvWriter;
+pub use timing::time_it;

@@ -1,0 +1,140 @@
+//! Minimal TSV result writer: prints aligned rows to stdout and mirrors
+//! them into `results/<name>.tsv` for downstream plotting.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Collects rows and flushes them to stdout + a TSV file.
+pub struct TsvWriter {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TsvWriter {
+    /// Creates a writer for `results/<name>.tsv` with column names.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        TsvWriter {
+            name: name.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience for mixed displayable cells.
+    pub fn push<T: std::fmt::Display>(&mut self, cells: &[T]) {
+        self.row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(out, "{cell:<w$}  ");
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Prints the aligned table and writes `results/<name>.tsv`.
+    /// Returns the path written (if the directory was writable).
+    pub fn finish(&self) -> Option<PathBuf> {
+        print!("{}", self.render());
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir).ok()?;
+        let path = dir.join(format!("{}.tsv", self.name));
+        let mut file = std::fs::File::create(&path).ok()?;
+        let mut text = self.header.join("\t");
+        text.push('\n');
+        for row in &self.rows {
+            text.push_str(&row.join("\t"));
+            text.push('\n');
+        }
+        file.write_all(text.as_bytes()).ok()?;
+        println!("[written {}]", path.display());
+        Some(path)
+    }
+}
+
+/// `results/` relative to the workspace root (falls back to CWD).
+fn results_dir() -> PathBuf {
+    // the binaries run from the workspace root via `cargo run`
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    cwd.join("results")
+}
+
+/// Formats a float with 4 decimal places (the paper's precision).
+pub fn f4(v: f64) -> String {
+    format!("{:.4}", round_clean(v, 1e4))
+}
+
+/// Formats a float with 3 decimal places.
+pub fn f3(v: f64) -> String {
+    format!("{:.3}", round_clean(v, 1e3))
+}
+
+/// Rounds to the display precision and maps `-0.0` (and tiny negative
+/// float noise) to `0.0` so tables never show `-0.000`.
+fn round_clean(v: f64, scale: f64) -> f64 {
+    let r = (v * scale).round() / scale;
+    if r == 0.0 {
+        0.0
+    } else {
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TsvWriter::new("test_table", &["name", "value"]);
+        t.row(&["alpha".into(), "1".into()]);
+        t.row(&["b".into(), "22.5".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("alpha"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_arity_checked() {
+        let mut t = TsvWriter::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f4(0.00549), "0.0055");
+        assert_eq!(f3(0.8126), "0.813");
+        assert_eq!(f3(-0.0), "0.000");
+        assert_eq!(f3(-1e-9), "0.000");
+        assert_eq!(f4(-0.00004), "0.0000");
+    }
+}

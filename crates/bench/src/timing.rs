@@ -1,0 +1,44 @@
+//! Wall-clock timing helpers for the scalability experiments.
+
+use std::time::Instant;
+
+/// Runs a closure and returns `(result, seconds)`.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Runs a closure `n` times and returns the mean seconds (result of the
+/// last run is discarded; use for timing-only sweeps).
+pub fn time_mean(n: usize, mut f: impl FnMut()) -> f64 {
+    assert!(n > 0);
+    let start = Instant::now();
+    for _ in 0..n {
+        f();
+    }
+    start.elapsed().as_secs_f64() / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_elapsed_time() {
+        let (value, secs) = time_it(|| {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            42
+        });
+        assert_eq!(value, 42);
+        assert!(secs >= 0.009, "slept 10ms but measured {secs}");
+    }
+
+    #[test]
+    fn mean_divides_by_runs() {
+        let mean = time_mean(4, || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        });
+        assert!((0.0015..0.05).contains(&mean), "mean {mean}");
+    }
+}

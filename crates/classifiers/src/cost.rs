@@ -1,0 +1,148 @@
+//! Cost-sensitive learning by cost-proportionate example weighting
+//! (Zadrozny, Langford & Abe, ICDM 2003 — the paper's reference \[36\]).
+//!
+//! The paper's §VI limitation: its representation-bias ↔ unfairness
+//! correlation holds for *accuracy-optimized* classifiers; classifiers
+//! optimized for misclassification *cost* may not follow it. This module
+//! provides the standard costing construction — scale each instance's
+//! weight by its class's misclassification cost — so the limitation can be
+//! demonstrated empirically (see the `discussion` experiment binary).
+
+use remedy_dataset::Dataset;
+
+/// Asymmetric misclassification costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostMatrix {
+    /// Cost of a false positive (predicting 1 on a true 0).
+    pub false_positive: f64,
+    /// Cost of a false negative (predicting 0 on a true 1).
+    pub false_negative: f64,
+}
+
+impl CostMatrix {
+    /// Uniform costs: equivalent to plain accuracy optimization.
+    pub fn uniform() -> Self {
+        CostMatrix {
+            false_positive: 1.0,
+            false_negative: 1.0,
+        }
+    }
+
+    /// Costs asymmetric toward catching positives (e.g. medical screening:
+    /// a miss costs `ratio`× more than a false alarm).
+    pub fn favor_recall(ratio: f64) -> Self {
+        assert!(ratio > 0.0);
+        CostMatrix {
+            false_positive: 1.0,
+            false_negative: ratio,
+        }
+    }
+
+    /// Costs asymmetric toward precision.
+    pub fn favor_precision(ratio: f64) -> Self {
+        assert!(ratio > 0.0);
+        CostMatrix {
+            false_positive: ratio,
+            false_negative: 1.0,
+        }
+    }
+
+    /// Expected cost of a confusion outcome.
+    pub fn expected_cost(&self, fp: usize, fn_: usize) -> f64 {
+        self.false_positive * fp as f64 + self.false_negative * fn_ as f64
+    }
+}
+
+/// Returns a copy of the dataset with cost-proportionate weights: each
+/// negative instance's weight is multiplied by `cost.false_positive`
+/// (misclassifying it costs that much) and each positive's by
+/// `cost.false_negative`. Training any weight-aware classifier on the
+/// result minimizes expected cost instead of error rate.
+pub fn cost_proportionate(data: &Dataset, cost: CostMatrix) -> Dataset {
+    assert!(
+        cost.false_positive > 0.0 && cost.false_negative > 0.0,
+        "costs must be positive"
+    );
+    let mut out = data.clone();
+    for i in 0..data.len() {
+        let factor = if data.label(i) == 1 {
+            cost.false_negative
+        } else {
+            cost.false_positive
+        };
+        out.set_weight(i, data.weight(i) * factor);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+    use crate::tree::{DecisionTree, DecisionTreeParams};
+    use remedy_dataset::{Attribute, Schema};
+
+    fn ambiguous_cell() -> Dataset {
+        // one feature value hosts 40% positives: accuracy-optimal is to
+        // predict 0 there, cost-sensitive (recall-favoring) flips it
+        let schema = Schema::new(vec![Attribute::from_strs("a", &["0"])], "y").into_shared();
+        let mut d = Dataset::new(schema);
+        for _ in 0..40 {
+            d.push_row(&[0], 1).unwrap();
+        }
+        for _ in 0..60 {
+            d.push_row(&[0], 0).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn uniform_costs_change_nothing() {
+        let d = ambiguous_cell();
+        let w = cost_proportionate(&d, CostMatrix::uniform());
+        assert_eq!(w, d);
+    }
+
+    #[test]
+    fn recall_costs_flip_ambiguous_decisions() {
+        let d = ambiguous_cell();
+        let plain = DecisionTree::fit(&d, &DecisionTreeParams::default());
+        assert_eq!(plain.predict_row(&[0]), 0, "accuracy-optimal is negative");
+
+        let costed = cost_proportionate(&d, CostMatrix::favor_recall(3.0));
+        let sensitive = DecisionTree::fit(&costed, &DecisionTreeParams::default());
+        assert_eq!(
+            sensitive.predict_row(&[0]),
+            1,
+            "3x FN cost makes positive the cheaper call (40·3 > 60·1)"
+        );
+    }
+
+    #[test]
+    fn precision_costs_keep_negative() {
+        let d = ambiguous_cell();
+        let costed = cost_proportionate(&d, CostMatrix::favor_precision(5.0));
+        let model = DecisionTree::fit(&costed, &DecisionTreeParams::default());
+        assert_eq!(model.predict_row(&[0]), 0);
+    }
+
+    #[test]
+    fn expected_cost_arithmetic() {
+        let c = CostMatrix::favor_recall(4.0);
+        assert_eq!(c.expected_cost(2, 3), 2.0 + 12.0);
+        assert_eq!(CostMatrix::uniform().expected_cost(5, 5), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "costs must be positive")]
+    fn zero_cost_rejected() {
+        let d = ambiguous_cell();
+        let _ = cost_proportionate(
+            &d,
+            CostMatrix {
+                false_positive: 0.0,
+                false_negative: 1.0,
+            },
+        );
+    }
+}

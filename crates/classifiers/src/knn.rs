@@ -1,0 +1,99 @@
+//! Brute-force k-nearest-neighbor search over category codes.
+//!
+//! Fair-SMOTE synthesizes minority-class instances by interpolating between
+//! an instance and one of its nearest neighbors. Distances here are Hamming
+//! distances on unordered attributes and absolute code differences on
+//! ordered ones — consistent with the one-unit-apart convention of the
+//! paper's neighboring-region definition.
+
+use remedy_dataset::Dataset;
+
+/// Distance between two rows of category codes under a schema.
+pub fn row_distance(data: &Dataset, a: &[u32], b: &[u32]) -> f64 {
+    let schema = data.schema();
+    let mut sum = 0.0;
+    for (col, (&va, &vb)) in a.iter().zip(b.iter()).enumerate() {
+        let d = if schema.attribute(col).is_ordered() {
+            (f64::from(va) - f64::from(vb)).abs()
+        } else if va == vb {
+            0.0
+        } else {
+            1.0
+        };
+        sum += d * d;
+    }
+    sum.sqrt()
+}
+
+/// Indices of the `k` nearest rows to `query` among `candidates`
+/// (excluding any candidate equal to `exclude`, typically the query's own
+/// row index). Ties are broken by candidate order.
+pub fn nearest_neighbors(
+    data: &Dataset,
+    query: &[u32],
+    candidates: &[usize],
+    k: usize,
+    exclude: Option<usize>,
+) -> Vec<usize> {
+    let mut scored: Vec<(f64, usize)> = candidates
+        .iter()
+        .filter(|&&c| Some(c) != exclude)
+        .map(|&c| (row_distance(data, query, &data.row(c)), c))
+        .collect();
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    scored.into_iter().take(k).map(|(_, c)| c).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remedy_dataset::{Attribute, Schema};
+
+    fn data() -> Dataset {
+        let schema = Schema::new(
+            vec![
+                Attribute::from_strs("o", &["0", "1", "2", "3"]).ordered(),
+                Attribute::from_strs("c", &["x", "y", "z"]),
+            ],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        d.push_row(&[0, 0], 0).unwrap(); // 0
+        d.push_row(&[1, 0], 0).unwrap(); // 1
+        d.push_row(&[3, 0], 0).unwrap(); // 2
+        d.push_row(&[0, 2], 0).unwrap(); // 3
+        d
+    }
+
+    #[test]
+    fn ordered_attribute_uses_code_gap() {
+        let d = data();
+        assert_eq!(row_distance(&d, &[0, 0], &[3, 0]), 3.0);
+        assert_eq!(row_distance(&d, &[0, 0], &[0, 2]), 1.0);
+        assert_eq!(row_distance(&d, &[1, 1], &[1, 1]), 0.0);
+    }
+
+    #[test]
+    fn finds_nearest_in_order() {
+        let d = data();
+        let all: Vec<usize> = (0..d.len()).collect();
+        let nn = nearest_neighbors(&d, &[0, 0], &all, 2, Some(0));
+        assert_eq!(nn, vec![1, 3]); // distance 1 each, index order breaks tie
+    }
+
+    #[test]
+    fn exclude_self() {
+        let d = data();
+        let all: Vec<usize> = (0..d.len()).collect();
+        let nn = nearest_neighbors(&d, &d.row(0), &all, 1, Some(0));
+        assert_ne!(nn[0], 0);
+    }
+
+    #[test]
+    fn k_larger_than_candidates_is_safe() {
+        let d = data();
+        let nn = nearest_neighbors(&d, &[0, 0], &[1, 2], 10, None);
+        assert_eq!(nn.len(), 2);
+    }
+}

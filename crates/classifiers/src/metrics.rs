@@ -1,0 +1,64 @@
+//! Basic prediction-quality metrics.
+//!
+//! Fairness-specific statistics (FPR/FNR, divergence, fairness index) live
+//! in `remedy-fairness`; this module covers plain accuracy, which the
+//! paper's trade-off figures report alongside the fairness index.
+
+/// Fraction of predictions matching the labels.
+///
+/// Returns `0.0` on empty input.
+pub fn accuracy(predictions: &[u8], labels: &[u8]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let hits = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, y)| p == y)
+        .count();
+    hits as f64 / predictions.len() as f64
+}
+
+/// Weighted accuracy: each instance contributes its weight.
+pub fn weighted_accuracy(predictions: &[u8], labels: &[u8], weights: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    assert_eq!(predictions.len(), weights.len(), "length mismatch");
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let hits: f64 = predictions
+        .iter()
+        .zip(labels)
+        .zip(weights)
+        .filter(|((p, y), _)| p == y)
+        .map(|(_, w)| w)
+        .sum();
+    hits / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[1, 0, 1, 1], &[1, 0, 0, 1]), 0.75);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+    }
+
+    #[test]
+    fn weighted_accuracy_respects_weights() {
+        let acc = weighted_accuracy(&[1, 0], &[1, 1], &[3.0, 1.0]);
+        assert!((acc - 0.75).abs() < 1e-12);
+        assert_eq!(weighted_accuracy(&[1], &[1], &[0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = accuracy(&[1, 0], &[1]);
+    }
+}

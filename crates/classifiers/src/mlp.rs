@@ -1,0 +1,247 @@
+//! Single-hidden-layer neural network (multi-layer perceptron).
+//!
+//! One-hot inputs → ReLU hidden layer → sigmoid output, trained with
+//! seeded mini-batch SGD on weighted binary cross-entropy.
+
+use crate::model::Model;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use remedy_dataset::encode::OneHotEncoder;
+use remedy_dataset::Dataset;
+
+/// Hyper-parameters for [`NeuralNetwork::fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeuralNetworkParams {
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+}
+
+impl Default for NeuralNetworkParams {
+    fn default() -> Self {
+        NeuralNetworkParams {
+            hidden: 16,
+            epochs: 40,
+            batch_size: 64,
+            learning_rate: 0.15,
+            l2: 1e-4,
+        }
+    }
+}
+
+/// A trained MLP.
+pub struct NeuralNetwork {
+    offsets: Vec<usize>,
+    n_features: usize,
+    /// `hidden × n_features`, row-major by hidden unit.
+    w1: Vec<f64>,
+    b1: Vec<f64>,
+    w2: Vec<f64>,
+    b2: f64,
+    hidden: usize,
+}
+
+impl NeuralNetwork {
+    /// Learns network weights from a (possibly weighted) dataset.
+    pub fn fit(data: &Dataset, params: &NeuralNetworkParams, seed: u64) -> Self {
+        let encoder = OneHotEncoder::new(data.schema());
+        let n_features = encoder.n_features();
+        let hidden = params.hidden.max(1);
+        let mut offsets = Vec::with_capacity(data.schema().len());
+        let mut acc = 0usize;
+        for attr in data.schema().attributes() {
+            offsets.push(acc);
+            acc += attr.cardinality();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale = (2.0 / n_features.max(1) as f64).sqrt();
+        let mut net = NeuralNetwork {
+            offsets,
+            n_features,
+            w1: (0..hidden * n_features)
+                .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale)
+                .collect(),
+            b1: vec![0.0; hidden],
+            w2: (0..hidden)
+                .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale)
+                .collect(),
+            b2: 0.0,
+            hidden,
+        };
+        if data.is_empty() {
+            return net;
+        }
+
+        let x = encoder.encode(data);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut h = vec![0.0_f64; hidden];
+        let mut delta_h = vec![0.0_f64; hidden];
+        for _ in 0..params.epochs {
+            // Fisher–Yates shuffle with the training RNG
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for batch in order.chunks(params.batch_size.max(1)) {
+                let mut batch_weight = 0.0;
+                // accumulate gradients over the batch
+                let mut g_w1 = vec![0.0_f64; hidden * n_features];
+                let mut g_b1 = vec![0.0_f64; hidden];
+                let mut g_w2 = vec![0.0_f64; hidden];
+                let mut g_b2 = 0.0_f64;
+                for &i in batch {
+                    let row = x.row(i);
+                    let w = data.weight(i);
+                    batch_weight += w;
+                    // forward
+                    for (k, hk) in h.iter_mut().enumerate() {
+                        let mut z = net.b1[k];
+                        let wrow = &net.w1[k * n_features..(k + 1) * n_features];
+                        for (&wi, &xi) in wrow.iter().zip(row) {
+                            z += wi * xi;
+                        }
+                        *hk = z.max(0.0);
+                    }
+                    let z2 = net.b2
+                        + net
+                            .w2
+                            .iter()
+                            .zip(h.iter())
+                            .map(|(a, b)| a * b)
+                            .sum::<f64>();
+                    let p = sigmoid(z2);
+                    let err = (p - f64::from(data.label(i))) * w;
+                    // backward
+                    g_b2 += err;
+                    for k in 0..hidden {
+                        g_w2[k] += err * h[k];
+                        delta_h[k] = if h[k] > 0.0 { err * net.w2[k] } else { 0.0 };
+                    }
+                    for k in 0..hidden {
+                        if delta_h[k] == 0.0 {
+                            continue;
+                        }
+                        let grow = &mut g_w1[k * n_features..(k + 1) * n_features];
+                        for (g, &xi) in grow.iter_mut().zip(row) {
+                            *g += delta_h[k] * xi;
+                        }
+                        g_b1[k] += delta_h[k];
+                    }
+                }
+                if batch_weight <= 0.0 {
+                    continue;
+                }
+                let lr = params.learning_rate / batch_weight;
+                for (wi, gi) in net.w1.iter_mut().zip(g_w1.iter()) {
+                    *wi -= lr * gi + params.learning_rate * params.l2 * *wi;
+                }
+                for (bi, gi) in net.b1.iter_mut().zip(g_b1.iter()) {
+                    *bi -= lr * gi;
+                }
+                for (wi, gi) in net.w2.iter_mut().zip(g_w2.iter()) {
+                    *wi -= lr * gi + params.learning_rate * params.l2 * *wi;
+                }
+                net.b2 -= lr * g_b2;
+            }
+        }
+        net
+    }
+}
+
+impl Model for NeuralNetwork {
+    fn predict_proba_row(&self, codes: &[u32]) -> f64 {
+        // exploit one-hot sparsity: active feature indices only
+        let mut z2 = self.b2;
+        for k in 0..self.hidden {
+            let wrow = &self.w1[k * self.n_features..(k + 1) * self.n_features];
+            let mut z = self.b1[k];
+            for (col, &code) in codes.iter().enumerate() {
+                z += wrow[self.offsets[col] + code as usize];
+            }
+            let hk = z.max(0.0);
+            z2 += self.w2[k] * hk;
+        }
+        sigmoid(z2)
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remedy_dataset::{Attribute, Schema};
+
+    fn xor_data(n: usize) -> Dataset {
+        let schema = Schema::new(
+            vec![
+                Attribute::from_strs("a", &["0", "1"]),
+                Attribute::from_strs("b", &["0", "1"]),
+            ],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        for i in 0..n {
+            let a = (i % 2) as u32;
+            let b = ((i / 2) % 2) as u32;
+            d.push_row(&[a, b], u8::from(a != b)).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn learns_xor() {
+        let d = xor_data(400);
+        let p = NeuralNetworkParams {
+            epochs: 150,
+            ..NeuralNetworkParams::default()
+        };
+        let m = NeuralNetwork::fit(&d, &p, 3);
+        assert_eq!(m.predict_row(&[0, 0]), 0);
+        assert_eq!(m.predict_row(&[0, 1]), 1);
+        assert_eq!(m.predict_row(&[1, 0]), 1);
+        assert_eq!(m.predict_row(&[1, 1]), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = xor_data(100);
+        let p = NeuralNetworkParams::default();
+        let m1 = NeuralNetwork::fit(&d, &p, 11);
+        let m2 = NeuralNetwork::fit(&d, &p, 11);
+        assert_eq!(m1.predict_proba(&d), m2.predict_proba(&d));
+    }
+
+    #[test]
+    fn empty_dataset_is_safe() {
+        let schema = Schema::new(vec![Attribute::from_strs("a", &["0"])], "y").into_shared();
+        let d = Dataset::new(schema);
+        let m = NeuralNetwork::fit(&d, &NeuralNetworkParams::default(), 1);
+        let p = m.predict_proba_row(&[0]);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let d = xor_data(60);
+        let m = NeuralNetwork::fit(&d, &NeuralNetworkParams::default(), 5);
+        for p in m.predict_proba(&d) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

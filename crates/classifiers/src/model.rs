@@ -1,0 +1,165 @@
+//! The common [`Model`] trait and the [`ModelKind`] training dispatcher.
+
+use crate::forest::{RandomForest, RandomForestParams};
+use crate::linear::{LogisticRegression, LogisticRegressionParams};
+use crate::mlp::{NeuralNetwork, NeuralNetworkParams};
+use crate::tree::{DecisionTree, DecisionTreeParams};
+use remedy_dataset::Dataset;
+
+/// A trained binary classifier over rows of category codes.
+pub trait Model: Send + Sync {
+    /// Probability that the row belongs to the positive class.
+    fn predict_proba_row(&self, codes: &[u32]) -> f64;
+
+    /// Hard 0/1 prediction (threshold 0.5).
+    fn predict_row(&self, codes: &[u32]) -> u8 {
+        u8::from(self.predict_proba_row(codes) >= 0.5)
+    }
+
+    /// Hard predictions for every row of a dataset.
+    fn predict(&self, data: &Dataset) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(data.schema().len());
+        (0..data.len())
+            .map(|i| {
+                data.row_into(i, &mut buf);
+                self.predict_row(&buf)
+            })
+            .collect()
+    }
+
+    /// Positive-class probabilities for every row of a dataset.
+    fn predict_proba(&self, data: &Dataset) -> Vec<f64> {
+        let mut buf = Vec::with_capacity(data.schema().len());
+        (0..data.len())
+            .map(|i| {
+                data.row_into(i, &mut buf);
+                self.predict_proba_row(&buf)
+            })
+            .collect()
+    }
+}
+
+/// The four downstream model families evaluated in the paper (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// CART decision tree (`DT`).
+    DecisionTree,
+    /// Random forest (`RF`).
+    RandomForest,
+    /// Logistic regression (`LG`).
+    LogisticRegression,
+    /// Single-hidden-layer neural network (`NN`).
+    NeuralNetwork,
+}
+
+impl ModelKind {
+    /// All four kinds, in the paper's order.
+    pub const ALL: [ModelKind; 4] = [
+        ModelKind::DecisionTree,
+        ModelKind::RandomForest,
+        ModelKind::LogisticRegression,
+        ModelKind::NeuralNetwork,
+    ];
+
+    /// The paper's abbreviation (DT/RF/LG/NN).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            ModelKind::DecisionTree => "DT",
+            ModelKind::RandomForest => "RF",
+            ModelKind::LogisticRegression => "LG",
+            ModelKind::NeuralNetwork => "NN",
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// Trains a model of the given kind with default hyper-parameters.
+///
+/// `seed` drives every stochastic component (bootstraps, initial weights),
+/// making training fully reproducible.
+pub fn train(kind: ModelKind, data: &Dataset, seed: u64) -> Box<dyn Model> {
+    match kind {
+        ModelKind::DecisionTree => {
+            Box::new(DecisionTree::fit(data, &DecisionTreeParams::default()))
+        }
+        ModelKind::RandomForest => Box::new(RandomForest::fit(
+            data,
+            &RandomForestParams::default(),
+            seed,
+        )),
+        ModelKind::LogisticRegression => Box::new(LogisticRegression::fit(
+            data,
+            &LogisticRegressionParams::default(),
+        )),
+        ModelKind::NeuralNetwork => Box::new(NeuralNetwork::fit(
+            data,
+            &NeuralNetworkParams::default(),
+            seed,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remedy_dataset::{Attribute, Schema};
+
+    /// A dataset where label == (a == x): trivially separable.
+    fn separable(n: usize) -> Dataset {
+        let schema = Schema::new(
+            vec![
+                Attribute::from_strs("a", &["x", "y"]).protected(),
+                Attribute::from_strs("b", &["p", "q", "r"]),
+            ],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        for i in 0..n {
+            let a = (i % 2) as u32;
+            let b = (i % 3) as u32;
+            d.push_row(&[a, b], u8::from(a == 0)).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn all_kinds_learn_separable_data() {
+        let d = separable(300);
+        for kind in ModelKind::ALL {
+            let model = train(kind, &d, 42);
+            let preds = model.predict(&d);
+            let acc = preds
+                .iter()
+                .zip(d.labels())
+                .filter(|(p, y)| p == y)
+                .count() as f64
+                / d.len() as f64;
+            assert!(acc > 0.95, "{kind} only reached accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn abbreviations_match_paper() {
+        assert_eq!(ModelKind::DecisionTree.abbrev(), "DT");
+        assert_eq!(ModelKind::RandomForest.to_string(), "RF");
+        assert_eq!(ModelKind::LogisticRegression.abbrev(), "LG");
+        assert_eq!(ModelKind::NeuralNetwork.abbrev(), "NN");
+    }
+
+    #[test]
+    fn proba_and_hard_predictions_agree() {
+        let d = separable(100);
+        let model = train(ModelKind::LogisticRegression, &d, 1);
+        let probs = model.predict_proba(&d);
+        let preds = model.predict(&d);
+        for (p, y) in probs.iter().zip(preds.iter()) {
+            assert_eq!(u8::from(*p >= 0.5), *y);
+        }
+    }
+}

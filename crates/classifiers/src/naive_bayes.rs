@@ -1,0 +1,186 @@
+//! Categorical Naïve Bayes with Laplace smoothing.
+//!
+//! This is the paper's *ranker*: preferential sampling and data massaging
+//! use its posterior to find borderline instances ("higher probability of
+//! belonging to another class"). All counts are weighted.
+
+use crate::model::Model;
+use remedy_dataset::Dataset;
+
+/// A trained categorical Naïve Bayes model.
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    /// log P(y = 1), log P(y = 0)
+    pub(crate) log_prior: [f64; 2],
+    /// `log_cond[class][attr][value]` = log P(attr = value | class)
+    pub(crate) log_cond: [Vec<Vec<f64>>; 2],
+}
+
+impl NaiveBayes {
+    /// Learns class priors and per-attribute conditionals (Laplace α = 1).
+    pub fn fit(data: &Dataset) -> Self {
+        let schema = data.schema();
+        let n_attrs = schema.len();
+        let mut class_weight = [0.0_f64; 2];
+        let mut counts: [Vec<Vec<f64>>; 2] = [
+            (0..n_attrs)
+                .map(|a| vec![0.0; schema.attribute(a).cardinality()])
+                .collect(),
+            (0..n_attrs)
+                .map(|a| vec![0.0; schema.attribute(a).cardinality()])
+                .collect(),
+        ];
+        for i in 0..data.len() {
+            let y = data.label(i) as usize;
+            let w = data.weight(i);
+            class_weight[y] += w;
+            for a in 0..n_attrs {
+                counts[y][a][data.value(i, a) as usize] += w;
+            }
+        }
+        let total = class_weight[0] + class_weight[1];
+        let log_prior = if total > 0.0 {
+            [
+                ((class_weight[1] + 1.0) / (total + 2.0)).ln(),
+                ((class_weight[0] + 1.0) / (total + 2.0)).ln(),
+            ]
+        } else {
+            [f64::ln(0.5), f64::ln(0.5)]
+        };
+        let mut log_cond: [Vec<Vec<f64>>; 2] = [Vec::new(), Vec::new()];
+        for y in 0..2 {
+            log_cond[y] = counts[y]
+                .iter()
+                .map(|vals| {
+                    let denom = class_weight[y] + vals.len() as f64;
+                    vals.iter().map(|&c| ((c + 1.0) / denom).ln()).collect()
+                })
+                .collect();
+        }
+        // log_prior stored as [positive, negative] for indexing clarity
+        NaiveBayes {
+            log_prior,
+            log_cond: [log_cond[0].clone(), log_cond[1].clone()],
+        }
+    }
+
+    fn log_joint(&self, codes: &[u32], class: usize) -> f64 {
+        // class: 0 = negative, 1 = positive; log_prior[0] is positive
+        let prior = if class == 1 {
+            self.log_prior[0]
+        } else {
+            self.log_prior[1]
+        };
+        let cond = &self.log_cond[class];
+        let mut lp = prior;
+        for (a, &v) in codes.iter().enumerate() {
+            lp += cond[a][v as usize];
+        }
+        lp
+    }
+}
+
+impl Model for NaiveBayes {
+    fn predict_proba_row(&self, codes: &[u32]) -> f64 {
+        let lp1 = self.log_joint(codes, 1);
+        let lp0 = self.log_joint(codes, 0);
+        // softmax over two log-joints
+        let m = lp1.max(lp0);
+        let e1 = (lp1 - m).exp();
+        let e0 = (lp0 - m).exp();
+        e1 / (e1 + e0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remedy_dataset::{Attribute, Schema};
+
+    fn data() -> Dataset {
+        let schema = Schema::new(
+            vec![
+                Attribute::from_strs("a", &["0", "1"]),
+                Attribute::from_strs("b", &["0", "1", "2"]),
+            ],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        for _ in 0..30 {
+            d.push_row(&[1, 2], 1).unwrap();
+            d.push_row(&[0, 0], 0).unwrap();
+        }
+        for _ in 0..5 {
+            d.push_row(&[1, 0], 1).unwrap();
+            d.push_row(&[0, 2], 0).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn separates_clear_classes() {
+        let d = data();
+        let nb = NaiveBayes::fit(&d);
+        assert_eq!(nb.predict_row(&[1, 2]), 1);
+        assert_eq!(nb.predict_row(&[0, 0]), 0);
+        assert!(nb.predict_proba_row(&[1, 2]) > 0.9);
+        assert!(nb.predict_proba_row(&[0, 0]) < 0.1);
+    }
+
+    #[test]
+    fn smoothing_handles_unseen_combinations() {
+        let d = data();
+        let nb = NaiveBayes::fit(&d);
+        // (1, 1) never occurs; posterior must still be a valid probability
+        let p = nb.predict_proba_row(&[1, 1]);
+        assert!((0.0..=1.0).contains(&p));
+        assert!(p > 0.5, "attribute a=1 is strongly positive: {p}");
+    }
+
+    #[test]
+    fn empty_dataset_gives_uniform_posterior() {
+        let schema = Schema::new(vec![Attribute::from_strs("a", &["0"])], "y").into_shared();
+        let d = Dataset::new(schema);
+        let nb = NaiveBayes::fit(&d);
+        assert!((nb.predict_proba_row(&[0]) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighting_equals_replication() {
+        let schema = Schema::new(vec![Attribute::from_strs("a", &["0", "1"])], "y").into_shared();
+        let mut weighted = Dataset::new(schema.clone());
+        let mut replicated = Dataset::new(schema);
+        weighted.push_row_weighted(&[0], 1, 3.0).unwrap();
+        weighted.push_row_weighted(&[1], 0, 2.0).unwrap();
+        for _ in 0..3 {
+            replicated.push_row(&[0], 1).unwrap();
+        }
+        for _ in 0..2 {
+            replicated.push_row(&[1], 0).unwrap();
+        }
+        let nb_w = NaiveBayes::fit(&weighted);
+        let nb_r = NaiveBayes::fit(&replicated);
+        for code in 0..2u32 {
+            assert!(
+                (nb_w.predict_proba_row(&[code]) - nb_r.predict_proba_row(&[code])).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn posterior_reflects_prior_imbalance() {
+        // no features distinguish classes; posterior ≈ prior
+        let schema = Schema::new(vec![Attribute::from_strs("a", &["0"])], "y").into_shared();
+        let mut d = Dataset::new(schema);
+        for _ in 0..90 {
+            d.push_row(&[0], 1).unwrap();
+        }
+        for _ in 0..10 {
+            d.push_row(&[0], 0).unwrap();
+        }
+        let nb = NaiveBayes::fit(&d);
+        let p = nb.predict_proba_row(&[0]);
+        assert!((p - 0.9).abs() < 0.03, "posterior ≈ prior, got {p}");
+    }
+}

@@ -1,0 +1,692 @@
+//! Subcommand implementations for the `remedy` CLI.
+
+use crate::args::{Args, CliError};
+use remedy_classifiers::persist;
+use remedy_classifiers::{
+    accuracy, train, LogisticRegression, LogisticRegressionParams, ModelKind, NaiveBayes,
+    RandomForest, RandomForestParams,
+};
+use remedy_classifiers::{DecisionTree, DecisionTreeParams};
+use remedy_core::hypothesis::{validate_on_columns, IbsMark};
+use remedy_core::{
+    identify, remedy as remedy_data, Algorithm, IbsParams, Neighborhood, RemedyParams, Scope,
+    Technique,
+};
+use remedy_dataset::csv::{self, LoadOptions, RawTable};
+use remedy_dataset::split::train_test_split;
+use remedy_dataset::{synth, Dataset};
+use remedy_fairness::{audit, fairness_index, AuditConfig, Explorer, FairnessIndexParams, Statistic};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+remedy — data-driven mitigation of intersectional subgroup unfairness
+
+USAGE:
+    remedy <COMMAND> [OPTIONS]
+
+COMMANDS:
+    identify   find the Implicit Biased Set of a dataset
+    remedy     rewrite a dataset so biased regions match their neighborhood
+    audit      train a model and report unfair subgroups
+    report     write a full Markdown fairness audit
+    train      train a model (optionally on remedied data) and save it
+    describe   profile a dataset (value frequencies, label associations)
+    hypothesis validate Hypothesis 1: unfair subgroups vs the IBS (Fig. 3)
+    validate   k-fold cross-validation of a model family
+    generate   write one of the built-in synthetic datasets to CSV
+    help       show this message
+
+Run `remedy <COMMAND> --help` for per-command options.
+";
+
+/// Runs a subcommand; returns the process exit code.
+pub fn run(command: &str, raw: Vec<String>) -> Result<(), CliError> {
+    match command {
+        "identify" => cmd_identify(raw),
+        "remedy" => cmd_remedy(raw),
+        "audit" => cmd_audit(raw),
+        "report" => cmd_report(raw),
+        "train" => cmd_train(raw),
+        "describe" => cmd_describe(raw),
+        "hypothesis" => cmd_hypothesis(raw),
+        "validate" => cmd_validate(raw),
+        "generate" => cmd_generate(raw),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
+    }
+}
+
+const DATA_OPTS: [&str; 5] = ["label", "protected", "positive", "bins", "help"];
+
+/// Loads a dataset from a CSV path or a built-in generator name.
+fn load_input(args: &Args) -> Result<Dataset, CliError> {
+    let source = args
+        .positional(0)
+        .ok_or_else(|| CliError("expected a CSV path or dataset name (adult|compas|law)".into()))?;
+    match source {
+        "adult" => return Ok(synth::adult(42)),
+        "compas" => return Ok(synth::compas(42)),
+        "law" => return Ok(synth::law_school(42)),
+        _ => {}
+    }
+    let label = args.require("label")?;
+    let protected = args.get_list("protected");
+    if protected.is_empty() {
+        return Err(CliError(
+            "CSV input needs --protected attr1,attr2,…".into(),
+        ));
+    }
+    let table = RawTable::from_path(source).map_err(|e| CliError(e.to_string()))?;
+    let mut opts = LoadOptions::new(label);
+    opts.protected = protected;
+    opts.positive_value = args.get("positive").map(String::from);
+    opts.numeric_bins = args.get_parsed("bins", 4usize)?;
+    table.to_dataset(&opts).map_err(|e| CliError(e.to_string()))
+}
+
+fn ibs_params(args: &Args) -> Result<IbsParams, CliError> {
+    Ok(IbsParams {
+        tau_c: args.get_parsed("tau", 0.1)?,
+        min_size: args.get_parsed("min-size", 30u64)?,
+        neighborhood: parse_neighborhood(args)?,
+        scope: parse_scope(args)?,
+    })
+}
+
+fn parse_neighborhood(args: &Args) -> Result<Neighborhood, CliError> {
+    match args.get("neighborhood").unwrap_or("unit") {
+        "unit" | "1" => Ok(Neighborhood::Unit),
+        "full" => Ok(Neighborhood::Full),
+        other => other
+            .parse::<f64>()
+            .map(Neighborhood::OrderedRadius)
+            .map_err(|_| CliError(format!("--neighborhood: `{other}` is not unit|full|<radius>"))),
+    }
+}
+
+fn parse_scope(args: &Args) -> Result<Scope, CliError> {
+    match args.get("scope").unwrap_or("lattice") {
+        "lattice" => Ok(Scope::Lattice),
+        "leaf" => Ok(Scope::Leaf),
+        "top" => Ok(Scope::Top),
+        other => Err(CliError(format!(
+            "--scope: `{other}` is not lattice|leaf|top"
+        ))),
+    }
+}
+
+fn parse_technique(args: &Args) -> Result<Technique, CliError> {
+    match args.get("technique").unwrap_or("ps") {
+        "ps" | "preferential" => Ok(Technique::PreferentialSampling),
+        "us" | "undersample" => Ok(Technique::Undersampling),
+        "dp" | "oversample" => Ok(Technique::Oversampling),
+        "massage" | "massaging" => Ok(Technique::Massaging),
+        other => Err(CliError(format!(
+            "--technique: `{other}` is not ps|us|dp|massage"
+        ))),
+    }
+}
+
+fn cmd_identify(raw: Vec<String>) -> Result<(), CliError> {
+    let args = Args::parse(raw)?;
+    if args.flag("help") || args.positional_count() == 0 {
+        println!(
+            "remedy identify <csv|adult|compas|law> [--label Y --protected a,b] \
+             [--tau 0.1] [--min-size 30] [--neighborhood unit|full] \
+             [--scope lattice|leaf|top] [--top 20]"
+        );
+        return Ok(());
+    }
+    let mut known = DATA_OPTS.to_vec();
+    known.extend(["tau", "min-size", "neighborhood", "scope", "top"]);
+    args.check_known(&known)?;
+    let data = load_input(&args)?;
+    let params = ibs_params(&args)?;
+    let ibs = identify(&data, &params, Algorithm::Optimized);
+    let top = args.get_parsed("top", 20usize)?;
+    println!(
+        "{} biased regions (τ_c = {}, k = {}, {}, scope {})",
+        ibs.len(),
+        params.tau_c,
+        params.min_size,
+        params.neighborhood.name(),
+        params.scope
+    );
+    let mut by_gap = ibs;
+    by_gap.sort_by(|a, b| b.gap().partial_cmp(&a.gap()).unwrap());
+    for region in by_gap.iter().take(top) {
+        println!(
+            "  {}  |r|={} ratio_r={:.3} ratio_rn={:.3}",
+            region.pattern.display(data.schema()),
+            region.counts.total(),
+            region.ratio,
+            region.neighbor_ratio
+        );
+    }
+    Ok(())
+}
+
+fn cmd_remedy(raw: Vec<String>) -> Result<(), CliError> {
+    let args = Args::parse(raw)?;
+    if args.flag("help") || args.positional_count() == 0 {
+        println!(
+            "remedy remedy <csv|adult|compas|law> --out fixed.csv \
+             [--label Y --protected a,b] [--technique ps|us|dp|massage] \
+             [--tau 0.1] [--min-size 30] [--neighborhood unit|full] \
+             [--scope lattice|leaf|top] [--seed 42]"
+        );
+        return Ok(());
+    }
+    let mut known = DATA_OPTS.to_vec();
+    known.extend([
+        "tau",
+        "min-size",
+        "neighborhood",
+        "scope",
+        "technique",
+        "seed",
+        "out",
+    ]);
+    args.check_known(&known)?;
+    let data = load_input(&args)?;
+    let out_path = args.require("out")?.to_string();
+    let params = RemedyParams {
+        technique: parse_technique(&args)?,
+        tau_c: args.get_parsed("tau", 0.1)?,
+        min_size: args.get_parsed("min-size", 30u64)?,
+        neighborhood: parse_neighborhood(&args)?,
+        scope: parse_scope(&args)?,
+        seed: args.get_parsed("seed", 42u64)?,
+    };
+    let outcome = remedy_data(&data, &params);
+    csv::write_path(&outcome.dataset, &out_path).map_err(|e| CliError(e.to_string()))?;
+    println!(
+        "remedied {} regions with {}; {} → {} rows; wrote {}",
+        outcome.updates.len(),
+        params.technique,
+        data.len(),
+        outcome.dataset.len(),
+        out_path
+    );
+    Ok(())
+}
+
+fn cmd_audit(raw: Vec<String>) -> Result<(), CliError> {
+    let args = Args::parse(raw)?;
+    if args.flag("help") || args.positional_count() == 0 {
+        println!(
+            "remedy audit <csv|adult|compas|law> [--label Y --protected a,b] \
+             [--model dt|rf|lg|nn] [--stat fpr|fnr|acc|sel] [--tau-d 0.1] \
+             [--min-support 0.05] [--seed 42] [--remedied] "
+        );
+        return Ok(());
+    }
+    let mut known = DATA_OPTS.to_vec();
+    known.extend([
+        "model",
+        "stat",
+        "tau-d",
+        "min-support",
+        "seed",
+        "remedied",
+        "technique",
+        "tau",
+    ]);
+    args.check_known(&known)?;
+    let data = load_input(&args)?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    let (mut train_set, test_set) =
+        train_test_split(&data, 0.7, seed).map_err(|e| CliError(e.to_string()))?;
+    if args.flag("remedied") {
+        let params = RemedyParams {
+            technique: parse_technique(&args)?,
+            tau_c: args.get_parsed("tau", 0.1)?,
+            seed,
+            ..RemedyParams::default()
+        };
+        train_set = remedy_data(&train_set, &params).dataset;
+    }
+    let model_kind = match args.get("model").unwrap_or("dt") {
+        "dt" => ModelKind::DecisionTree,
+        "rf" => ModelKind::RandomForest,
+        "lg" => ModelKind::LogisticRegression,
+        "nn" => ModelKind::NeuralNetwork,
+        other => return Err(CliError(format!("--model: unknown `{other}`"))),
+    };
+    let stat = match args.get("stat").unwrap_or("fpr") {
+        "fpr" => Statistic::Fpr,
+        "fnr" => Statistic::Fnr,
+        "acc" => Statistic::Accuracy,
+        "sel" => Statistic::SelectionRate,
+        other => return Err(CliError(format!("--stat: unknown `{other}`"))),
+    };
+    let model = train(model_kind, &train_set, seed);
+    let predictions = model.predict(&test_set);
+    let acc = accuracy(&predictions, test_set.labels());
+    let fi = fairness_index(
+        &test_set,
+        &predictions,
+        stat,
+        &FairnessIndexParams::default(),
+    );
+    println!("model {model_kind}: accuracy {acc:.3}, fairness index ({stat}) {fi:.3}\n");
+    let explorer = Explorer {
+        min_support: args.get_parsed("min-support", 0.05)?,
+        min_size: 30,
+        alpha: 0.05,
+        max_level: None,
+        columns: None,
+    };
+    let tau_d = args.get_parsed("tau-d", 0.1)?;
+    let unfair = explorer.unfair_subgroups(&test_set, &predictions, stat, tau_d);
+    println!("{} unfair subgroups (Δγ > {tau_d}, significant):", unfair.len());
+    for report in unfair.iter().take(20) {
+        println!(
+            "  {}  Δ{}={:.3} γ_g={:.3} support={:.2}",
+            report.pattern.display(test_set.schema()),
+            stat,
+            report.divergence,
+            report.gamma,
+            report.support
+        );
+    }
+    Ok(())
+}
+
+fn cmd_report(raw: Vec<String>) -> Result<(), CliError> {
+    let args = Args::parse(raw)?;
+    if args.flag("help") || args.positional_count() == 0 {
+        println!(
+            "remedy report <csv|adult|compas|law> [--label Y --protected a,b] \
+             [--model dt|rf|lg|nn] [--tau-d 0.1] [--min-support 0.05] \
+             [--top 10] [--seed 42] [--out report.md]"
+        );
+        return Ok(());
+    }
+    let mut known = DATA_OPTS.to_vec();
+    known.extend(["model", "tau-d", "min-support", "top", "seed", "out"]);
+    args.check_known(&known)?;
+    let data = load_input(&args)?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    let (train_set, test_set) =
+        train_test_split(&data, 0.7, seed).map_err(|e| CliError(e.to_string()))?;
+    let model_kind = match args.get("model").unwrap_or("dt") {
+        "dt" => ModelKind::DecisionTree,
+        "rf" => ModelKind::RandomForest,
+        "lg" => ModelKind::LogisticRegression,
+        "nn" => ModelKind::NeuralNetwork,
+        other => return Err(CliError(format!("--model: unknown `{other}`"))),
+    };
+    let model = train(model_kind, &train_set, seed);
+    let predictions = model.predict(&test_set);
+    let config = AuditConfig {
+        tau_d: args.get_parsed("tau-d", 0.1)?,
+        min_support: args.get_parsed("min-support", 0.05)?,
+        top_k: args.get_parsed("top", 10usize)?,
+        ..AuditConfig::default()
+    };
+    let report = audit(&test_set, &predictions, &config);
+    match args.get("out") {
+        Some(path) if !path.is_empty() => {
+            std::fs::write(path, report.to_string())
+                .map_err(|e| CliError(e.to_string()))?;
+            println!("wrote audit to {path}");
+        }
+        _ => print!("{report}"),
+    }
+    Ok(())
+}
+
+fn cmd_train(raw: Vec<String>) -> Result<(), CliError> {
+    let args = Args::parse(raw)?;
+    if args.flag("help") || args.positional_count() == 0 {
+        println!(
+            "remedy train <csv|adult|compas|law> --out model.txt \
+             [--label Y --protected a,b] [--model dt|rf|lg|nb] [--remedied] \
+             [--technique ps|us|dp|massage] [--tau 0.1] [--seed 42]"
+        );
+        return Ok(());
+    }
+    let mut known = DATA_OPTS.to_vec();
+    known.extend(["model", "out", "remedied", "technique", "tau", "seed"]);
+    args.check_known(&known)?;
+    let mut data = load_input(&args)?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    if args.flag("remedied") {
+        let params = RemedyParams {
+            technique: parse_technique(&args)?,
+            tau_c: args.get_parsed("tau", 0.1)?,
+            seed,
+            ..RemedyParams::default()
+        };
+        data = remedy_data(&data, &params).dataset;
+    }
+    let out = args.require("out")?;
+    let text = match args.get("model").unwrap_or("dt") {
+        "dt" => persist::tree_to_text(&DecisionTree::fit(&data, &DecisionTreeParams::default())),
+        "rf" => persist::forest_to_text(&RandomForest::fit(
+            &data,
+            &RandomForestParams::default(),
+            seed,
+        )),
+        "lg" => persist::logistic_to_text(&LogisticRegression::fit(
+            &data,
+            &LogisticRegressionParams::default(),
+        )),
+        "nb" => persist::naive_bayes_to_text(&NaiveBayes::fit(&data)),
+        other => {
+            return Err(CliError(format!(
+                "--model: `{other}` is not dt|rf|lg|nb (MLP is seed-reproducible, retrain instead)"
+            )))
+        }
+    };
+    persist::save_to_path(&text, out).map_err(|e| CliError(e.to_string()))?;
+    println!("trained on {} rows; saved model to {out}", data.len());
+    Ok(())
+}
+
+fn cmd_describe(raw: Vec<String>) -> Result<(), CliError> {
+    let args = Args::parse(raw)?;
+    if args.flag("help") || args.positional_count() == 0 {
+        println!("remedy describe <csv|adult|compas|law> [--label Y --protected a,b]");
+        return Ok(());
+    }
+    args.check_known(&DATA_OPTS)?;
+    let data = load_input(&args)?;
+    print!("{}", remedy_dataset::profile(&data));
+    Ok(())
+}
+
+fn cmd_hypothesis(raw: Vec<String>) -> Result<(), CliError> {
+    let args = Args::parse(raw)?;
+    if args.flag("help") || args.positional_count() == 0 {
+        println!(
+            "remedy hypothesis <csv|adult|compas|law> [--label Y --protected a,b] \
+             [--model dt|rf|lg|nn] [--stat fpr|fnr] [--tau 0.1] [--tau-d 0.1] \
+             [--all-attrs] [--seed 42]"
+        );
+        return Ok(());
+    }
+    let mut known = DATA_OPTS.to_vec();
+    known.extend(["model", "stat", "tau", "tau-d", "all-attrs", "seed"]);
+    args.check_known(&known)?;
+    let data = load_input(&args)?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    let (train_set, test_set) =
+        train_test_split(&data, 0.7, seed).map_err(|e| CliError(e.to_string()))?;
+    let columns: Vec<usize> = if args.flag("all-attrs") {
+        (0..data.schema().len()).collect()
+    } else {
+        data.schema().protected_indices()
+    };
+    let kind = match args.get("model").unwrap_or("dt") {
+        "dt" => ModelKind::DecisionTree,
+        "rf" => ModelKind::RandomForest,
+        "lg" => ModelKind::LogisticRegression,
+        "nn" => ModelKind::NeuralNetwork,
+        other => return Err(CliError(format!("--model: unknown `{other}`"))),
+    };
+    let stat = match args.get("stat").unwrap_or("fpr") {
+        "fpr" => Statistic::Fpr,
+        "fnr" => Statistic::Fnr,
+        other => return Err(CliError(format!("--stat: `{other}` is not fpr|fnr"))),
+    };
+    let params = IbsParams {
+        tau_c: args.get_parsed("tau", 0.1)?,
+        ..IbsParams::default()
+    };
+    let model = train(kind, &train_set, seed);
+    let predictions = model.predict(&test_set);
+    let validation = validate_on_columns(
+        &train_set,
+        &test_set,
+        &predictions,
+        stat,
+        &params,
+        args.get_parsed("tau-d", 0.1)?,
+        &columns,
+    );
+    println!(
+        "{}/{} unfair subgroups (γ = {stat}, model {kind}) are explained by the IBS",
+        validation.explained(),
+        validation.total()
+    );
+    for s in validation.subgroups.iter().take(15) {
+        let mark = match s.mark {
+            IbsMark::InIbs => "in IBS",
+            IbsMark::DominatesIbs => "dominates IBS",
+            IbsMark::Unexplained => "UNEXPLAINED",
+        };
+        println!(
+            "  {}  Δγ={:.3}  {}",
+            s.report.pattern.display(test_set.schema()),
+            s.report.divergence,
+            mark
+        );
+    }
+    Ok(())
+}
+
+fn cmd_validate(raw: Vec<String>) -> Result<(), CliError> {
+    let args = Args::parse(raw)?;
+    if args.flag("help") || args.positional_count() == 0 {
+        println!(
+            "remedy validate <csv|adult|compas|law> [--label Y --protected a,b] \
+             [--model dt|rf|lg|nn] [--folds 5] [--seed 42]"
+        );
+        return Ok(());
+    }
+    let mut known = DATA_OPTS.to_vec();
+    known.extend(["model", "folds", "seed"]);
+    args.check_known(&known)?;
+    let data = load_input(&args)?;
+    let kind = match args.get("model").unwrap_or("dt") {
+        "dt" => ModelKind::DecisionTree,
+        "rf" => ModelKind::RandomForest,
+        "lg" => ModelKind::LogisticRegression,
+        "nn" => ModelKind::NeuralNetwork,
+        other => return Err(CliError(format!("--model: unknown `{other}`"))),
+    };
+    let folds = args.get_parsed("folds", 5usize)?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    let result = remedy_classifiers::cross_validate(&data, kind, folds, seed);
+    println!(
+        "{kind} {folds}-fold accuracy: {:.3} ± {:.3}",
+        result.mean(),
+        result.std_dev()
+    );
+    for (i, acc) in result.fold_accuracy.iter().enumerate() {
+        println!("  fold {i}: {acc:.3}");
+    }
+    Ok(())
+}
+
+fn cmd_generate(raw: Vec<String>) -> Result<(), CliError> {
+    let args = Args::parse(raw)?;
+    if args.flag("help") || args.positional_count() == 0 {
+        println!("remedy generate <adult|compas|law> --out data.csv [--rows N] [--seed 42]");
+        return Ok(());
+    }
+    args.check_known(&["out", "rows", "seed", "help"])?;
+    let name = args.positional(0).unwrap();
+    let seed = args.get_parsed("seed", 42u64)?;
+    let rows = args.get_parsed("rows", 0usize)?;
+    let data = match (name, rows) {
+        ("adult", 0) => synth::adult(seed),
+        ("adult", n) => synth::adult_n(n, seed),
+        ("compas", 0) => synth::compas(seed),
+        ("compas", n) => synth::compas_n(n, seed),
+        ("law", 0) => synth::law_school(seed),
+        ("law", n) => synth::law_school_n(n, seed),
+        _ => return Err(CliError(format!("unknown dataset `{name}`"))),
+    };
+    let out_path = args.require("out")?;
+    csv::write_path(&data, out_path).map_err(|e| CliError(e.to_string()))?;
+    println!("wrote {} rows to {out_path}", data.len());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn parsers_accept_aliases() {
+        assert_eq!(
+            parse_technique(&args(&["--technique", "massage"])).unwrap(),
+            Technique::Massaging
+        );
+        assert_eq!(
+            parse_scope(&args(&["--scope", "leaf"])).unwrap(),
+            Scope::Leaf
+        );
+        assert_eq!(
+            parse_neighborhood(&args(&["--neighborhood", "full"])).unwrap(),
+            Neighborhood::Full
+        );
+        assert_eq!(
+            parse_neighborhood(&args(&["--neighborhood", "1.5"])).unwrap(),
+            Neighborhood::OrderedRadius(1.5)
+        );
+    }
+
+    #[test]
+    fn parsers_reject_garbage() {
+        assert!(parse_technique(&args(&["--technique", "x"])).is_err());
+        assert!(parse_scope(&args(&["--scope", "x"])).is_err());
+        assert!(parse_neighborhood(&args(&["--neighborhood", "x"])).is_err());
+    }
+
+    #[test]
+    fn builtin_datasets_load() {
+        let a = args(&["compas"]);
+        let d = load_input(&a).unwrap();
+        assert_eq!(d.len(), 6_172);
+        // CSV path without --label errors cleanly
+        let bad = args(&["file.csv"]);
+        assert!(load_input(&bad).is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_reported() {
+        let err = run("frobnicate", vec![]).unwrap_err();
+        assert!(err.0.contains("unknown command"));
+    }
+
+    #[test]
+    fn generate_and_identify_roundtrip() {
+        let dir = std::env::temp_dir().join("remedy_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("tiny.csv");
+        run(
+            "generate",
+            vec![
+                "compas".into(),
+                "--out".into(),
+                out.to_string_lossy().into_owned(),
+                "--rows".into(),
+                "500".into(),
+            ],
+        )
+        .unwrap();
+        assert!(out.exists());
+        run(
+            "identify",
+            vec![
+                out.to_string_lossy().into_owned(),
+                "--label".into(),
+                "recid".into(),
+                "--protected".into(),
+                "age,race,sex".into(),
+            ],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn report_writes_markdown() {
+        let dir = std::env::temp_dir().join("remedy_cli_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("audit.md");
+        run(
+            "report",
+            vec![
+                "compas".into(),
+                "--out".into(),
+                out.to_string_lossy().into_owned(),
+            ],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("# Subgroup fairness audit"));
+    }
+
+    #[test]
+    fn train_saves_loadable_model() {
+        let dir = std::env::temp_dir().join("remedy_cli_test4");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("model.txt");
+        run(
+            "train",
+            vec![
+                "compas".into(),
+                "--model".into(),
+                "nb".into(),
+                "--out".into(),
+                out.to_string_lossy().into_owned(),
+            ],
+        )
+        .unwrap();
+        let model = persist::load_from_path(&out).unwrap();
+        assert_eq!(model.kind(), "naive-bayes");
+    }
+
+    #[test]
+    fn hypothesis_runs() {
+        run("hypothesis", vec!["compas".into()]).unwrap();
+        assert!(run(
+            "hypothesis",
+            vec!["compas".into(), "--stat".into(), "acc".into()]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn describe_and_validate_run() {
+        run("describe", vec!["compas".into()]).unwrap();
+        run(
+            "validate",
+            vec!["compas".into(), "--folds".into(), "3".into()],
+        )
+        .unwrap();
+        assert!(run("validate", vec!["compas".into(), "--model".into(), "zz".into()]).is_err());
+    }
+
+    #[test]
+    fn remedy_writes_output() {
+        let dir = std::env::temp_dir().join("remedy_cli_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("fixed.csv");
+        run(
+            "remedy",
+            vec![
+                "compas".into(),
+                "--out".into(),
+                out.to_string_lossy().into_owned(),
+                "--technique".into(),
+                "us".into(),
+            ],
+        )
+        .unwrap();
+        assert!(out.exists());
+    }
+}

@@ -1,0 +1,26 @@
+//! `remedy` — command-line front end for the subgroup-unfairness toolkit.
+//!
+//! ```text
+//! remedy identify compas --tau 0.1
+//! remedy remedy data.csv --label y --protected race,sex --out fixed.csv
+//! remedy audit adult --model lg --stat fpr
+//! remedy generate law --out law.csv
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let command = match argv.next() {
+        Some(c) => c,
+        None => {
+            print!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = commands::run(&command, argv.collect()) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

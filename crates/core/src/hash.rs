@@ -1,0 +1,114 @@
+//! A fast non-cryptographic hasher for packed region keys.
+//!
+//! Region keys are small packed integers (`u128` with 8 bits per protected
+//! attribute), hashed millions of times during hierarchy construction. The
+//! default SipHash is needlessly slow for this workload; this multiply-mix
+//! hasher (FxHash-style) is an order of magnitude faster and sufficient for
+//! in-memory maps keyed by trusted data.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` alias using the mix hasher.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<MixHasher>>;
+
+/// `HashSet` alias using the mix hasher.
+pub type FastSet<K> = std::collections::HashSet<K, BuildHasherDefault<MixHasher>>;
+
+/// Multiply-xor hasher in the spirit of FxHash.
+#[derive(Debug, Default, Clone)]
+pub struct MixHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl MixHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for MixHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // final avalanche so sequential keys spread across buckets
+        let mut x = self.state;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        x
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.mix(v as u64);
+        self.mix((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FastMap<u128, usize> = FastMap::default();
+        for i in 0..10_000u128 {
+            m.insert(i, i as usize * 2);
+        }
+        for i in 0..10_000u128 {
+            assert_eq!(m.get(&i), Some(&(i as usize * 2)));
+        }
+        assert_eq!(m.len(), 10_000);
+    }
+
+    #[test]
+    fn sequential_keys_spread() {
+        // crude avalanche check: low bits of hashes of sequential keys
+        // should not collide en masse
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let bh: BuildHasherDefault<MixHasher> = BuildHasherDefault::default();
+        let mut buckets = [0usize; 16];
+        for i in 0..1_600u64 {
+            let mut h = bh.build_hasher();
+            h.write_u64(i);
+            buckets[(h.finish() & 15) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!(b > 40, "bucket underfilled: {buckets:?}");
+        }
+    }
+
+    #[test]
+    fn set_deduplicates() {
+        let mut s: FastSet<u64> = FastSet::default();
+        s.insert(7);
+        s.insert(7);
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,551 @@
+//! Implicit Biased Set identification (§III, Algorithm 1).
+//!
+//! Both algorithms traverse the hierarchy bottom-up and flag regions whose
+//! imbalance score differs from their neighborhood's by more than `τ_c`:
+//!
+//! * **Naïve** (§III-A): for each region, enumerates every neighbor —
+//!   `(c−1)·d` sibling regions under the default `T = 1` — and sums their
+//!   counts.
+//! * **Optimized** (§III-B, Algorithm 1): computes the neighborhood's counts
+//!   from the `d` *dominating regions* `R_d` one level up, correcting the
+//!   `|R_d|`-fold over-count of the region itself:
+//!   `ratio_rn = (Σ|r_k⁺| − |R_d|·|r⁺|) / (Σ|r_k⁻| − |R_d|·|r⁻|)`.
+//!
+//! Identification is exponential in `|X|` (Theorem 1: no polynomial-time
+//! solution exists), but the optimized algorithm cuts per-region neighbor
+//! work from `(c−1)·d·T` to `d·T`, which §V-B5 (and our Fig 9a bench)
+//! shows is a substantial constant-factor win.
+
+use crate::hierarchy::{drop_byte, get_byte, set_byte, Hierarchy, Node};
+use crate::neighborhood::Neighborhood;
+use crate::scope::Scope;
+use crate::score::{imbalance, Counts};
+use remedy_dataset::{Dataset, Pattern};
+
+/// Which identification algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Per-region neighbor enumeration (§III-A).
+    Naive,
+    /// Dominating-region count reuse (§III-B, Algorithm 1).
+    Optimized,
+}
+
+/// Parameters of IBS identification (Problem 1).
+#[derive(Debug, Clone)]
+pub struct IbsParams {
+    /// Imbalance threshold `τ_c` (Definition 5).
+    pub tau_c: f64,
+    /// Minimum region size `k`; the paper uses the central-limit
+    /// rule-of-thumb `k = 30`.
+    pub min_size: u64,
+    /// Neighboring-region specification (Definition 4).
+    pub neighborhood: Neighborhood,
+    /// Hierarchy levels to examine.
+    pub scope: Scope,
+}
+
+impl Default for IbsParams {
+    fn default() -> Self {
+        IbsParams {
+            tau_c: 0.1,
+            min_size: 30,
+            neighborhood: Neighborhood::Unit,
+            scope: Scope::Lattice,
+        }
+    }
+}
+
+/// A region found to be in the Implicit Biased Set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiasedRegion {
+    /// The region's pattern over the dataset's columns.
+    pub pattern: Pattern,
+    /// Node bitmask within the hierarchy.
+    pub mask: u32,
+    /// Packed value key within the node.
+    pub key: u128,
+    /// Class counts of the region.
+    pub counts: Counts,
+    /// `ratio_r`.
+    pub ratio: f64,
+    /// `ratio_rn` of its neighboring region.
+    pub neighbor_ratio: f64,
+}
+
+impl BiasedRegion {
+    /// Hierarchy level (`d`) of the region.
+    pub fn level(&self) -> usize {
+        self.pattern.level()
+    }
+
+    /// The gap `|ratio_r − ratio_rn|` that exceeded `τ_c`.
+    pub fn gap(&self) -> f64 {
+        (self.ratio - self.neighbor_ratio).abs()
+    }
+}
+
+/// Identifies the IBS of a dataset (builds the hierarchy internally).
+pub fn identify(data: &Dataset, params: &IbsParams, algorithm: Algorithm) -> Vec<BiasedRegion> {
+    let hierarchy = Hierarchy::build(data);
+    identify_in(&hierarchy, params, algorithm)
+}
+
+/// Identifies the IBS over an explicit protected-column set (used by the
+/// scalability experiments that grow `|X|` beyond the schema's default).
+pub fn identify_over(
+    data: &Dataset,
+    protected: &[usize],
+    params: &IbsParams,
+    algorithm: Algorithm,
+) -> Vec<BiasedRegion> {
+    let hierarchy = Hierarchy::build_over(data, protected);
+    identify_in(&hierarchy, params, algorithm)
+}
+
+/// Identifies the IBS over a prebuilt hierarchy.
+pub fn identify_in(
+    hierarchy: &Hierarchy,
+    params: &IbsParams,
+    algorithm: Algorithm,
+) -> Vec<BiasedRegion> {
+    let total_levels = hierarchy.arity();
+    let mut result = Vec::new();
+    // bottom-up: leaf level first
+    let mut masks: Vec<u32> = hierarchy.nodes().iter().map(|n| n.mask).collect();
+    masks.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
+    for mask in masks {
+        let node = hierarchy.node(mask);
+        if !params.scope.includes(node.level(), total_levels) {
+            continue;
+        }
+        for (&key, &counts) in &node.regions {
+            if counts.total() <= params.min_size {
+                continue;
+            }
+            let neighbor = neighbor_counts(hierarchy, node, key, counts, params, algorithm);
+            let ratio = counts.imbalance();
+            let neighbor_ratio = neighbor.imbalance();
+            if (ratio - neighbor_ratio).abs() > params.tau_c {
+                result.push(BiasedRegion {
+                    pattern: hierarchy.pattern_of(mask, key),
+                    mask,
+                    key,
+                    counts,
+                    ratio,
+                    neighbor_ratio,
+                });
+            }
+        }
+    }
+    result.sort_by(|a, b| {
+        b.level()
+            .cmp(&a.level())
+            .then_with(|| a.pattern.cmp(&b.pattern))
+    });
+    result
+}
+
+/// Identifies the IBS over a prebuilt hierarchy using scoped worker
+/// threads, one queue of nodes shared across workers. Produces exactly the
+/// same result as [`identify_in`]; worth it on wide lattices (|X| ≥ 6)
+/// where millions of regions are scored. `n_threads = 0` uses all
+/// available cores.
+pub fn identify_in_parallel(
+    hierarchy: &Hierarchy,
+    params: &IbsParams,
+    algorithm: Algorithm,
+    n_threads: usize,
+) -> Vec<BiasedRegion> {
+    let total_levels = hierarchy.arity();
+    let masks: Vec<u32> = hierarchy
+        .nodes()
+        .iter()
+        .map(|n| n.mask)
+        .filter(|&m| {
+            params
+                .scope
+                .includes(hierarchy.node(m).level(), total_levels)
+        })
+        .collect();
+    let n_threads = if n_threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        n_threads
+    }
+    .min(masks.len().max(1));
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut per_thread: Vec<Vec<BiasedRegion>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|_| {
+                let next = &next;
+                let masks = &masks;
+                scope.spawn(move || {
+                    let mut found = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(&mask) = masks.get(i) else { break };
+                        let node = hierarchy.node(mask);
+                        for (&key, &counts) in &node.regions {
+                            if counts.total() <= params.min_size {
+                                continue;
+                            }
+                            let neighbor =
+                                neighbor_counts(hierarchy, node, key, counts, params, algorithm);
+                            let ratio = counts.imbalance();
+                            let neighbor_ratio = neighbor.imbalance();
+                            if (ratio - neighbor_ratio).abs() > params.tau_c {
+                                found.push(BiasedRegion {
+                                    pattern: hierarchy.pattern_of(mask, key),
+                                    mask,
+                                    key,
+                                    counts,
+                                    ratio,
+                                    neighbor_ratio,
+                                });
+                            }
+                        }
+                    }
+                    found
+                })
+            })
+            .collect();
+        per_thread = handles.into_iter().map(|h| h.join().expect("worker")).collect();
+    });
+    let mut result: Vec<BiasedRegion> = per_thread.into_iter().flatten().collect();
+    result.sort_by(|a, b| {
+        b.level()
+            .cmp(&a.level())
+            .then_with(|| a.pattern.cmp(&b.pattern))
+    });
+    result
+}
+
+/// Counts of the neighboring region of `(node, key)`.
+pub fn neighbor_counts(
+    hierarchy: &Hierarchy,
+    node: &Node,
+    key: u128,
+    own: Counts,
+    params: &IbsParams,
+    algorithm: Algorithm,
+) -> Counts {
+    match (algorithm, params.neighborhood) {
+        (_, Neighborhood::OrderedRadius(t)) => ordered_neighbors(hierarchy, node, key, t),
+        (Algorithm::Naive, Neighborhood::Unit) => {
+            // enumerate the (c−1)·d siblings that differ in one value
+            let mut sum = Counts::default();
+            for (slot, &j) in node.attrs.iter().enumerate() {
+                let code = get_byte(key, slot);
+                for v in 0..hierarchy.cardinality(j) {
+                    if v == code {
+                        continue;
+                    }
+                    sum.add(hierarchy.counts(node.mask, set_byte(key, slot, v)));
+                }
+            }
+            sum
+        }
+        (Algorithm::Naive, Neighborhood::Full) => {
+            // enumerate every other region in the node
+            let mut sum = Counts::default();
+            for (&k, &c) in &node.regions {
+                if k != key {
+                    sum.add(c);
+                }
+            }
+            sum
+        }
+        (Algorithm::Optimized, Neighborhood::Unit) => {
+            // Σ_{R_d} counts − |R_d| × own (Algorithm 1, line 10)
+            let d = node.level() as u64;
+            let mut sum = Counts::default();
+            for slot in 0..node.attrs.len() {
+                let parent_mask = node.mask & !(1 << node.attrs[slot]);
+                let parent_key = drop_byte(key, slot);
+                sum.add(hierarchy.counts(parent_mask, parent_key));
+            }
+            Counts::new(sum.pos - d * own.pos, sum.neg - d * own.neg)
+        }
+        (Algorithm::Optimized, Neighborhood::Full) => {
+            // the node's regions partition D, so the complement is totals − r
+            hierarchy.totals().saturating_sub(own)
+        }
+    }
+}
+
+/// Neighbors under the refined (ordered-aware) distance metric: all
+/// same-node regions within Euclidean distance `t`, where ordered
+/// attributes contribute their code gap and unordered ones 0/1.
+fn ordered_neighbors(hierarchy: &Hierarchy, node: &Node, key: u128, t: f64) -> Counts {
+    let mut sum = Counts::default();
+    let t2 = t * t;
+    for (&other, &c) in &node.regions {
+        if other == key {
+            continue;
+        }
+        let mut dist2 = 0.0;
+        for (slot, &j) in node.attrs.iter().enumerate() {
+            let a = get_byte(key, slot);
+            let b = get_byte(other, slot);
+            let d = if hierarchy.is_ordered(j) {
+                (f64::from(a) - f64::from(b)).abs()
+            } else if a == b {
+                0.0
+            } else {
+                1.0
+            };
+            dist2 += d * d;
+            if dist2 > t2 {
+                break;
+            }
+        }
+        if dist2 <= t2 {
+            sum.add(c);
+        }
+    }
+    sum
+}
+
+/// Convenience check of Definition 5 given both imbalance scores.
+pub fn is_biased(ratio_r: f64, ratio_rn: f64, tau_c: f64) -> bool {
+    (ratio_r - ratio_rn).abs() > tau_c
+}
+
+/// The imbalance score of an arbitrary pattern's region in a dataset
+/// (direct computation; used in examples and tests).
+pub fn pattern_imbalance(data: &Dataset, pattern: &Pattern) -> f64 {
+    let (pos, neg) = data.class_counts(pattern);
+    imbalance(pos as u64, neg as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remedy_dataset::{Attribute, Schema};
+
+    /// A 3×3 grid over two protected attributes; the (1,1) cell is heavily
+    /// positive, everything else is balanced.
+    fn planted() -> Dataset {
+        let schema = Schema::new(
+            vec![
+                Attribute::from_strs("a", &["0", "1", "2"]).protected(),
+                Attribute::from_strs("b", &["0", "1", "2"]).protected(),
+            ],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                let (pos, neg) = if a == 1 && b == 1 { (80, 20) } else { (50, 50) };
+                for _ in 0..pos {
+                    d.push_row(&[a, b], 1).unwrap();
+                }
+                for _ in 0..neg {
+                    d.push_row(&[a, b], 0).unwrap();
+                }
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn finds_planted_region() {
+        let d = planted();
+        let params = IbsParams::default();
+        for alg in [Algorithm::Naive, Algorithm::Optimized] {
+            let ibs = identify(&d, &params, alg);
+            let leaf: Vec<_> = ibs.iter().filter(|r| r.level() == 2).collect();
+            assert!(
+                leaf.iter()
+                    .any(|r| r.pattern.get(0) == Some(1) && r.pattern.get(1) == Some(1)),
+                "{alg:?} missed the planted region: {leaf:?}"
+            );
+            // the planted cell: ratio 4.0; neighbors (unit) are 4 balanced
+            // cells → ratio 1.0
+            let planted_region = leaf
+                .iter()
+                .find(|r| r.pattern.get(0) == Some(1) && r.pattern.get(1) == Some(1))
+                .unwrap();
+            assert!((planted_region.ratio - 4.0).abs() < 1e-12);
+            assert!((planted_region.neighbor_ratio - 1.0).abs() < 1e-12);
+            assert!((planted_region.gap() - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn naive_equals_optimized_unit() {
+        let d = planted();
+        let params = IbsParams {
+            tau_c: 0.05,
+            min_size: 10,
+            ..IbsParams::default()
+        };
+        let naive = identify(&d, &params, Algorithm::Naive);
+        let optimized = identify(&d, &params, Algorithm::Optimized);
+        assert_eq!(naive, optimized);
+    }
+
+    #[test]
+    fn naive_equals_optimized_full() {
+        let d = planted();
+        let params = IbsParams {
+            tau_c: 0.05,
+            min_size: 10,
+            neighborhood: Neighborhood::Full,
+            ..IbsParams::default()
+        };
+        let naive = identify(&d, &params, Algorithm::Naive);
+        let optimized = identify(&d, &params, Algorithm::Optimized);
+        assert_eq!(naive, optimized);
+    }
+
+    #[test]
+    fn min_size_excludes_small_regions() {
+        let d = planted();
+        let params = IbsParams {
+            min_size: 10_000,
+            ..IbsParams::default()
+        };
+        assert!(identify(&d, &params, Algorithm::Optimized).is_empty());
+    }
+
+    #[test]
+    fn scope_restricts_levels() {
+        let d = planted();
+        let params = IbsParams {
+            tau_c: 0.05,
+            min_size: 10,
+            scope: Scope::Top,
+            ..IbsParams::default()
+        };
+        let ibs = identify(&d, &params, Algorithm::Optimized);
+        assert!(ibs.iter().all(|r| r.level() == 1));
+        let params = IbsParams {
+            tau_c: 0.05,
+            min_size: 10,
+            scope: Scope::Leaf,
+            ..IbsParams::default()
+        };
+        let ibs = identify(&d, &params, Algorithm::Optimized);
+        assert!(ibs.iter().all(|r| r.level() == 2));
+    }
+
+    #[test]
+    fn results_ordered_bottom_up() {
+        let d = planted();
+        let params = IbsParams {
+            tau_c: 0.01,
+            min_size: 10,
+            ..IbsParams::default()
+        };
+        let ibs = identify(&d, &params, Algorithm::Optimized);
+        let levels: Vec<usize> = ibs.iter().map(|r| r.level()).collect();
+        let mut sorted = levels.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        assert_eq!(levels, sorted);
+    }
+
+    #[test]
+    fn full_neighborhood_is_complement() {
+        let d = planted();
+        let h = Hierarchy::build(&d);
+        let node = h.node(0b11);
+        let (mask, key) = h
+            .pack(&Pattern::from_terms([(0usize, 1u32), (1usize, 1u32)]))
+            .unwrap();
+        assert_eq!(mask, 0b11);
+        let own = h.counts(mask, key);
+        let params = IbsParams {
+            neighborhood: Neighborhood::Full,
+            ..IbsParams::default()
+        };
+        let n = neighbor_counts(&h, node, key, own, &params, Algorithm::Optimized);
+        assert_eq!(n.total(), d.len() as u64 - own.total());
+    }
+
+    #[test]
+    fn ordered_radius_widens_neighborhood() {
+        // one ordered protected attribute with 5 values; region at code 0
+        let schema = Schema::new(
+            vec![Attribute::from_strs("o", &["0", "1", "2", "3", "4"])
+                .protected()
+                .ordered()],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        for code in 0..5u32 {
+            for i in 0..40 {
+                d.push_row(&[code], u8::from(i % 2 == 0)).unwrap();
+            }
+        }
+        let h = Hierarchy::build(&d);
+        let node = h.node(1);
+        let own = h.counts(1, 0);
+        let r1 = IbsParams {
+            neighborhood: Neighborhood::OrderedRadius(1.0),
+            ..IbsParams::default()
+        };
+        let r2 = IbsParams {
+            neighborhood: Neighborhood::OrderedRadius(2.0),
+            ..IbsParams::default()
+        };
+        let n1 = neighbor_counts(&h, node, 0, own, &r1, Algorithm::Naive);
+        let n2 = neighbor_counts(&h, node, 0, own, &r2, Algorithm::Naive);
+        assert_eq!(n1.total(), 40); // only code 1
+        assert_eq!(n2.total(), 80); // codes 1 and 2
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let d = planted();
+        let h = Hierarchy::build(&d);
+        let params = IbsParams {
+            tau_c: 0.05,
+            min_size: 10,
+            ..IbsParams::default()
+        };
+        for alg in [Algorithm::Naive, Algorithm::Optimized] {
+            let sequential = identify_in(&h, &params, alg);
+            for threads in [0, 1, 3] {
+                let parallel = identify_in_parallel(&h, &params, alg, threads);
+                assert_eq!(sequential, parallel, "{alg:?} × {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_respects_scope() {
+        let d = planted();
+        let h = Hierarchy::build(&d);
+        let params = IbsParams {
+            tau_c: 0.05,
+            min_size: 10,
+            scope: Scope::Top,
+            ..IbsParams::default()
+        };
+        let result = identify_in_parallel(&h, &params, Algorithm::Optimized, 2);
+        assert!(result.iter().all(|r| r.level() == 1));
+    }
+
+    #[test]
+    fn is_biased_matches_definition() {
+        assert!(is_biased(2.2, 0.64, 0.3));
+        assert!(!is_biased(0.7, 0.64, 0.3));
+        // sentinel scores still compare (paper semantics)
+        assert!(is_biased(-1.0, 0.5, 0.3));
+    }
+
+    #[test]
+    fn pattern_imbalance_direct() {
+        let d = planted();
+        let p = Pattern::from_terms([(0usize, 1u32), (1usize, 1u32)]);
+        assert!((pattern_imbalance(&d, &p) - 4.0).abs() < 1e-12);
+    }
+}

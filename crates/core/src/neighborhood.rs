@@ -1,0 +1,70 @@
+//! Neighboring-region specifications (Definition 4).
+//!
+//! In the paper's basic setting every pair of distinct attribute values is
+//! one unit apart, so with the default threshold `T = 1` the neighboring
+//! region of `r` is the union of same-dimension regions that differ from
+//! `r` in exactly one attribute value. With `T = |X|` the neighboring
+//! region degenerates to *all* other regions with the same deterministic
+//! attributes — i.e. the complement of `r` (§V-B3 evaluates both).
+//!
+//! The paper also notes that attributes with a natural order (age buckets,
+//! income brackets) can refine the metric with their code distance; the
+//! [`Neighborhood::OrderedRadius`] variant implements that extension.
+
+/// How the neighboring region of a region is formed.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Neighborhood {
+    /// `T = 1` in the unit-distance setting: regions differing in exactly
+    /// one attribute value (the paper's default).
+    #[default]
+    Unit,
+    /// `T = |X|`: all other regions with the same deterministic attributes
+    /// (the complement of `r` within its node).
+    Full,
+    /// Distance-`T` ball under the refined metric where
+    /// [`ordered`](remedy_dataset::Attribute::is_ordered) attributes
+    /// contribute `|code_a − code_b|` and unordered ones `0/1`. Requires
+    /// explicit enumeration, so only the naïve algorithm supports it.
+    OrderedRadius(f64),
+}
+
+impl Neighborhood {
+    /// Whether the optimized dominating-region formula applies. The
+    /// `R_d`-based computation of Algorithm 1 is exact for [`Unit`]
+    /// (Example 7 proves the over-counting correction) and trivial for
+    /// [`Full`]; the refined metric needs per-neighbor distances.
+    ///
+    /// [`Unit`]: Neighborhood::Unit
+    /// [`Full`]: Neighborhood::Full
+    pub fn supports_optimized(self) -> bool {
+        !matches!(self, Neighborhood::OrderedRadius(_))
+    }
+
+    /// Display name used in figures.
+    pub fn name(self) -> String {
+        match self {
+            Neighborhood::Unit => "T=1".to_string(),
+            Neighborhood::Full => "T=|X|".to_string(),
+            Neighborhood::OrderedRadius(t) => format!("T={t}(ordered)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimized_support() {
+        assert!(Neighborhood::Unit.supports_optimized());
+        assert!(Neighborhood::Full.supports_optimized());
+        assert!(!Neighborhood::OrderedRadius(1.5).supports_optimized());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Neighborhood::Unit.name(), "T=1");
+        assert_eq!(Neighborhood::Full.name(), "T=|X|");
+        assert_eq!(Neighborhood::OrderedRadius(2.0).name(), "T=2(ordered)");
+    }
+}

@@ -1,0 +1,73 @@
+//! Identification scopes: which hierarchy levels are examined.
+//!
+//! The paper compares its full *Lattice* traversal against two ablations
+//! (§V-B2): *Leaf*, which only inspects the fully-specified intersectional
+//! regions, and *Top*, which only inspects the single-attribute groups at
+//! level 1.
+
+/// Which part of the hierarchy to search for biased regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scope {
+    /// Every level of the lattice (the paper's method).
+    #[default]
+    Lattice,
+    /// Only the leaf level (level `|X|`): fully-specified regions.
+    Leaf,
+    /// Only level 1: one deterministic attribute per pattern.
+    Top,
+}
+
+impl Scope {
+    /// Whether a node at `level` (number of deterministic attributes) is
+    /// examined under this scope, given `total` protected attributes.
+    pub fn includes(self, level: usize, total: usize) -> bool {
+        match self {
+            Scope::Lattice => level >= 1 && level <= total,
+            Scope::Leaf => level == total,
+            Scope::Top => level == 1,
+        }
+    }
+
+    /// Display name used in the figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scope::Lattice => "Lattice",
+            Scope::Leaf => "Leaf",
+            Scope::Top => "Top",
+        }
+    }
+}
+
+impl std::fmt::Display for Scope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_spans_all_levels() {
+        for level in 1..=4 {
+            assert!(Scope::Lattice.includes(level, 4));
+        }
+        assert!(!Scope::Lattice.includes(0, 4));
+        assert!(!Scope::Lattice.includes(5, 4));
+    }
+
+    #[test]
+    fn leaf_and_top_are_single_levels() {
+        assert!(Scope::Leaf.includes(3, 3));
+        assert!(!Scope::Leaf.includes(2, 3));
+        assert!(Scope::Top.includes(1, 3));
+        assert!(!Scope::Top.includes(2, 3));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Scope::Lattice.to_string(), "Lattice");
+        assert_eq!(Scope::default(), Scope::Lattice);
+    }
+}

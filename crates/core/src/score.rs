@@ -1,0 +1,92 @@
+//! The imbalance score (Definition 3).
+
+/// Class counts of a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counts {
+    /// `|r⁺|`: positive instances.
+    pub pos: u64,
+    /// `|r⁻|`: negative instances.
+    pub neg: u64,
+}
+
+impl Counts {
+    /// Constructs counts.
+    pub fn new(pos: u64, neg: u64) -> Self {
+        Counts { pos, neg }
+    }
+
+    /// Total instances `|r|`.
+    pub fn total(&self) -> u64 {
+        self.pos + self.neg
+    }
+
+    /// Adds another tally.
+    pub fn add(&mut self, other: Counts) {
+        self.pos += other.pos;
+        self.neg += other.neg;
+    }
+
+    /// Subtracts a tally (saturating, for over-count corrections).
+    pub fn saturating_sub(&self, other: Counts) -> Counts {
+        Counts {
+            pos: self.pos.saturating_sub(other.pos),
+            neg: self.neg.saturating_sub(other.neg),
+        }
+    }
+
+    /// The region's imbalance score.
+    pub fn imbalance(&self) -> f64 {
+        imbalance(self.pos, self.neg)
+    }
+}
+
+/// Imbalance score `ratio_r = |r⁺| / |r⁻|` (Definition 3).
+///
+/// Following the paper, a region with no negative instances gets the
+/// sentinel score `-1`.
+pub fn imbalance(pos: u64, neg: u64) -> f64 {
+    if neg == 0 {
+        -1.0
+    } else {
+        pos as f64 / neg as f64
+    }
+}
+
+/// Whether an imbalance score is defined (the `-1` sentinel is not).
+pub fn is_defined(ratio: f64) -> bool {
+    ratio >= 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_4_propublica_region() {
+        // (Age = 25-45, #prior = >3): 882 positives, 397 negatives → 2.22
+        let r = imbalance(882, 397);
+        assert!((r - 2.2216624685).abs() < 1e-9);
+        assert!((r - 2.22).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_negatives_sentinel() {
+        assert_eq!(imbalance(10, 0), -1.0);
+        assert!(!is_defined(imbalance(10, 0)));
+        assert!(is_defined(imbalance(0, 10)));
+        assert_eq!(imbalance(0, 10), 0.0);
+    }
+
+    #[test]
+    fn counts_arithmetic() {
+        let mut c = Counts::new(3, 4);
+        c.add(Counts::new(1, 2));
+        assert_eq!(c, Counts::new(4, 6));
+        assert_eq!(c.total(), 10);
+        assert_eq!(
+            c.saturating_sub(Counts::new(10, 1)),
+            Counts::new(0, 5)
+        );
+        assert!((c.imbalance() - 4.0 / 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,107 @@
+//! Guard-rail tests: documented panics and boundary conditions of the core
+//! crate.
+
+use remedy_core::{
+    identify, remedy, Algorithm, Hierarchy, IbsParams, Neighborhood, RemedyParams,
+};
+use remedy_dataset::{Attribute, Dataset, Schema};
+
+fn one_attr_dataset() -> Dataset {
+    let schema = Schema::new(
+        vec![Attribute::from_strs("a", &["0", "1"]).protected()],
+        "y",
+    )
+    .into_shared();
+    let mut d = Dataset::new(schema);
+    for i in 0..100 {
+        d.push_row(&[(i % 2) as u32], u8::from(i % 3 == 0)).unwrap();
+    }
+    d
+}
+
+#[test]
+#[should_panic(expected = "at least one protected attribute")]
+fn hierarchy_requires_protected_attributes() {
+    let schema = Schema::new(vec![Attribute::from_strs("a", &["0"])], "y").into_shared();
+    let d = Dataset::new(schema);
+    let _ = Hierarchy::build(&d);
+}
+
+#[test]
+#[should_panic(expected = "at most 16 protected attributes")]
+fn hierarchy_caps_protected_arity() {
+    let attrs: Vec<Attribute> = (0..17)
+        .map(|i| Attribute::from_strs(&format!("a{i}"), &["0", "1"]).protected())
+        .collect();
+    let schema = Schema::new(attrs, "y").into_shared();
+    let mut d = Dataset::new(schema);
+    d.push_row(&[0; 17], 1).unwrap();
+    let _ = Hierarchy::build(&d);
+}
+
+#[test]
+#[should_panic(expected = "Unit and Full neighborhoods")]
+fn remedy_rejects_ordered_radius() {
+    // identification supports the refined metric; the remedy loop
+    // documents that it does not (the paper's experiments never use it)
+    let d = one_attr_dataset();
+    let _ = remedy(
+        &d,
+        &RemedyParams {
+            neighborhood: Neighborhood::OrderedRadius(1.0),
+            tau_c: 0.0,
+            min_size: 1,
+            ..RemedyParams::default()
+        },
+    );
+}
+
+#[test]
+fn single_protected_attribute_works() {
+    // |X| = 1: the lattice is one node; Unit and Full coincide there
+    let d = one_attr_dataset();
+    for neighborhood in [Neighborhood::Unit, Neighborhood::Full] {
+        let params = IbsParams {
+            tau_c: 0.01,
+            min_size: 10,
+            neighborhood,
+            ..IbsParams::default()
+        };
+        let naive = identify(&d, &params, Algorithm::Naive);
+        let optimized = identify(&d, &params, Algorithm::Optimized);
+        assert_eq!(naive, optimized);
+    }
+}
+
+#[test]
+fn empty_and_tiny_datasets_are_safe() {
+    let schema = Schema::new(
+        vec![Attribute::from_strs("a", &["0", "1"]).protected()],
+        "y",
+    )
+    .into_shared();
+    let empty = Dataset::new(schema.clone());
+    assert!(identify(&empty, &IbsParams::default(), Algorithm::Optimized).is_empty());
+    let outcome = remedy(&empty, &RemedyParams::default());
+    assert!(outcome.dataset.is_empty());
+    assert!(outcome.updates.is_empty());
+
+    let mut tiny = Dataset::new(schema);
+    tiny.push_row(&[0], 1).unwrap();
+    assert!(identify(&tiny, &IbsParams::default(), Algorithm::Optimized).is_empty());
+}
+
+#[test]
+fn min_size_zero_examines_every_region() {
+    let d = one_attr_dataset();
+    let params = IbsParams {
+        tau_c: 0.0,
+        min_size: 0,
+        ..IbsParams::default()
+    };
+    // with τ_c = 0 and balanced-vs-unbalanced halves, at least one region
+    // must trip the threshold unless the halves are exactly equal
+    let ibs = identify(&d, &params, Algorithm::Optimized);
+    let h = Hierarchy::build(&d);
+    assert!(ibs.len() <= h.region_count());
+}

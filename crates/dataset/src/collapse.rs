@@ -1,0 +1,167 @@
+//! Collapsing rare categories into a catch-all value.
+//!
+//! Real census-style data has long-tailed categoricals (the actual Adult
+//! `native-country` column has 40+ values, most with a handful of rows).
+//! Regions built from such values never pass the size-`k` filter but still
+//! blow up the hierarchy's width. Collapsing everything below a count
+//! threshold into one `other` bucket keeps the intersectional space dense —
+//! standard pre-processing before running the remedy pipeline on raw CSVs.
+
+use crate::dataset::Dataset;
+use crate::error::DatasetError;
+use crate::schema::{Attribute, Schema};
+
+/// Replaces every value of `column` occurring fewer than `min_count` times
+/// with a single catch-all category named `other_label`, rebuilding the
+/// schema and recoding the data. Returns the new dataset and the number of
+/// collapsed categories (0 means the dataset is returned unchanged).
+pub fn collapse_rare(
+    data: &Dataset,
+    column: &str,
+    min_count: usize,
+    other_label: &str,
+) -> Result<(Dataset, usize), DatasetError> {
+    let col = data.schema().require(column)?;
+    let attr = data.schema().attribute(col);
+    let card = attr.cardinality();
+    let mut counts = vec![0usize; card];
+    for &code in data.column(col) {
+        counts[code as usize] += 1;
+    }
+    let rare: Vec<bool> = counts.iter().map(|&c| c < min_count).collect();
+    let n_rare = rare.iter().filter(|&&r| r).count();
+    if n_rare == 0 {
+        return Ok((data.clone(), 0));
+    }
+    if attr.domain().iter().any(|v| v == other_label) && !rare[attr.code_of(other_label).unwrap() as usize] {
+        return Err(DatasetError::Invalid(format!(
+            "label `{other_label}` already names a frequent category of `{column}`"
+        )));
+    }
+
+    // new domain: frequent values in order, then the catch-all
+    let mut new_domain: Vec<String> = Vec::with_capacity(card - n_rare + 1);
+    let mut remap = vec![0u32; card];
+    for (code, value) in attr.domain().iter().enumerate() {
+        if !rare[code] && value != other_label {
+            remap[code] = new_domain.len() as u32;
+            new_domain.push(value.clone());
+        }
+    }
+    let other_code = new_domain.len() as u32;
+    new_domain.push(other_label.to_string());
+    for code in 0..card {
+        if rare[code] || attr.domain()[code] == other_label {
+            remap[code] = other_code;
+        }
+    }
+
+    // rebuild the schema with the shrunken attribute (collapsing breaks
+    // any natural order, so the attribute becomes unordered)
+    let mut new_attr = Attribute::new(attr.name(), new_domain);
+    if attr.is_protected() {
+        new_attr = new_attr.protected();
+    }
+    let attrs: Vec<Attribute> = data
+        .schema()
+        .attributes()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| if i == col { new_attr.clone() } else { a.clone() })
+        .collect();
+    let schema = Schema::new(attrs, data.schema().label_name()).into_shared();
+
+    let mut out = Dataset::with_capacity(schema, data.len());
+    let mut codes = vec![0u32; data.schema().len()];
+    for row in 0..data.len() {
+        for (c, code) in codes.iter_mut().enumerate() {
+            let v = data.value(row, c);
+            *code = if c == col { remap[v as usize] } else { v };
+        }
+        out.push_row_weighted(&codes, data.label(row), data.weight(row))?;
+    }
+    Ok((out, n_rare))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn long_tail() -> Dataset {
+        let schema = Schema::new(
+            vec![
+                Attribute::from_strs("country", &["us", "mx", "ca", "fr", "jp"]).protected(),
+                Attribute::from_strs("f", &["0", "1"]),
+            ],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        for i in 0..60 {
+            d.push_row(&[0, (i % 2) as u32], u8::from(i % 3 == 0)).unwrap();
+        }
+        for i in 0..20 {
+            d.push_row(&[1, (i % 2) as u32], 1).unwrap();
+        }
+        // rare tail: 3 + 2 + 1 rows
+        for _ in 0..3 {
+            d.push_row(&[2, 0], 0).unwrap();
+        }
+        for _ in 0..2 {
+            d.push_row(&[3, 1], 1).unwrap();
+        }
+        d.push_row(&[4, 0], 0).unwrap();
+        d
+    }
+
+    #[test]
+    fn rare_values_merge_into_other() {
+        let d = long_tail();
+        let (out, collapsed) = collapse_rare(&d, "country", 10, "other").unwrap();
+        assert_eq!(collapsed, 3);
+        let attr = out.schema().attribute(0);
+        assert_eq!(attr.domain(), &["us", "mx", "other"]);
+        assert!(attr.is_protected());
+        assert_eq!(out.len(), d.len());
+        // the six tail rows all map to `other`
+        let other = attr.code_of("other").unwrap();
+        let n_other = out.column(0).iter().filter(|&&v| v == other).count();
+        assert_eq!(n_other, 6);
+    }
+
+    #[test]
+    fn labels_weights_and_other_columns_survive() {
+        let d = long_tail();
+        let (out, _) = collapse_rare(&d, "country", 10, "other").unwrap();
+        assert_eq!(out.labels(), d.labels());
+        assert_eq!(out.weights(), d.weights());
+        assert_eq!(out.column(1), d.column(1));
+    }
+
+    #[test]
+    fn no_rare_values_is_a_noop() {
+        let d = long_tail();
+        let (out, collapsed) = collapse_rare(&d, "country", 1, "other").unwrap();
+        assert_eq!(collapsed, 0);
+        assert_eq!(out, d);
+    }
+
+    #[test]
+    fn conflicting_other_label_is_rejected() {
+        let d = long_tail();
+        assert!(collapse_rare(&d, "country", 10, "us").is_err());
+        // unknown column errors cleanly
+        assert!(collapse_rare(&d, "ghost", 10, "other").is_err());
+    }
+
+    #[test]
+    fn counts_are_preserved_per_merged_value() {
+        let d = long_tail();
+        let (out, _) = collapse_rare(&d, "country", 10, "other").unwrap();
+        // us and mx keep their exact populations
+        let us = out.schema().attribute(0).code_of("us").unwrap();
+        assert_eq!(out.column(0).iter().filter(|&&v| v == us).count(), 60);
+        let mx = out.schema().attribute(0).code_of("mx").unwrap();
+        assert_eq!(out.column(0).iter().filter(|&&v| v == mx).count(), 20);
+    }
+}

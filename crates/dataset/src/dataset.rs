@@ -1,0 +1,436 @@
+//! Columnar dataset of category codes with binary labels and weights.
+
+use crate::error::DatasetError;
+use crate::pattern::Pattern;
+use crate::schema::Schema;
+use std::sync::Arc;
+
+/// A dataset `D = {(x^1, y^1), …, (x^k, y^k)}` stored column-major.
+///
+/// Every attribute is categorical: cell `(row, col)` holds a code into
+/// `schema.attribute(col).domain()`. Labels are binary (`0`/`1`). Each
+/// instance also carries a weight (default `1.0`), which weight-aware
+/// classifiers and the reweighting baselines consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    schema: Arc<Schema>,
+    columns: Vec<Vec<u32>>,
+    labels: Vec<u8>,
+    weights: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset over a schema.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        let columns = vec![Vec::new(); schema.len()];
+        Dataset {
+            schema,
+            columns,
+            labels: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Creates an empty dataset with row capacity pre-reserved.
+    pub fn with_capacity(schema: Arc<Schema>, rows: usize) -> Self {
+        let columns = (0..schema.len())
+            .map(|_| Vec::with_capacity(rows))
+            .collect();
+        Dataset {
+            schema,
+            columns,
+            labels: Vec::with_capacity(rows),
+            weights: Vec::with_capacity(rows),
+        }
+    }
+
+    /// The shared schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// A clone of the schema handle.
+    pub fn schema_arc(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no instances.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Appends a row of category codes with a label and unit weight.
+    pub fn push_row(&mut self, codes: &[u32], label: u8) -> Result<(), DatasetError> {
+        self.push_row_weighted(codes, label, 1.0)
+    }
+
+    /// Appends a row with an explicit weight.
+    pub fn push_row_weighted(
+        &mut self,
+        codes: &[u32],
+        label: u8,
+        weight: f64,
+    ) -> Result<(), DatasetError> {
+        if codes.len() != self.schema.len() {
+            return Err(DatasetError::ArityMismatch {
+                expected: self.schema.len(),
+                found: codes.len(),
+            });
+        }
+        if label > 1 {
+            return Err(DatasetError::InvalidLabel(label.to_string()));
+        }
+        for (col, (&code, attr)) in codes.iter().zip(self.schema.attributes()).enumerate() {
+            if code as usize >= attr.cardinality() {
+                return Err(DatasetError::UnknownValue {
+                    attribute: self.schema.attribute(col).name().to_string(),
+                    value: code.to_string(),
+                });
+            }
+        }
+        for (col, &code) in codes.iter().enumerate() {
+            self.columns[col].push(code);
+        }
+        self.labels.push(label);
+        self.weights.push(weight);
+        Ok(())
+    }
+
+    /// Cell accessor.
+    pub fn value(&self, row: usize, col: usize) -> u32 {
+        self.columns[col][row]
+    }
+
+    /// Full row of category codes (allocates).
+    pub fn row(&self, row: usize) -> Vec<u32> {
+        self.columns.iter().map(|c| c[row]).collect()
+    }
+
+    /// Writes the row's codes into a caller-provided buffer.
+    pub fn row_into(&self, row: usize, buf: &mut Vec<u32>) {
+        buf.clear();
+        buf.extend(self.columns.iter().map(|c| c[row]));
+    }
+
+    /// A whole column of codes.
+    pub fn column(&self, col: usize) -> &[u32] {
+        &self.columns[col]
+    }
+
+    /// The label of a row.
+    pub fn label(&self, row: usize) -> u8 {
+        self.labels[row]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[u8] {
+        &self.labels
+    }
+
+    /// The weight of a row.
+    pub fn weight(&self, row: usize) -> f64 {
+        self.weights[row]
+    }
+
+    /// All weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Overwrites the weight of a row.
+    pub fn set_weight(&mut self, row: usize, weight: f64) {
+        self.weights[row] = weight;
+    }
+
+    /// Resets every weight to `1.0`.
+    pub fn reset_weights(&mut self) {
+        self.weights.iter_mut().for_each(|w| *w = 1.0);
+    }
+
+    /// Flips the label of a row (used by the data-massaging remedy).
+    pub fn flip_label(&mut self, row: usize) {
+        self.labels[row] ^= 1;
+    }
+
+    /// Whether a row matches a pattern.
+    pub fn matches(&self, pattern: &Pattern, row: usize) -> bool {
+        pattern
+            .terms()
+            .all(|(col, code)| self.columns[col][row] == code)
+    }
+
+    /// Indices of all rows matching a pattern.
+    pub fn indices_matching(&self, pattern: &Pattern) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.matches(pattern, i))
+            .collect()
+    }
+
+    /// `(|r⁺|, |r⁻|)` — positive and negative instance counts within the
+    /// region selected by a pattern (Definition 3).
+    pub fn class_counts(&self, pattern: &Pattern) -> (usize, usize) {
+        let mut pos = 0;
+        let mut neg = 0;
+        for i in 0..self.len() {
+            if self.matches(pattern, i) {
+                if self.labels[i] == 1 {
+                    pos += 1;
+                } else {
+                    neg += 1;
+                }
+            }
+        }
+        (pos, neg)
+    }
+
+    /// Total number of positive instances.
+    pub fn positives(&self) -> usize {
+        self.labels.iter().filter(|&&y| y == 1).count()
+    }
+
+    /// Total number of negative instances.
+    pub fn negatives(&self) -> usize {
+        self.len() - self.positives()
+    }
+
+    /// Fraction of positive instances.
+    pub fn prevalence(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.positives() as f64 / self.len() as f64
+        }
+    }
+
+    /// Copies the given rows (labels and weights included) into a new
+    /// dataset over the same schema.
+    pub fn subset(&self, rows: &[usize]) -> Dataset {
+        let mut out = Dataset::with_capacity(self.schema_arc(), rows.len());
+        for col in 0..self.schema.len() {
+            let src = &self.columns[col];
+            out.columns[col].extend(rows.iter().map(|&r| src[r]));
+        }
+        out.labels.extend(rows.iter().map(|&r| self.labels[r]));
+        out.weights.extend(rows.iter().map(|&r| self.weights[r]));
+        out
+    }
+
+    /// Appends a copy of row `row` from `src` (schemas must match).
+    pub fn append_row_from(&mut self, src: &Dataset, row: usize) {
+        debug_assert_eq!(self.schema.len(), src.schema.len());
+        for col in 0..self.schema.len() {
+            self.columns[col].push(src.columns[col][row]);
+        }
+        self.labels.push(src.labels[row]);
+        self.weights.push(src.weights[row]);
+    }
+
+    /// Duplicates row `row` in place (used by oversampling remedies).
+    pub fn duplicate_row(&mut self, row: usize) {
+        for col in self.columns.iter_mut() {
+            let v = col[row];
+            col.push(v);
+        }
+        let y = self.labels[row];
+        self.labels.push(y);
+        let w = self.weights[row];
+        self.weights.push(w);
+    }
+
+    /// Retains only the rows for which `keep(row)` returns `true`.
+    pub fn retain_rows(&mut self, mut keep: impl FnMut(usize) -> bool) {
+        let mask: Vec<bool> = (0..self.len()).map(&mut keep).collect();
+        for col in self.columns.iter_mut() {
+            let mut i = 0;
+            col.retain(|_| {
+                let k = mask[i];
+                i += 1;
+                k
+            });
+        }
+        let mut i = 0;
+        self.labels.retain(|_| {
+            let k = mask[i];
+            i += 1;
+            k
+        });
+        let mut i = 0;
+        self.weights.retain(|_| {
+            let k = mask[i];
+            i += 1;
+            k
+        });
+    }
+
+    /// Removes the rows at the given indices (need not be sorted).
+    pub fn remove_rows(&mut self, rows: &[usize]) {
+        let mut drop = vec![false; self.len()];
+        for &r in rows {
+            drop[r] = true;
+        }
+        self.retain_rows(|i| !drop[i]);
+    }
+
+    /// Returns a copy of the dataset under a different schema — typically
+    /// one produced by [`Schema::with_protected`] to change which
+    /// attributes are treated as protected. The new schema must have the
+    /// same attributes (names, domains) in the same order.
+    pub fn with_schema(&self, schema: Arc<Schema>) -> Result<Dataset, DatasetError> {
+        if schema.len() != self.schema.len() {
+            return Err(DatasetError::ArityMismatch {
+                expected: self.schema.len(),
+                found: schema.len(),
+            });
+        }
+        for (a, b) in schema.attributes().iter().zip(self.schema.attributes()) {
+            if a.name() != b.name() || a.domain() != b.domain() {
+                return Err(DatasetError::UnknownAttribute(a.name().to_string()));
+            }
+        }
+        Ok(Dataset {
+            schema,
+            columns: self.columns.clone(),
+            labels: self.labels.clone(),
+            weights: self.weights.clone(),
+        })
+    }
+
+    /// Appends all rows of `other` (same schema expected).
+    pub fn extend_from(&mut self, other: &Dataset) {
+        for col in 0..self.schema.len() {
+            self.columns[col].extend_from_slice(&other.columns[col]);
+        }
+        self.labels.extend_from_slice(&other.labels);
+        self.weights.extend_from_slice(&other.weights);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+
+    fn small() -> Dataset {
+        let schema = Schema::new(
+            vec![
+                Attribute::from_strs("a", &["x", "y"]).protected(),
+                Attribute::from_strs("b", &["p", "q", "r"]),
+            ],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        d.push_row(&[0, 0], 1).unwrap();
+        d.push_row(&[0, 1], 0).unwrap();
+        d.push_row(&[1, 2], 1).unwrap();
+        d.push_row(&[1, 0], 0).unwrap();
+        d
+    }
+
+    #[test]
+    fn push_and_access() {
+        let d = small();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.row(2), vec![1, 2]);
+        assert_eq!(d.value(1, 1), 1);
+        assert_eq!(d.label(0), 1);
+        assert_eq!(d.weight(0), 1.0);
+        assert_eq!(d.positives(), 2);
+        assert_eq!(d.negatives(), 2);
+        assert!((d.prevalence() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_row_validates() {
+        let mut d = small();
+        assert!(matches!(
+            d.push_row(&[0], 0),
+            Err(DatasetError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            d.push_row(&[0, 9], 0),
+            Err(DatasetError::UnknownValue { .. })
+        ));
+        assert!(matches!(
+            d.push_row(&[0, 0], 3),
+            Err(DatasetError::InvalidLabel(_))
+        ));
+    }
+
+    #[test]
+    fn pattern_matching_and_counts() {
+        let d = small();
+        let p = Pattern::from_terms([(0usize, 0u32)]);
+        assert_eq!(d.indices_matching(&p), vec![0, 1]);
+        assert_eq!(d.class_counts(&p), (1, 1));
+        assert_eq!(d.class_counts(&Pattern::empty()), (2, 2));
+    }
+
+    #[test]
+    fn subset_preserves_rows() {
+        let d = small();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row(0), vec![1, 2]);
+        assert_eq!(s.row(1), vec![0, 0]);
+        assert_eq!(s.label(0), 1);
+    }
+
+    #[test]
+    fn duplicate_and_remove() {
+        let mut d = small();
+        d.duplicate_row(0);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.row(4), d.row(0));
+        d.remove_rows(&[4, 1]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.row(1), vec![1, 2]);
+    }
+
+    #[test]
+    fn flip_label_and_weights() {
+        let mut d = small();
+        d.flip_label(1);
+        assert_eq!(d.label(1), 1);
+        d.set_weight(1, 2.5);
+        assert_eq!(d.weight(1), 2.5);
+        d.reset_weights();
+        assert_eq!(d.weight(1), 1.0);
+    }
+
+    #[test]
+    fn extend_from_appends() {
+        let mut d = small();
+        let e = small();
+        d.extend_from(&e);
+        assert_eq!(d.len(), 8);
+        assert_eq!(d.row(4), vec![0, 0]);
+    }
+
+    #[test]
+    fn with_schema_swaps_protected_set() {
+        let d = small();
+        let schema2 = d.schema().with_protected(&["b"]).unwrap().into_shared();
+        let d2 = d.with_schema(schema2).unwrap();
+        assert_eq!(d2.schema().protected_indices(), vec![1]);
+        assert_eq!(d2.labels(), d.labels());
+        // mismatched schema is rejected
+        let other = Schema::new(vec![Attribute::from_strs("z", &["1"])], "y").into_shared();
+        assert!(d.with_schema(other).is_err());
+    }
+
+    #[test]
+    fn row_into_reuses_buffer() {
+        let d = small();
+        let mut buf = Vec::new();
+        d.row_into(3, &mut buf);
+        assert_eq!(buf, vec![1, 0]);
+        d.row_into(0, &mut buf);
+        assert_eq!(buf, vec![0, 0]);
+    }
+}

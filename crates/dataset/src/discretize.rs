@@ -1,0 +1,178 @@
+//! Bucketization of continuous values into ordered categorical domains.
+//!
+//! The paper's standard pre-processing "bucketizes continuous values for
+//! protected attributes". Three strategies are provided: equal-width bins,
+//! quantile bins, and explicit cutpoints (e.g. the COMPAS age buckets
+//! `<25 / 25-45 / >45`).
+
+/// Maps a continuous value to a bucket index via sorted cutpoints.
+///
+/// With cutpoints `[c_1, …, c_{k-1}]` a value `v` falls in bucket `i` where
+/// `i` is the number of cutpoints `≤ v`; there are `k` buckets total.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discretizer {
+    cutpoints: Vec<f64>,
+}
+
+impl Discretizer {
+    /// Builds a discretizer from explicit, sorted cutpoints.
+    ///
+    /// Unsorted input is sorted; duplicate cutpoints are merged.
+    pub fn from_cutpoints(mut cutpoints: Vec<f64>) -> Self {
+        cutpoints.sort_by(|a, b| a.partial_cmp(b).expect("NaN cutpoint"));
+        cutpoints.dedup();
+        Discretizer { cutpoints }
+    }
+
+    /// Equal-width bins over `[min, max]` of the data.
+    pub fn equal_width(values: &[f64], bins: usize) -> Self {
+        assert!(bins >= 1, "need at least one bin");
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if !lo.is_finite() || !hi.is_finite() || lo == hi {
+            return Discretizer { cutpoints: vec![] };
+        }
+        let width = (hi - lo) / bins as f64;
+        let cutpoints = (1..bins).map(|i| lo + width * i as f64).collect();
+        Discretizer { cutpoints }
+    }
+
+    /// Quantile bins (approximately equal-population buckets).
+    pub fn quantile(values: &[f64], bins: usize) -> Self {
+        Discretizer::from_cutpoints(quantile_cutpoints(values, bins))
+    }
+
+    /// Number of buckets this discretizer produces.
+    pub fn buckets(&self) -> usize {
+        self.cutpoints.len() + 1
+    }
+
+    /// Bucket index for a value.
+    pub fn bucket(&self, v: f64) -> usize {
+        self.cutpoints.partition_point(|&c| c <= v)
+    }
+
+    /// The sorted cutpoints.
+    pub fn cutpoints(&self) -> &[f64] {
+        &self.cutpoints
+    }
+
+    /// Human-readable bucket labels, e.g. `["<25", "[25,45)", ">=45"]`.
+    pub fn bucket_labels(&self) -> Vec<String> {
+        if self.cutpoints.is_empty() {
+            return vec!["all".to_string()];
+        }
+        let mut labels = Vec::with_capacity(self.buckets());
+        labels.push(format!("<{}", fmt_num(self.cutpoints[0])));
+        for w in self.cutpoints.windows(2) {
+            labels.push(format!("[{},{})", fmt_num(w[0]), fmt_num(w[1])));
+        }
+        labels.push(format!(">={}", fmt_num(*self.cutpoints.last().unwrap())));
+        labels
+    }
+}
+
+fn fmt_num(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Cutpoints at the `i/bins` quantiles of the data, `i = 1..bins`.
+///
+/// Degenerate quantiles (ties) are merged, so fewer than `bins` buckets may
+/// result on heavily tied data.
+pub fn quantile_cutpoints(values: &[f64], bins: usize) -> Vec<f64> {
+    assert!(bins >= 1, "need at least one bin");
+    if values.is_empty() {
+        return vec![];
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN value"));
+    let mut cuts = Vec::new();
+    for i in 1..bins {
+        let q = i as f64 / bins as f64;
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        cuts.push(sorted[idx]);
+    }
+    cuts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    cuts.dedup();
+    // drop cutpoints equal to the minimum: they would create an empty bucket
+    cuts.retain(|&c| c > sorted[0]);
+    cuts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_cutpoints_buckets() {
+        // COMPAS ages: <25, 25-45, >45
+        let d = Discretizer::from_cutpoints(vec![25.0, 46.0]);
+        assert_eq!(d.buckets(), 3);
+        assert_eq!(d.bucket(18.0), 0);
+        assert_eq!(d.bucket(25.0), 1);
+        assert_eq!(d.bucket(45.0), 1);
+        assert_eq!(d.bucket(46.0), 2);
+        assert_eq!(d.bucket(90.0), 2);
+    }
+
+    #[test]
+    fn equal_width_covers_range() {
+        let values = [0.0, 10.0];
+        let d = Discretizer::equal_width(&values, 5);
+        assert_eq!(d.buckets(), 5);
+        assert_eq!(d.bucket(0.0), 0);
+        assert_eq!(d.bucket(9.99), 4);
+        assert_eq!(d.bucket(2.0), 1);
+    }
+
+    #[test]
+    fn equal_width_degenerate_data() {
+        let d = Discretizer::equal_width(&[3.0, 3.0, 3.0], 4);
+        assert_eq!(d.buckets(), 1);
+        assert_eq!(d.bucket(3.0), 0);
+    }
+
+    #[test]
+    fn quantile_bins_balance_population() {
+        let values: Vec<f64> = (0..100).map(f64::from).collect();
+        let d = Discretizer::quantile(&values, 4);
+        assert_eq!(d.buckets(), 4);
+        let counts = values.iter().fold(vec![0usize; 4], |mut acc, &v| {
+            acc[d.bucket(v)] += 1;
+            acc
+        });
+        for &c in &counts {
+            assert!((20..=30).contains(&c), "unbalanced bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn quantile_merges_ties() {
+        let values = vec![1.0; 50];
+        let d = Discretizer::quantile(&values, 4);
+        assert_eq!(d.buckets(), 1);
+    }
+
+    #[test]
+    fn labels_are_ordered_and_match_bucket_count() {
+        let d = Discretizer::from_cutpoints(vec![25.0, 46.0]);
+        let labels = d.bucket_labels();
+        assert_eq!(labels, vec!["<25", "[25,46)", ">=46"]);
+        let d = Discretizer::from_cutpoints(vec![]);
+        assert_eq!(d.bucket_labels(), vec!["all"]);
+    }
+
+    #[test]
+    fn unsorted_cutpoints_are_normalized() {
+        let d = Discretizer::from_cutpoints(vec![10.0, 5.0, 10.0]);
+        assert_eq!(d.cutpoints(), &[5.0, 10.0]);
+    }
+}

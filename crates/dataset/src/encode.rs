@@ -1,0 +1,199 @@
+//! Feature encodings bridging categorical datasets and numeric classifiers.
+//!
+//! Tree/Bayes models consume category codes directly; linear models and
+//! neural networks need numeric features. [`OneHotEncoder`] expands every
+//! attribute into indicator columns; [`ordinal_matrix`] exposes raw codes as
+//! floats (useful for distance computations such as Fair-SMOTE's kNN).
+
+use crate::dataset::Dataset;
+use crate::schema::Schema;
+
+/// A dense row-major feature matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMatrix {
+    data: Vec<f64>,
+    n_rows: usize,
+    n_cols: usize,
+}
+
+impl FeatureMatrix {
+    /// Builds a matrix from flat row-major data.
+    pub fn new(data: Vec<f64>, n_rows: usize, n_cols: usize) -> Self {
+        assert_eq!(data.len(), n_rows * n_cols, "shape mismatch");
+        FeatureMatrix {
+            data,
+            n_rows,
+            n_cols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of feature columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// A row as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Iterator over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.n_cols)
+    }
+}
+
+/// One-hot (indicator) encoding of categorical attributes.
+///
+/// The layout is fixed by the schema — attribute `a` with cardinality `c_a`
+/// occupies `c_a` consecutive columns — so train and test sets encode
+/// consistently.
+#[derive(Debug, Clone)]
+pub struct OneHotEncoder {
+    offsets: Vec<usize>,
+    n_features: usize,
+}
+
+impl OneHotEncoder {
+    /// Builds the encoder for a schema.
+    pub fn new(schema: &Schema) -> Self {
+        let mut offsets = Vec::with_capacity(schema.len());
+        let mut n = 0usize;
+        for attr in schema.attributes() {
+            offsets.push(n);
+            n += attr.cardinality();
+        }
+        OneHotEncoder {
+            offsets,
+            n_features: n,
+        }
+    }
+
+    /// Total number of indicator features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Encodes a single row of category codes into `out` (resized/zeroed).
+    pub fn encode_row(&self, codes: &[u32], out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.n_features, 0.0);
+        for (col, &code) in codes.iter().enumerate() {
+            out[self.offsets[col] + code as usize] = 1.0;
+        }
+    }
+
+    /// Encodes a whole dataset into a feature matrix.
+    pub fn encode(&self, data: &Dataset) -> FeatureMatrix {
+        let n_rows = data.len();
+        let mut flat = vec![0.0; n_rows * self.n_features];
+        for col in 0..data.schema().len() {
+            let offset = self.offsets[col];
+            let codes = data.column(col);
+            for (row, &code) in codes.iter().enumerate() {
+                flat[row * self.n_features + offset + code as usize] = 1.0;
+            }
+        }
+        FeatureMatrix::new(flat, n_rows, self.n_features)
+    }
+
+    /// Human-readable feature names (`attr=value`).
+    pub fn feature_names(&self, schema: &Schema) -> Vec<String> {
+        let mut names = Vec::with_capacity(self.n_features);
+        for attr in schema.attributes() {
+            for value in attr.domain() {
+                names.push(format!("{}={}", attr.name(), value));
+            }
+        }
+        names
+    }
+}
+
+/// Encodes category codes directly as floats (one column per attribute).
+pub fn ordinal_matrix(data: &Dataset) -> FeatureMatrix {
+    let n_rows = data.len();
+    let n_cols = data.schema().len();
+    let mut flat = vec![0.0; n_rows * n_cols];
+    for col in 0..n_cols {
+        for (row, &code) in data.column(col).iter().enumerate() {
+            flat[row * n_cols + col] = f64::from(code);
+        }
+    }
+    FeatureMatrix::new(flat, n_rows, n_cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+
+    fn data() -> Dataset {
+        let schema = Schema::new(
+            vec![
+                Attribute::from_strs("a", &["x", "y"]),
+                Attribute::from_strs("b", &["p", "q", "r"]),
+            ],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        d.push_row(&[0, 2], 1).unwrap();
+        d.push_row(&[1, 0], 0).unwrap();
+        d
+    }
+
+    #[test]
+    fn one_hot_layout() {
+        let d = data();
+        let enc = OneHotEncoder::new(d.schema());
+        assert_eq!(enc.n_features(), 5);
+        let m = enc.encode(&d);
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.row(0), &[1.0, 0.0, 0.0, 0.0, 1.0]);
+        assert_eq!(m.row(1), &[0.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn encode_row_matches_matrix() {
+        let d = data();
+        let enc = OneHotEncoder::new(d.schema());
+        let m = enc.encode(&d);
+        let mut buf = Vec::new();
+        enc.encode_row(&d.row(0), &mut buf);
+        assert_eq!(buf.as_slice(), m.row(0));
+    }
+
+    #[test]
+    fn feature_names_follow_layout() {
+        let d = data();
+        let enc = OneHotEncoder::new(d.schema());
+        let names = enc.feature_names(d.schema());
+        assert_eq!(names, vec!["a=x", "a=y", "b=p", "b=q", "b=r"]);
+    }
+
+    #[test]
+    fn ordinal_matrix_exposes_codes() {
+        let d = data();
+        let m = ordinal_matrix(&d);
+        assert_eq!(m.row(0), &[0.0, 2.0]);
+        assert_eq!(m.row(1), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn rows_iterator_covers_all() {
+        let d = data();
+        let m = ordinal_matrix(&d);
+        assert_eq!(m.rows().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn bad_shape_panics() {
+        let _ = FeatureMatrix::new(vec![0.0; 5], 2, 3);
+    }
+}

@@ -1,0 +1,43 @@
+//! # remedy-dataset
+//!
+//! Tabular-data substrate for the `remedy` subgroup-fairness toolkit.
+//!
+//! The paper ("Mitigating Subgroup Unfairness in Machine Learning
+//! Classifiers", ICDE 2024) operates on datasets whose attributes are
+//! categorical or discretized, with a binary class label. This crate provides
+//! everything needed to host such data:
+//!
+//! * [`Schema`] / [`Attribute`] — named categorical attributes with finite
+//!   domains, a subset of which are marked *protected*.
+//! * [`Dataset`] — a columnar store of category codes plus binary labels and
+//!   optional per-instance weights.
+//! * [`Pattern`] — a conjunction of `attribute = value` assignments (the
+//!   paper's region/subgroup patterns), with dominance and distance helpers.
+//! * [`csv`] — a dependency-free CSV reader/writer with schema inference.
+//! * [`discretize`] — equal-width / quantile / explicit-cutpoint binning for
+//!   continuous source columns.
+//! * [`split`] — seeded (optionally stratified) train/test splitting.
+//! * [`encode`] — one-hot and ordinal feature encodings for downstream
+//!   classifiers.
+//! * [`synth`] — seeded synthetic generators mirroring the three evaluation
+//!   datasets (Adult, ProPublica/COMPAS, Law School) with planted
+//!   representation bias, used when the real CSVs are unavailable.
+
+pub mod collapse;
+pub mod csv;
+pub mod dataset;
+pub mod discretize;
+pub mod encode;
+pub mod error;
+pub mod pattern;
+pub mod profile;
+pub mod schema;
+pub mod split;
+pub mod synth;
+
+pub use collapse::collapse_rare;
+pub use dataset::Dataset;
+pub use error::DatasetError;
+pub use pattern::Pattern;
+pub use profile::{profile, DatasetProfile};
+pub use schema::{Attribute, Schema};

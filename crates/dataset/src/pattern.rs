@@ -1,0 +1,321 @@
+//! Conjunctive patterns over categorical attributes.
+//!
+//! A [`Pattern`] is the paper's `p = (a_i1 = x_i1 ∧ … ∧ a_ij = x_ij)`:
+//! a conjunction of deterministic `attribute = value` assignments. Attributes
+//! not mentioned are non-deterministic (`a = X`, "don't care"). Patterns
+//! identify both *regions* and *subgroups*; the dominance relationship and
+//! the inter-region distance of Definitions 2 and 4 are implemented here.
+
+use crate::schema::Schema;
+use std::fmt;
+
+/// A canonical (attribute-sorted) conjunction of `attribute = value` terms.
+///
+/// Internally a sorted sparse list of `(column index, category code)` pairs,
+/// which makes patterns cheap to hash, compare, and use as map keys.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Pattern {
+    terms: Vec<(u16, u32)>,
+}
+
+impl Pattern {
+    /// The empty pattern (level 0: the entire dataset).
+    pub fn empty() -> Self {
+        Pattern::default()
+    }
+
+    /// Builds a pattern from `(column, code)` terms (any order; deduplicated
+    /// by column with the last assignment winning).
+    pub fn from_terms(terms: impl IntoIterator<Item = (usize, u32)>) -> Self {
+        let mut p = Pattern::empty();
+        for (a, v) in terms {
+            p.set(a, v);
+        }
+        p
+    }
+
+    /// Builds a pattern by attribute names, e.g. `[("race", "afr-am")]`.
+    pub fn from_names(
+        schema: &Schema,
+        terms: &[(&str, &str)],
+    ) -> Result<Self, crate::error::DatasetError> {
+        let mut p = Pattern::empty();
+        for (name, value) in terms {
+            let idx = schema.require(name)?;
+            let code = schema.attribute(idx).code_of(value).ok_or_else(|| {
+                crate::error::DatasetError::UnknownValue {
+                    attribute: (*name).to_string(),
+                    value: (*value).to_string(),
+                }
+            })?;
+            p.set(idx, code);
+        }
+        Ok(p)
+    }
+
+    /// Adds or replaces the assignment for a column.
+    pub fn set(&mut self, column: usize, code: u32) {
+        let col = column as u16;
+        match self.terms.binary_search_by_key(&col, |t| t.0) {
+            Ok(i) => self.terms[i].1 = code,
+            Err(i) => self.terms.insert(i, (col, code)),
+        }
+    }
+
+    /// Returns a copy with one extra (or replaced) term.
+    #[must_use]
+    pub fn with(&self, column: usize, code: u32) -> Self {
+        let mut p = self.clone();
+        p.set(column, code);
+        p
+    }
+
+    /// Returns a copy with the given column made non-deterministic.
+    #[must_use]
+    pub fn without(&self, column: usize) -> Self {
+        let mut p = self.clone();
+        p.terms.retain(|t| t.0 as usize != column);
+        p
+    }
+
+    /// The assignment for a column, if deterministic.
+    pub fn get(&self, column: usize) -> Option<u32> {
+        let col = column as u16;
+        self.terms
+            .binary_search_by_key(&col, |t| t.0)
+            .ok()
+            .map(|i| self.terms[i].1)
+    }
+
+    /// Iterator over `(column, code)` terms in column order.
+    pub fn terms(&self) -> impl Iterator<Item = (usize, u32)> + '_ {
+        self.terms.iter().map(|&(a, v)| (a as usize, v))
+    }
+
+    /// Column indices with deterministic assignments.
+    pub fn columns(&self) -> impl Iterator<Item = usize> + '_ {
+        self.terms.iter().map(|&(a, _)| a as usize)
+    }
+
+    /// Number of deterministic elements (`d` in the paper; the hierarchy
+    /// level of the region this pattern denotes).
+    pub fn level(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether this is the empty (level-0) pattern.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Whether a row (full tuple of category codes) matches the pattern.
+    pub fn matches_row(&self, row: &[u32]) -> bool {
+        self.terms
+            .iter()
+            .all(|&(a, v)| row.get(a as usize) == Some(&v))
+    }
+
+    /// Dominance (Definition 2): `self ⪯ other` — `other` dominates `self` —
+    /// when `other`'s pattern can be obtained from `self`'s by replacing some
+    /// deterministic elements with non-deterministic ones. Equivalently:
+    /// `other`'s terms are a subset of `self`'s.
+    pub fn is_dominated_by(&self, other: &Pattern) -> bool {
+        other
+            .terms
+            .iter()
+            .all(|&(a, v)| self.get(a as usize) == Some(v))
+    }
+
+    /// Whether `self` dominates `other` (`other ⪯ self`).
+    pub fn dominates(&self, other: &Pattern) -> bool {
+        other.is_dominated_by(self)
+    }
+
+    /// All patterns obtained by removing exactly one deterministic element —
+    /// the set `R_d` of direct dominating regions used by the optimized
+    /// identification algorithm (one hierarchy level up).
+    pub fn direct_generalizations(&self) -> Vec<Pattern> {
+        self.columns().map(|c| self.without(c)).collect()
+    }
+
+    /// Euclidean distance of Definition 4 between two regions with identical
+    /// deterministic attribute sets. Returns `None` when the deterministic
+    /// attribute sets differ (such regions are never neighbors).
+    ///
+    /// In the basic setting every pair of distinct values is one unit apart;
+    /// attributes marked [`ordered`](crate::schema::Attribute::is_ordered)
+    /// contribute `|code_a − code_b|` instead, refining the metric for
+    /// naturally ordered domains (age buckets, income brackets, …).
+    pub fn distance(&self, other: &Pattern, schema: &Schema) -> Option<f64> {
+        if self.terms.len() != other.terms.len() {
+            return None;
+        }
+        let mut sum = 0.0_f64;
+        for (&(a1, v1), &(a2, v2)) in self.terms.iter().zip(other.terms.iter()) {
+            if a1 != a2 {
+                return None;
+            }
+            let d = if schema.attribute(a1 as usize).is_ordered() {
+                (f64::from(v1) - f64::from(v2)).abs()
+            } else if v1 == v2 {
+                0.0
+            } else {
+                1.0
+            };
+            sum += d * d;
+        }
+        Some(sum.sqrt())
+    }
+
+    /// Renders the pattern with attribute and value names, e.g.
+    /// `(age = 25-45 ∧ priors = >3)`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> PatternDisplay<'a> {
+        PatternDisplay {
+            pattern: self,
+            schema,
+        }
+    }
+}
+
+/// Helper returned by [`Pattern::display`].
+pub struct PatternDisplay<'a> {
+    pattern: &'a Pattern,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for PatternDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pattern.is_empty() {
+            return write!(f, "(⊤)");
+        }
+        write!(f, "(")?;
+        for (i, (a, v)) in self.pattern.terms().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            let attr = self.schema.attribute(a);
+            let value = attr.value_of(v).unwrap_or("?");
+            write!(f, "{} = {}", attr.name(), value)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                Attribute::from_strs("age", &["<25", "25-45", ">45"])
+                    .protected()
+                    .ordered(),
+                Attribute::from_strs("priors", &["0", "1-3", ">3"]).protected(),
+                Attribute::from_strs("race", &["white", "afr-am", "hispanic"]).protected(),
+            ],
+            "y",
+        )
+    }
+
+    #[test]
+    fn set_get_without() {
+        let mut p = Pattern::empty();
+        p.set(2, 1);
+        p.set(0, 1);
+        assert_eq!(p.get(0), Some(1));
+        assert_eq!(p.get(1), None);
+        assert_eq!(p.level(), 2);
+        let q = p.without(0);
+        assert_eq!(q.level(), 1);
+        assert_eq!(q.get(2), Some(1));
+        // canonical ordering makes equal patterns equal regardless of
+        // insertion order
+        let r = Pattern::from_terms([(0, 1), (2, 1)]);
+        assert_eq!(p, r);
+    }
+
+    #[test]
+    fn from_names_resolves_codes() {
+        let s = schema();
+        let p = Pattern::from_names(&s, &[("race", "afr-am"), ("age", "25-45")]).unwrap();
+        assert_eq!(p.get(0), Some(1));
+        assert_eq!(p.get(2), Some(1));
+        assert!(Pattern::from_names(&s, &[("race", "martian")]).is_err());
+        assert!(Pattern::from_names(&s, &[("ghost", "x")]).is_err());
+    }
+
+    #[test]
+    fn matches_row_checks_all_terms() {
+        let p = Pattern::from_terms([(0, 1), (2, 1)]);
+        assert!(p.matches_row(&[1, 0, 1]));
+        assert!(!p.matches_row(&[1, 0, 2]));
+        assert!(Pattern::empty().matches_row(&[9, 9, 9]));
+    }
+
+    #[test]
+    fn dominance_example_3() {
+        // (age=25-45, priors=>3, race=afr-am) ⪯ (age=25-45, priors=>3)
+        let region = Pattern::from_terms([(0, 1), (1, 2), (2, 1)]);
+        let subgroup = Pattern::from_terms([(0, 1), (1, 2)]);
+        assert!(region.is_dominated_by(&subgroup));
+        assert!(subgroup.dominates(&region));
+        assert!(!subgroup.is_dominated_by(&region));
+        // everything is dominated by the empty pattern
+        assert!(region.is_dominated_by(&Pattern::empty()));
+        // a pattern dominates itself
+        assert!(region.is_dominated_by(&region));
+        // a sibling with a different value does not dominate
+        let other = Pattern::from_terms([(0, 2), (1, 2)]);
+        assert!(!region.is_dominated_by(&other));
+    }
+
+    #[test]
+    fn direct_generalizations_drop_one_term() {
+        let region = Pattern::from_terms([(0, 1), (1, 2), (2, 1)]);
+        let gens = region.direct_generalizations();
+        assert_eq!(gens.len(), 3);
+        for g in &gens {
+            assert_eq!(g.level(), 2);
+            assert!(region.is_dominated_by(g));
+        }
+    }
+
+    #[test]
+    fn distance_requires_same_attributes() {
+        let s = schema();
+        // (age=25-45) and (priors=>3) live in different dimensions
+        let a = Pattern::from_terms([(0, 1)]);
+        let b = Pattern::from_terms([(1, 2)]);
+        assert_eq!(a.distance(&b, &s), None);
+    }
+
+    #[test]
+    fn distance_unordered_is_unit() {
+        let s = schema();
+        let a = Pattern::from_terms([(1, 0), (2, 0)]);
+        let b = Pattern::from_terms([(1, 2), (2, 1)]);
+        // priors unordered here? priors not ordered in this schema; race
+        // unordered: both coordinates differ → sqrt(1 + 1)
+        assert!((a.distance(&b, &s).unwrap() - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(a.distance(&a, &s), Some(0.0));
+    }
+
+    #[test]
+    fn distance_ordered_uses_code_gap() {
+        let s = schema();
+        let a = Pattern::from_terms([(0, 0)]);
+        let b = Pattern::from_terms([(0, 2)]);
+        assert_eq!(a.distance(&b, &s), Some(2.0));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = schema();
+        let p = Pattern::from_names(&s, &[("age", "25-45"), ("priors", ">3")]).unwrap();
+        let text = p.display(&s).to_string();
+        assert_eq!(text, "(age = 25-45 ∧ priors = >3)");
+        assert_eq!(Pattern::empty().display(&s).to_string(), "(⊤)");
+    }
+}

@@ -1,0 +1,221 @@
+//! Dataset profiling: per-attribute and per-subgroup summary statistics.
+//!
+//! `remedy`'s pre-processing decisions hinge on class distributions inside
+//! intersectional cells; this module surfaces those distributions for
+//! humans — value frequencies, label associations (Cramér's V), and
+//! per-protected-group prevalence — the "look at your data first" step the
+//! paper's §I motivates.
+
+use crate::dataset::Dataset;
+use std::fmt;
+
+/// Summary of one attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeProfile {
+    /// Attribute name.
+    pub name: String,
+    /// Whether the attribute is protected.
+    pub protected: bool,
+    /// `(value name, count, positive rate)` per domain value.
+    pub values: Vec<(String, usize, f64)>,
+    /// Shannon entropy of the value distribution (bits).
+    pub entropy: f64,
+    /// Cramér's V association between the attribute and the label.
+    pub cramers_v: f64,
+}
+
+/// Whole-dataset profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetProfile {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of positive labels.
+    pub positives: usize,
+    /// Per-attribute summaries, in schema order.
+    pub attributes: Vec<AttributeProfile>,
+}
+
+/// Profiles every attribute of a dataset.
+pub fn profile(data: &Dataset) -> DatasetProfile {
+    let schema = data.schema();
+    let n = data.len();
+    let attributes = (0..schema.len())
+        .map(|col| {
+            let attr = schema.attribute(col);
+            let card = attr.cardinality();
+            let mut count = vec![0usize; card];
+            let mut pos = vec![0usize; card];
+            for (row, &code) in data.column(col).iter().enumerate() {
+                count[code as usize] += 1;
+                pos[code as usize] += usize::from(data.label(row) == 1);
+            }
+            let values: Vec<(String, usize, f64)> = (0..card)
+                .map(|v| {
+                    let rate = if count[v] > 0 {
+                        pos[v] as f64 / count[v] as f64
+                    } else {
+                        0.0
+                    };
+                    (attr.domain()[v].clone(), count[v], rate)
+                })
+                .collect();
+            AttributeProfile {
+                name: attr.name().to_string(),
+                protected: attr.is_protected(),
+                entropy: entropy(&count, n),
+                cramers_v: cramers_v(&count, &pos, data.positives(), n),
+                values,
+            }
+        })
+        .collect();
+    DatasetProfile {
+        rows: n,
+        positives: data.positives(),
+        attributes,
+    }
+}
+
+/// Shannon entropy (bits) of a count vector.
+fn entropy(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total as f64;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Cramér's V between a categorical attribute and the binary label,
+/// computed from the χ² statistic of the value × label contingency table.
+fn cramers_v(count: &[usize], pos: &[usize], total_pos: usize, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let total_neg = n - total_pos;
+    if total_pos == 0 || total_neg == 0 {
+        return 0.0;
+    }
+    let mut chi2 = 0.0;
+    for (&c, &p) in count.iter().zip(pos) {
+        if c == 0 {
+            continue;
+        }
+        let observed = [p as f64, (c - p) as f64];
+        let expected = [
+            c as f64 * total_pos as f64 / n as f64,
+            c as f64 * total_neg as f64 / n as f64,
+        ];
+        for (o, e) in observed.iter().zip(expected.iter()) {
+            if *e > 0.0 {
+                chi2 += (o - e) * (o - e) / e;
+            }
+        }
+    }
+    // binary label → min(r-1, c-1) = 1
+    (chi2 / n as f64).sqrt().min(1.0)
+}
+
+impl fmt::Display for DatasetProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} rows, {} positive ({:.1}%)",
+            self.rows,
+            self.positives,
+            100.0 * self.positives as f64 / self.rows.max(1) as f64
+        )?;
+        for attr in &self.attributes {
+            writeln!(
+                f,
+                "\n{}{}  (entropy {:.2} bits, label association V = {:.3})",
+                attr.name,
+                if attr.protected { " [protected]" } else { "" },
+                attr.entropy,
+                attr.cramers_v
+            )?;
+            for (value, count, rate) in &attr.values {
+                writeln!(
+                    f,
+                    "  {value:<18} {count:>8}  positive rate {:.3}",
+                    rate
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+
+    fn data() -> Dataset {
+        let schema = Schema::new(
+            vec![
+                Attribute::from_strs("g", &["a", "b"]).protected(),
+                Attribute::from_strs("f", &["x", "y"]),
+            ],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        // g=a: 30 pos / 10 neg; g=b: 10 pos / 30 neg (strong association)
+        // f is uniform and independent of the label
+        for i in 0..40 {
+            d.push_row(&[0, (i % 2) as u32], u8::from(i < 30)).unwrap();
+            d.push_row(&[1, (i % 2) as u32], u8::from(i < 10)).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn counts_and_rates() {
+        let p = profile(&data());
+        assert_eq!(p.rows, 80);
+        assert_eq!(p.positives, 40);
+        let g = &p.attributes[0];
+        assert!(g.protected);
+        assert_eq!(g.values[0], ("a".to_string(), 40, 0.75));
+        assert_eq!(g.values[1], ("b".to_string(), 40, 0.25));
+    }
+
+    #[test]
+    fn entropy_of_uniform_binary_is_one_bit() {
+        let p = profile(&data());
+        assert!((p.attributes[0].entropy - 1.0).abs() < 1e-9);
+        assert!((p.attributes[1].entropy - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn association_ranks_informative_attribute_higher() {
+        let p = profile(&data());
+        let v_g = p.attributes[0].cramers_v;
+        let v_f = p.attributes[1].cramers_v;
+        assert!(v_g > 0.4, "g is strongly associated: {v_g}");
+        assert!(v_f < 0.05, "f is independent: {v_f}");
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let text = profile(&data()).to_string();
+        assert!(text.contains("80 rows"));
+        assert!(text.contains("[protected]"));
+        assert!(text.contains("positive rate"));
+    }
+
+    #[test]
+    fn empty_dataset_is_safe() {
+        let schema = Schema::new(vec![Attribute::from_strs("a", &["0"])], "y").into_shared();
+        let d = Dataset::new(schema);
+        let p = profile(&d);
+        assert_eq!(p.rows, 0);
+        assert_eq!(p.attributes[0].entropy, 0.0);
+        assert_eq!(p.attributes[0].cramers_v, 0.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Schema: named categorical attributes with finite domains.
+//!
+//! Every attribute in a `remedy` dataset is categorical (continuous source
+//! columns are bucketized first, as the paper prescribes). Each attribute
+//! carries its domain — the ordered list of category names — and a flag
+//! marking it as *protected*. Protected attributes span the intersectional
+//! space in which regions, neighboring regions, and the IBS are defined.
+
+use crate::error::DatasetError;
+use std::sync::Arc;
+
+/// A single categorical attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    name: String,
+    /// Ordered category names; a cell stores an index into this list.
+    domain: Vec<String>,
+    protected: bool,
+    /// Whether the domain carries a meaningful order (e.g. age buckets).
+    /// Ordered attributes may use |code difference| as their unit distance in
+    /// neighboring-region computations; unordered ones use 0/1 distance.
+    ordered: bool,
+}
+
+impl Attribute {
+    /// Creates an unprotected, unordered categorical attribute.
+    pub fn new(name: impl Into<String>, domain: Vec<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            domain,
+            protected: false,
+            ordered: false,
+        }
+    }
+
+    /// Convenience constructor from `&str` domain values.
+    pub fn from_strs(name: &str, domain: &[&str]) -> Self {
+        Attribute::new(name, domain.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Marks this attribute as protected.
+    #[must_use]
+    pub fn protected(mut self) -> Self {
+        self.protected = true;
+        self
+    }
+
+    /// Marks this attribute's domain as carrying a natural order.
+    #[must_use]
+    pub fn ordered(mut self) -> Self {
+        self.ordered = true;
+        self
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ordered list of category names.
+    pub fn domain(&self) -> &[String] {
+        &self.domain
+    }
+
+    /// Number of categories (the attribute's cardinality).
+    pub fn cardinality(&self) -> usize {
+        self.domain.len()
+    }
+
+    /// Whether this attribute is protected.
+    pub fn is_protected(&self) -> bool {
+        self.protected
+    }
+
+    /// Whether the domain carries a natural order.
+    pub fn is_ordered(&self) -> bool {
+        self.ordered
+    }
+
+    /// Resolves a category name to its code.
+    pub fn code_of(&self, value: &str) -> Option<u32> {
+        self.domain.iter().position(|v| v == value).map(|i| i as u32)
+    }
+
+    /// Resolves a code back to its category name.
+    pub fn value_of(&self, code: u32) -> Option<&str> {
+        self.domain.get(code as usize).map(String::as_str)
+    }
+}
+
+/// An ordered collection of attributes plus the label name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+    label_name: String,
+}
+
+impl Schema {
+    /// Builds a schema from attributes and a label column name.
+    pub fn new(attributes: Vec<Attribute>, label_name: impl Into<String>) -> Self {
+        Schema {
+            attributes,
+            label_name: label_name.into(),
+        }
+    }
+
+    /// All attributes, in column order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Number of attributes (`|A|` in the paper).
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Whether the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// Attribute at a column index.
+    pub fn attribute(&self, idx: usize) -> &Attribute {
+        &self.attributes[idx]
+    }
+
+    /// Name of the binary label column.
+    pub fn label_name(&self) -> &str {
+        &self.label_name
+    }
+
+    /// Finds a column index by attribute name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name() == name)
+    }
+
+    /// Like [`Schema::index_of`] but returns a typed error.
+    pub fn require(&self, name: &str) -> Result<usize, DatasetError> {
+        self.index_of(name)
+            .ok_or_else(|| DatasetError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Column indices of all protected attributes (`X` in the paper).
+    pub fn protected_indices(&self) -> Vec<usize> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_protected())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of protected attributes (`|X|`).
+    pub fn protected_len(&self) -> usize {
+        self.attributes.iter().filter(|a| a.is_protected()).count()
+    }
+
+    /// Returns a copy of the schema with exactly the named attributes marked
+    /// protected (all others unprotected).
+    pub fn with_protected(&self, names: &[&str]) -> Result<Schema, DatasetError> {
+        let mut attrs = self.attributes.clone();
+        for a in &mut attrs {
+            a.protected = false;
+        }
+        for name in names {
+            let idx = self.require(name)?;
+            attrs[idx].protected = true;
+        }
+        Ok(Schema::new(attrs, self.label_name.clone()))
+    }
+
+    /// Wraps the schema in an [`Arc`] for cheap sharing across datasets.
+    pub fn into_shared(self) -> Arc<Schema> {
+        Arc::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                Attribute::from_strs("age", &["<25", "25-45", ">45"])
+                    .protected()
+                    .ordered(),
+                Attribute::from_strs("race", &["white", "afr-am", "hispanic"]).protected(),
+                Attribute::from_strs("priors", &["0", "1-3", ">3"]).ordered(),
+            ],
+            "recid",
+        )
+    }
+
+    #[test]
+    fn code_roundtrip() {
+        let s = schema();
+        let age = s.attribute(0);
+        assert_eq!(age.code_of("25-45"), Some(1));
+        assert_eq!(age.value_of(1), Some("25-45"));
+        assert_eq!(age.code_of("nope"), None);
+        assert_eq!(age.value_of(9), None);
+    }
+
+    #[test]
+    fn protected_indices_reflect_flags() {
+        let s = schema();
+        assert_eq!(s.protected_indices(), vec![0, 1]);
+        assert_eq!(s.protected_len(), 2);
+    }
+
+    #[test]
+    fn with_protected_replaces_set() {
+        let s = schema().with_protected(&["priors"]).unwrap();
+        assert_eq!(s.protected_indices(), vec![2]);
+        assert!(s.with_protected(&["ghost"]).is_err());
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = schema();
+        assert_eq!(s.index_of("race"), Some(1));
+        assert!(s.require("race").is_ok());
+        assert!(matches!(
+            s.require("ghost"),
+            Err(DatasetError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn cardinality_and_order_flags() {
+        let s = schema();
+        assert_eq!(s.attribute(0).cardinality(), 3);
+        assert!(s.attribute(0).is_ordered());
+        assert!(!s.attribute(1).is_ordered());
+        assert_eq!(s.label_name(), "recid");
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+}

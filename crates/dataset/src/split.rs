@@ -1,0 +1,210 @@
+//! Seeded train/test splitting and sampling utilities.
+
+use crate::dataset::Dataset;
+use crate::error::DatasetError;
+
+/// A deterministic xorshift-based RNG used for splits so the crate's data
+/// plumbing has no external dependencies. (Statistical quality is more than
+/// sufficient for shuffling.)
+#[derive(Debug, Clone)]
+pub struct SplitRng {
+    state: u64,
+}
+
+impl SplitRng {
+    /// Creates an RNG from a seed (0 is remapped to a fixed constant).
+    pub fn new(seed: u64) -> Self {
+        SplitRng {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value (xorshift64*).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+/// Splits a dataset into `(train, test)` with `train_fraction` of the rows
+/// in the training set (the paper uses 70/30).
+pub fn train_test_split(
+    data: &Dataset,
+    train_fraction: f64,
+    seed: u64,
+) -> Result<(Dataset, Dataset), DatasetError> {
+    if !(0.0..=1.0).contains(&train_fraction) {
+        return Err(DatasetError::Invalid(format!(
+            "train_fraction {train_fraction} outside [0, 1]"
+        )));
+    }
+    if data.is_empty() {
+        return Err(DatasetError::Invalid("cannot split an empty dataset".into()));
+    }
+    let mut indices: Vec<usize> = (0..data.len()).collect();
+    let mut rng = SplitRng::new(seed);
+    rng.shuffle(&mut indices);
+    let n_train = ((data.len() as f64) * train_fraction).round() as usize;
+    let n_train = n_train.min(data.len());
+    let train = data.subset(&indices[..n_train]);
+    let test = data.subset(&indices[n_train..]);
+    Ok((train, test))
+}
+
+/// Stratified split: preserves the positive/negative ratio in both parts.
+pub fn stratified_split(
+    data: &Dataset,
+    train_fraction: f64,
+    seed: u64,
+) -> Result<(Dataset, Dataset), DatasetError> {
+    if !(0.0..=1.0).contains(&train_fraction) {
+        return Err(DatasetError::Invalid(format!(
+            "train_fraction {train_fraction} outside [0, 1]"
+        )));
+    }
+    if data.is_empty() {
+        return Err(DatasetError::Invalid("cannot split an empty dataset".into()));
+    }
+    let mut rng = SplitRng::new(seed);
+    let mut train_idx = Vec::new();
+    let mut test_idx = Vec::new();
+    for class in [0u8, 1u8] {
+        let mut idx: Vec<usize> = (0..data.len()).filter(|&i| data.label(i) == class).collect();
+        rng.shuffle(&mut idx);
+        let n_train = ((idx.len() as f64) * train_fraction).round() as usize;
+        let n_train = n_train.min(idx.len());
+        train_idx.extend_from_slice(&idx[..n_train]);
+        test_idx.extend_from_slice(&idx[n_train..]);
+    }
+    train_idx.sort_unstable();
+    test_idx.sort_unstable();
+    Ok((data.subset(&train_idx), data.subset(&test_idx)))
+}
+
+/// Downsamples the majority class so positives and negatives are equal in
+/// number (the paper applies this to the Law School dataset).
+pub fn balance_labels(data: &Dataset, seed: u64) -> Dataset {
+    let mut pos: Vec<usize> = (0..data.len()).filter(|&i| data.label(i) == 1).collect();
+    let mut neg: Vec<usize> = (0..data.len()).filter(|&i| data.label(i) == 0).collect();
+    let mut rng = SplitRng::new(seed);
+    rng.shuffle(&mut pos);
+    rng.shuffle(&mut neg);
+    let n = pos.len().min(neg.len());
+    let mut keep: Vec<usize> = pos[..n].iter().chain(neg[..n].iter()).copied().collect();
+    keep.sort_unstable();
+    data.subset(&keep)
+}
+
+/// Uniformly samples `n` rows (without replacement when `n <= len`).
+pub fn sample_rows(data: &Dataset, n: usize, seed: u64) -> Dataset {
+    let mut rng = SplitRng::new(seed);
+    if n <= data.len() {
+        let mut idx: Vec<usize> = (0..data.len()).collect();
+        rng.shuffle(&mut idx);
+        idx.truncate(n);
+        idx.sort_unstable();
+        data.subset(&idx)
+    } else {
+        // with replacement when upsampling beyond the dataset size
+        let idx: Vec<usize> = (0..n).map(|_| rng.below(data.len())).collect();
+        data.subset(&idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+
+    fn data(n: usize) -> Dataset {
+        let schema = Schema::new(
+            vec![Attribute::from_strs("a", &["x", "y"]).protected()],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        for i in 0..n {
+            d.push_row(&[(i % 2) as u32], (i % 3 == 0) as u8).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn split_is_exhaustive_and_deterministic() {
+        let d = data(100);
+        let (tr1, te1) = train_test_split(&d, 0.7, 42).unwrap();
+        let (tr2, te2) = train_test_split(&d, 0.7, 42).unwrap();
+        assert_eq!(tr1.len(), 70);
+        assert_eq!(te1.len(), 30);
+        assert_eq!(tr1, tr2);
+        assert_eq!(te1, te2);
+        let (tr3, _) = train_test_split(&d, 0.7, 43).unwrap();
+        assert_ne!(tr1, tr3, "different seed should shuffle differently");
+    }
+
+    #[test]
+    fn split_validates_inputs() {
+        let d = data(10);
+        assert!(train_test_split(&d, 1.5, 1).is_err());
+        let empty = Dataset::new(d.schema_arc());
+        assert!(train_test_split(&empty, 0.5, 1).is_err());
+        assert!(stratified_split(&empty, 0.5, 1).is_err());
+        assert!(stratified_split(&d, -0.1, 1).is_err());
+    }
+
+    #[test]
+    fn stratified_preserves_ratio() {
+        let d = data(300); // 100 positives, 200 negatives
+        let (tr, te) = stratified_split(&d, 0.7, 7).unwrap();
+        assert_eq!(tr.len() + te.len(), 300);
+        assert_eq!(tr.positives(), 70);
+        assert_eq!(te.positives(), 30);
+    }
+
+    #[test]
+    fn balance_equalizes_classes() {
+        let d = data(300);
+        let b = balance_labels(&d, 5);
+        assert_eq!(b.positives(), b.negatives());
+        assert_eq!(b.positives(), 100);
+    }
+
+    #[test]
+    fn sample_rows_sizes() {
+        let d = data(50);
+        assert_eq!(sample_rows(&d, 20, 1).len(), 20);
+        assert_eq!(sample_rows(&d, 80, 1).len(), 80);
+    }
+
+    #[test]
+    fn rng_unit_in_range() {
+        let mut rng = SplitRng::new(0);
+        for _ in 0..1000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Synthetic stand-in for the ProPublica *COMPAS* recidivism dataset.
+//!
+//! Matches the paper's Table II: 6,172 records, 6 attributes, 3 protected
+//! attributes (age, race, sex). The planted biases mirror the paper's running
+//! example: the region `(age = 25-45 ∧ #prior = >3)` receives a strong
+//! positive bump so that its imbalance score greatly exceeds its neighboring
+//! region's — the very IBS the paper analyses in Examples 4–8 — along with
+//! race × sex skews echoing the documented COMPAS disparities.
+
+use super::{generate, SyntheticSpec};
+use crate::dataset::Dataset;
+use crate::pattern::Pattern;
+use crate::schema::{Attribute, Schema};
+
+/// Row count of the generated dataset (matches the paper's Table II).
+pub const COMPAS_SIZE: usize = 6_172;
+
+/// Protected attributes used in the paper's ProPublica experiments.
+pub const COMPAS_PROTECTED: [&str; 3] = ["age", "race", "sex"];
+
+fn spec() -> SyntheticSpec {
+    let schema = Schema::new(
+        vec![
+            Attribute::from_strs("age", &["<25", "25-45", ">45"])
+                .protected()
+                .ordered(),
+            Attribute::from_strs("race", &["caucasian", "afr-am", "hispanic"]).protected(),
+            Attribute::from_strs("sex", &["female", "male"]).protected(),
+            Attribute::from_strs("priors", &["0", "1-3", ">3"]).ordered(),
+            Attribute::from_strs("charge", &["misdemeanor", "felony"]),
+            Attribute::from_strs("juvenile", &["0", ">0"]).ordered(),
+        ],
+        "recid",
+    )
+    .into_shared();
+
+    let marginals = vec![
+        vec![0.22, 0.57, 0.21], // age
+        vec![0.34, 0.51, 0.15], // race
+        vec![0.19, 0.81],       // sex
+        vec![0.34, 0.37, 0.29], // priors
+        vec![0.36, 0.64],       // charge
+        vec![0.86, 0.14],       // juvenile
+    ];
+
+    let col = |name: &str| schema.index_of(name).expect("attribute exists");
+    let coefficients = vec![
+        (col("priors"), 1, 0.45),
+        (col("priors"), 2, 1.00),
+        (col("age"), 0, 0.55),
+        (col("age"), 2, -0.70),
+        (col("juvenile"), 1, 0.50),
+        (col("charge"), 1, 0.25),
+    ];
+
+    let bump = |terms: &[(&str, &str)], w: f64| {
+        let p = Pattern::from_names(&schema, terms).expect("valid bump pattern");
+        (p, w)
+    };
+    let region_bumps = vec![
+        // the running example's biased region: excessive positives in
+        // (age = 25-45 ∧ priors = >3)
+        bump(&[("age", "25-45"), ("priors", ">3")], 1.10),
+        // documented race x sex disparities
+        bump(&[("race", "afr-am"), ("sex", "male")], 0.55),
+        bump(&[("race", "afr-am"), ("age", "<25")], 0.45),
+        bump(&[("race", "caucasian"), ("sex", "female")], -0.45),
+        bump(&[("race", "hispanic"), ("age", ">45")], -0.35),
+    ];
+
+    SyntheticSpec {
+        schema,
+        marginals,
+        base_logit: -0.75,
+        coefficients,
+        region_bumps,
+    }
+}
+
+/// Generates the COMPAS stand-in with `n` rows.
+pub fn compas_n(n: usize, seed: u64) -> Dataset {
+    let s = spec();
+    s.validate();
+    generate(&s, n, seed)
+}
+
+/// Generates the full-size (6,172-row) COMPAS stand-in.
+pub fn compas(seed: u64) -> Dataset {
+    compas_n(COMPAS_SIZE, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_ii_characteristics() {
+        let d = compas(1);
+        assert_eq!(d.len(), COMPAS_SIZE);
+        assert_eq!(d.schema().len(), 6);
+        assert_eq!(d.schema().protected_len(), 3);
+    }
+
+    #[test]
+    fn running_example_region_is_skewed() {
+        let d = compas(1);
+        let s = d.schema();
+        let region = Pattern::from_names(s, &[("age", "25-45"), ("priors", ">3")]).unwrap();
+        let (pos, neg) = d.class_counts(&region);
+        assert!(pos + neg > 30, "region must be significant");
+        let ratio = pos as f64 / neg as f64;
+        // neighboring region of (age=25-45, priors=>3) with T=1:
+        // same age with other priors, same priors with other ages
+        let mut np = 0usize;
+        let mut nn = 0usize;
+        for (a, pr) in [(1u32, 0u32), (1, 1), (0, 2), (2, 2)] {
+            let p = Pattern::from_terms([(0usize, a), (3usize, pr)]);
+            let (pp, qq) = d.class_counts(&p);
+            np += pp;
+            nn += qq;
+        }
+        let neighbor_ratio = np as f64 / nn as f64;
+        assert!(
+            ratio > neighbor_ratio + 0.5,
+            "planted IBS missing: {ratio} vs {neighbor_ratio}"
+        );
+    }
+
+    #[test]
+    fn prevalence_is_moderate() {
+        let d = compas(3);
+        let prev = d.prevalence();
+        assert!((0.30..0.60).contains(&prev), "unexpected prevalence {prev}");
+    }
+
+    #[test]
+    fn afr_am_male_subgroup_has_more_positives() {
+        let d = compas(5);
+        let s = d.schema();
+        let g = Pattern::from_names(s, &[("race", "afr-am"), ("sex", "male")]).unwrap();
+        let (p, n) = d.class_counts(&g);
+        let rate_g = p as f64 / (p + n) as f64;
+        assert!(
+            rate_g > d.prevalence(),
+            "afr-am male positive rate {rate_g} should exceed overall {}",
+            d.prevalence()
+        );
+    }
+}

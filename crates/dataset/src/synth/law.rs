@@ -1,0 +1,157 @@
+//! Synthetic stand-in for the LSAC *Law School* bar-passage dataset.
+//!
+//! Matches the paper's Table II: 4,590 records, 12 attributes, 4 protected
+//! attributes (age, gender, race, family-income). As in the paper, the raw
+//! population is extremely label-imbalanced (most students pass the bar), so
+//! we generate a larger raw pool, uniformly balance positives and negatives,
+//! and truncate to the target size.
+
+use super::{generate, SyntheticSpec};
+use crate::dataset::Dataset;
+use crate::pattern::Pattern;
+use crate::schema::{Attribute, Schema};
+use crate::split::{balance_labels, sample_rows};
+
+/// Row count of the generated (balanced) dataset.
+pub const LAW_SIZE: usize = 4_590;
+
+/// Protected attributes used in the paper's Law School experiments.
+pub const LAW_PROTECTED: [&str; 4] = ["age", "gender", "race", "family-income"];
+
+fn spec() -> SyntheticSpec {
+    let schema = Schema::new(
+        vec![
+            Attribute::from_strs("age", &["<25", "25-30", ">30"])
+                .protected()
+                .ordered(),
+            Attribute::from_strs("gender", &["male", "female"]).protected(),
+            Attribute::from_strs("race", &["white", "black", "hispanic", "asian"]).protected(),
+            Attribute::from_strs("family-income", &["low", "mid", "high"])
+                .protected()
+                .ordered(),
+            Attribute::from_strs("lsat", &["q1", "q2", "q3", "q4"]).ordered(),
+            Attribute::from_strs("ugpa", &["low", "mid", "high"]).ordered(),
+            Attribute::from_strs("region", &["ne", "south", "midwest", "west"]),
+            Attribute::from_strs("enrollment", &["fulltime", "parttime"]),
+            Attribute::from_strs("cluster", &["c1", "c2", "c3"]),
+            Attribute::from_strs("work-exp", &["none", "some"]),
+            Attribute::from_strs("tier", &["t1", "t2", "t3"]).ordered(),
+            Attribute::from_strs("extracurricular", &["no", "yes"]),
+        ],
+        "pass_bar",
+    )
+    .into_shared();
+
+    let marginals = vec![
+        vec![0.46, 0.38, 0.16],       // age
+        vec![0.56, 0.44],             // gender
+        vec![0.66, 0.14, 0.11, 0.09], // race
+        vec![0.27, 0.49, 0.24],       // family-income
+        vec![0.25, 0.25, 0.25, 0.25], // lsat
+        vec![0.30, 0.45, 0.25],       // ugpa
+        vec![0.24, 0.28, 0.22, 0.26], // region
+        vec![0.84, 0.16],             // enrollment
+        vec![0.40, 0.35, 0.25],       // cluster
+        vec![0.55, 0.45],             // work-exp
+        vec![0.25, 0.45, 0.30],       // tier
+        vec![0.58, 0.42],             // extracurricular
+    ];
+
+    let col = |name: &str| schema.index_of(name).expect("attribute exists");
+    let coefficients = vec![
+        (col("lsat"), 1, 0.55),
+        (col("lsat"), 2, 1.05),
+        (col("lsat"), 3, 1.60),
+        (col("ugpa"), 1, 0.45),
+        (col("ugpa"), 2, 0.90),
+        (col("tier"), 0, 0.50),
+        (col("tier"), 2, -0.40),
+        (col("enrollment"), 1, -0.35),
+    ];
+
+    let bump = |terms: &[(&str, &str)], w: f64| {
+        let p = Pattern::from_names(&schema, terms).expect("valid bump pattern");
+        (p, w)
+    };
+    let region_bumps = vec![
+        bump(&[("race", "black"), ("family-income", "low")], -1.00),
+        bump(&[("race", "hispanic"), ("age", "<25")], -0.55),
+        bump(&[("gender", "female"), ("family-income", "low")], -0.40),
+        bump(&[("race", "white"), ("family-income", "high")], 0.45),
+        bump(
+            &[("race", "black"), ("gender", "male"), ("age", ">30")],
+            -0.50,
+        ),
+    ];
+
+    SyntheticSpec {
+        schema,
+        marginals,
+        // strongly imbalanced raw population (≈80% pass), as in the real data
+        base_logit: 0.55,
+        coefficients,
+        region_bumps,
+    }
+}
+
+/// Generates the Law School stand-in balanced to `n` rows.
+pub fn law_school_n(n: usize, seed: u64) -> Dataset {
+    let s = spec();
+    s.validate();
+    // raw pool large enough that the balanced minority side covers n/2
+    let raw = generate(&s, n * 4, seed);
+    let balanced = balance_labels(&raw, seed ^ 0xBA1A_u64);
+    if balanced.len() > n {
+        sample_rows(&balanced, n, seed ^ 0x7A11)
+    } else {
+        balanced
+    }
+}
+
+/// Generates the full-size (4,590-row) Law School stand-in.
+pub fn law_school(seed: u64) -> Dataset {
+    law_school_n(LAW_SIZE, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_ii_characteristics() {
+        let d = law_school(1);
+        assert_eq!(d.len(), LAW_SIZE);
+        assert_eq!(d.schema().len(), 12);
+        assert_eq!(d.schema().protected_len(), 4);
+    }
+
+    #[test]
+    fn labels_are_balanced() {
+        let d = law_school(2);
+        let prev = d.prevalence();
+        assert!(
+            (0.45..0.55).contains(&prev),
+            "balanced dataset should be ~50% positive, got {prev}"
+        );
+    }
+
+    #[test]
+    fn planted_income_race_bias_visible() {
+        let d = law_school_n(8_000, 3);
+        let s = d.schema();
+        let low_black =
+            Pattern::from_names(s, &[("race", "black"), ("family-income", "low")]).unwrap();
+        let high_white =
+            Pattern::from_names(s, &[("race", "white"), ("family-income", "high")]).unwrap();
+        let (p1, n1) = d.class_counts(&low_black);
+        let (p2, n2) = d.class_counts(&high_white);
+        let r1 = p1 as f64 / (p1 + n1).max(1) as f64;
+        let r2 = p2 as f64 / (p2 + n2).max(1) as f64;
+        assert!(r2 > r1 + 0.1, "expected pass-rate gap, got {r1} vs {r2}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(law_school(9), law_school(9));
+    }
+}

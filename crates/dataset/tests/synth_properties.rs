@@ -1,0 +1,93 @@
+//! Contract tests for the synthetic dataset generators: every property the
+//! experiment harness relies on must hold across seeds.
+
+use remedy_dataset::synth::{
+    self, ADULT_PROTECTED, ADULT_SCALABILITY_PROTECTED, COMPAS_PROTECTED, LAW_PROTECTED,
+};
+use remedy_dataset::{Dataset, Pattern};
+
+fn check_schema(d: &Dataset, attrs: usize, protected: &[&str]) {
+    assert_eq!(d.schema().len(), attrs);
+    let names: Vec<&str> = d
+        .schema()
+        .protected_indices()
+        .into_iter()
+        .map(|i| d.schema().attribute(i).name())
+        .collect();
+    assert_eq!(names.len(), protected.len());
+    for p in protected {
+        assert!(names.contains(p), "missing protected attribute {p}");
+    }
+    // every code is within its domain
+    for col in 0..d.schema().len() {
+        let card = d.schema().attribute(col).cardinality() as u32;
+        assert!(d.column(col).iter().all(|&v| v < card));
+    }
+}
+
+#[test]
+fn schemas_match_table_ii_for_all_seeds() {
+    for seed in [1u64, 7, 42, 1234] {
+        check_schema(&synth::adult_n(500, seed), 13, &ADULT_PROTECTED);
+        check_schema(&synth::compas_n(500, seed), 6, &COMPAS_PROTECTED);
+        check_schema(&synth::law_school_n(500, seed), 12, &LAW_PROTECTED);
+    }
+}
+
+#[test]
+fn generators_are_deterministic_and_seed_sensitive() {
+    assert_eq!(synth::compas_n(300, 5), synth::compas_n(300, 5));
+    assert_ne!(synth::compas_n(300, 5), synth::compas_n(300, 6));
+    assert_eq!(synth::adult_n(300, 5), synth::adult_n(300, 5));
+    assert_eq!(synth::law_school_n(300, 5), synth::law_school_n(300, 5));
+}
+
+#[test]
+fn every_generator_contains_planted_ibs() {
+    // the running-example region of COMPAS must diverge from its complement
+    let d = synth::compas_n(6_000, 42);
+    let s = d.schema();
+    let region = Pattern::from_names(s, &[("age", "25-45"), ("priors", ">3")]).unwrap();
+    let (pos, neg) = d.class_counts(&region);
+    let (tpos, tneg) = d.class_counts(&Pattern::empty());
+    let r = pos as f64 / neg.max(1) as f64;
+    let overall = tpos as f64 / tneg.max(1) as f64;
+    assert!(
+        r > overall * 1.5,
+        "planted COMPAS region must be skewed: {r} vs {overall}"
+    );
+}
+
+#[test]
+fn scalability_attributes_have_reasonable_cardinalities() {
+    let d = synth::adult_n(200, 3);
+    for name in ADULT_SCALABILITY_PROTECTED {
+        let idx = d.schema().require(name).unwrap();
+        let card = d.schema().attribute(idx).cardinality();
+        assert!(
+            (2..=8).contains(&card),
+            "{name}: cardinality {card} outside the hierarchy-friendly range"
+        );
+    }
+}
+
+#[test]
+fn sizes_scale_linearly() {
+    for n in [100usize, 1_000, 5_000] {
+        assert_eq!(synth::adult_n(n, 1).len(), n);
+        assert_eq!(synth::compas_n(n, 1).len(), n);
+        assert_eq!(synth::law_school_n(n, 1).len(), n);
+    }
+}
+
+#[test]
+fn law_school_balance_holds_across_seeds() {
+    for seed in [2u64, 12, 99] {
+        let d = synth::law_school_n(2_000, seed);
+        let prev = d.prevalence();
+        assert!(
+            (0.45..0.55).contains(&prev),
+            "seed {seed}: prevalence {prev}"
+        );
+    }
+}

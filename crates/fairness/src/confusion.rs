@@ -1,0 +1,185 @@
+//! Confusion counts and the model statistics derived from them.
+
+/// Counts of the four confusion-matrix cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionCounts {
+    /// True positives: `h(x) = 1, y = 1`.
+    pub tp: usize,
+    /// False positives: `h(x) = 1, y = 0`.
+    pub fp: usize,
+    /// True negatives: `h(x) = 0, y = 0`.
+    pub tn: usize,
+    /// False negatives: `h(x) = 0, y = 1`.
+    pub fn_: usize,
+}
+
+impl ConfusionCounts {
+    /// Tallies predictions against labels.
+    pub fn from_predictions(predictions: &[u8], labels: &[u8]) -> Self {
+        assert_eq!(predictions.len(), labels.len(), "length mismatch");
+        let mut c = ConfusionCounts::default();
+        for (&p, &y) in predictions.iter().zip(labels) {
+            c.add(p, y);
+        }
+        c
+    }
+
+    /// Tallies only the rows selected by `mask`.
+    pub fn from_masked(predictions: &[u8], labels: &[u8], mask: impl Fn(usize) -> bool) -> Self {
+        assert_eq!(predictions.len(), labels.len(), "length mismatch");
+        let mut c = ConfusionCounts::default();
+        for i in 0..predictions.len() {
+            if mask(i) {
+                c.add(predictions[i], labels[i]);
+            }
+        }
+        c
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, prediction: u8, label: u8) {
+        match (prediction, label) {
+            (1, 1) => self.tp += 1,
+            (1, 0) => self.fp += 1,
+            (0, 0) => self.tn += 1,
+            (0, 1) => self.fn_ += 1,
+            _ => panic!("non-binary prediction or label"),
+        }
+    }
+
+    /// Merges two tallies.
+    pub fn merge(&self, other: &ConfusionCounts) -> ConfusionCounts {
+        ConfusionCounts {
+            tp: self.tp + other.tp,
+            fp: self.fp + other.fp,
+            tn: self.tn + other.tn,
+            fn_: self.fn_ + other.fn_,
+        }
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Number of ground-truth negatives.
+    pub fn negatives(&self) -> usize {
+        self.fp + self.tn
+    }
+
+    /// Number of ground-truth positives.
+    pub fn positives(&self) -> usize {
+        self.tp + self.fn_
+    }
+
+    /// False-positive rate `Pr[h(x) = 1 | y = 0]`; `0` when undefined.
+    pub fn fpr(&self) -> f64 {
+        ratio(self.fp, self.negatives())
+    }
+
+    /// False-negative rate `Pr[h(x) = 0 | y = 1]`; `0` when undefined.
+    pub fn fnr(&self) -> f64 {
+        ratio(self.fn_, self.positives())
+    }
+
+    /// Accuracy `Pr[h(x) = y]`; `0` when empty.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// Selection rate `Pr[h(x) = 1]` (statistical-parity statistic).
+    pub fn selection_rate(&self) -> f64 {
+        ratio(self.tp + self.fp, self.total())
+    }
+
+    /// Error rate `Pr[h(x) ≠ y]`.
+    pub fn error_rate(&self) -> f64 {
+        ratio(self.fp + self.fn_, self.total())
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_all_cells() {
+        let preds = [1, 1, 0, 0, 1];
+        let labels = [1, 0, 0, 1, 1];
+        let c = ConfusionCounts::from_predictions(&preds, &labels);
+        assert_eq!(c.tp, 2);
+        assert_eq!(c.fp, 1);
+        assert_eq!(c.tn, 1);
+        assert_eq!(c.fn_, 1);
+        assert_eq!(c.total(), 5);
+    }
+
+    #[test]
+    fn rates_match_hand_computation() {
+        let c = ConfusionCounts {
+            tp: 6,
+            fp: 2,
+            tn: 8,
+            fn_: 4,
+        };
+        assert!((c.fpr() - 0.2).abs() < 1e-12);
+        assert!((c.fnr() - 0.4).abs() < 1e-12);
+        assert!((c.accuracy() - 0.7).abs() < 1e-12);
+        assert!((c.selection_rate() - 0.4).abs() < 1e-12);
+        assert!((c.error_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undefined_rates_are_zero() {
+        let c = ConfusionCounts::default();
+        assert_eq!(c.fpr(), 0.0);
+        assert_eq!(c.fnr(), 0.0);
+        assert_eq!(c.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn masked_tally_filters_rows() {
+        let preds = [1, 1, 0];
+        let labels = [0, 1, 0];
+        let c = ConfusionCounts::from_masked(&preds, &labels, |i| i != 0);
+        assert_eq!(c.fp, 0);
+        assert_eq!(c.tp, 1);
+        assert_eq!(c.tn, 1);
+    }
+
+    #[test]
+    fn merge_adds_cellwise() {
+        let a = ConfusionCounts {
+            tp: 1,
+            fp: 2,
+            tn: 3,
+            fn_: 4,
+        };
+        let b = ConfusionCounts {
+            tp: 10,
+            fp: 20,
+            tn: 30,
+            fn_: 40,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.tp, 11);
+        assert_eq!(m.fp, 22);
+        assert_eq!(m.tn, 33);
+        assert_eq!(m.fn_, 44);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-binary")]
+    fn non_binary_input_panics() {
+        let mut c = ConfusionCounts::default();
+        c.add(2, 0);
+    }
+}

@@ -1,0 +1,387 @@
+//! DivExplorer-style enumeration of all intersectional subgroups.
+//!
+//! The paper uses DivExplorer [Pastor et al., SIGMOD'21] to list unfair
+//! subgroups: every conjunctive pattern over the protected attributes whose
+//! statistic diverges from the dataset's. This module reimplements that
+//! functionality: one sweep aggregates the confusion counts of every
+//! intersectional pattern (by expanding each *leaf cell* of the protected
+//! space into its `2^|X|` generalizations), then each subgroup is scored
+//! with its divergence and a Welch-t significance test against its
+//! complement.
+
+use crate::confusion::ConfusionCounts;
+use crate::measure::{divergence, statistic_of, Statistic};
+use crate::stats::{welch_t_test, Sample};
+use remedy_dataset::{Dataset, Pattern};
+use std::collections::HashMap;
+
+/// Configuration for subgroup exploration.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    /// Minimum subgroup support as a fraction of the dataset (DivExplorer's
+    /// frequent-pattern threshold).
+    pub min_support: f64,
+    /// Minimum absolute subgroup size.
+    pub min_size: usize,
+    /// Two-sided significance level for the Welch t-test.
+    pub alpha: f64,
+    /// Maximum pattern level (number of deterministic attributes); `None`
+    /// explores the full lattice.
+    pub max_level: Option<usize>,
+    /// Columns spanning the subgroup space; `None` uses the schema's
+    /// protected attributes. The paper's examples also mine over
+    /// non-protected attributes (Example 2's `#prior`), which this
+    /// enables: `columns: Some((0..schema.len()).collect())` explores all
+    /// attributes, as DivExplorer does.
+    pub columns: Option<Vec<usize>>,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer {
+            min_support: 0.01,
+            min_size: 1,
+            alpha: 0.05,
+            max_level: None,
+            columns: None,
+        }
+    }
+}
+
+/// One subgroup's scorecard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubgroupReport {
+    /// The subgroup's pattern (over protected attributes).
+    pub pattern: Pattern,
+    /// Number of instances matching the pattern.
+    pub size: usize,
+    /// `size / |D|`.
+    pub support: f64,
+    /// The statistic `γ_g` inside the subgroup.
+    pub gamma: f64,
+    /// `Δγ_g = |γ_g − γ_d|`.
+    pub divergence: f64,
+    /// Two-sided p-value of the subgroup-vs-complement Welch t-test.
+    pub p_value: f64,
+    /// Whether `p_value < alpha`.
+    pub significant: bool,
+    /// Confusion counts within the subgroup.
+    pub counts: ConfusionCounts,
+}
+
+impl Explorer {
+    /// Scores every intersectional subgroup of the protected attributes.
+    ///
+    /// Results are filtered by support/size and sorted by descending
+    /// divergence (DivExplorer's ranking).
+    pub fn explore(
+        &self,
+        data: &Dataset,
+        predictions: &[u8],
+        stat: Statistic,
+    ) -> Vec<SubgroupReport> {
+        assert_eq!(predictions.len(), data.len(), "length mismatch");
+        let columns = self
+            .columns
+            .clone()
+            .unwrap_or_else(|| data.schema().protected_indices());
+        assert!(
+            !columns.is_empty(),
+            "no subgroup columns (schema declares no protected attributes)"
+        );
+        let pattern_counts = aggregate_patterns(data, predictions, &columns);
+        let overall = ConfusionCounts::from_predictions(predictions, data.labels());
+        let gamma_d = statistic_of(&overall, stat);
+        let n = data.len();
+
+        let mut reports = Vec::new();
+        for (pattern, counts) in pattern_counts {
+            if pattern.is_empty() {
+                continue;
+            }
+            if let Some(max) = self.max_level {
+                if pattern.level() > max {
+                    continue;
+                }
+            }
+            let size = counts.total();
+            let support = size as f64 / n as f64;
+            if size < self.min_size || support < self.min_support {
+                continue;
+            }
+            let gamma_g = statistic_of(&counts, stat);
+            let div = divergence(gamma_g, gamma_d);
+            let (inside, outside) = bernoulli_samples(&counts, &overall, stat);
+            let test = welch_t_test(inside, outside);
+            reports.push(SubgroupReport {
+                pattern,
+                size,
+                support,
+                gamma: gamma_g,
+                divergence: div,
+                p_value: test.p_value,
+                significant: test.p_value < self.alpha,
+                counts,
+            });
+        }
+        reports.sort_by(|a, b| {
+            b.divergence
+                .partial_cmp(&a.divergence)
+                .unwrap()
+                .then_with(|| a.pattern.cmp(&b.pattern))
+        });
+        reports
+    }
+
+    /// The subgroups that are *unfair* at threshold `τ_d`: divergence above
+    /// the threshold and statistically significant.
+    pub fn unfair_subgroups(
+        &self,
+        data: &Dataset,
+        predictions: &[u8],
+        stat: Statistic,
+        tau_d: f64,
+    ) -> Vec<SubgroupReport> {
+        self.explore(data, predictions, stat)
+            .into_iter()
+            .filter(|r| r.divergence > tau_d && r.significant)
+            .collect()
+    }
+}
+
+/// Aggregates confusion counts for every pattern over the protected
+/// attributes, including the empty pattern.
+fn aggregate_patterns(
+    data: &Dataset,
+    predictions: &[u8],
+    protected: &[usize],
+) -> HashMap<Pattern, ConfusionCounts> {
+    // 1) collapse rows into leaf cells of the protected space
+    let mut cells: HashMap<Vec<u32>, ConfusionCounts> = HashMap::new();
+    let mut key = Vec::with_capacity(protected.len());
+    for (i, &prediction) in predictions.iter().enumerate() {
+        key.clear();
+        key.extend(protected.iter().map(|&a| data.value(i, a)));
+        cells
+            .entry(key.clone())
+            .or_default()
+            .add(prediction, data.label(i));
+    }
+    // 2) expand each cell into all 2^|X| generalizations
+    let k = protected.len();
+    assert!(k < 20, "too many protected attributes to enumerate");
+    let mut out: HashMap<Pattern, ConfusionCounts> = HashMap::new();
+    for (cell, counts) in &cells {
+        for mask in 0u32..(1u32 << k) {
+            let mut pattern = Pattern::empty();
+            for (j, &attr) in protected.iter().enumerate() {
+                if mask & (1 << j) != 0 {
+                    pattern.set(attr, cell[j]);
+                }
+            }
+            let entry = out.entry(pattern).or_default();
+            *entry = entry.merge(counts);
+        }
+    }
+    out
+}
+
+/// Bernoulli samples (subgroup vs complement) underlying each statistic's
+/// significance test.
+fn bernoulli_samples(
+    sub: &ConfusionCounts,
+    overall: &ConfusionCounts,
+    stat: Statistic,
+) -> (Sample, Sample) {
+    let (succ_in, n_in, succ_all, n_all) = match stat {
+        Statistic::Fpr => (
+            sub.fp as f64,
+            sub.negatives() as f64,
+            overall.fp as f64,
+            overall.negatives() as f64,
+        ),
+        Statistic::Fnr => (
+            sub.fn_ as f64,
+            sub.positives() as f64,
+            overall.fn_ as f64,
+            overall.positives() as f64,
+        ),
+        Statistic::Accuracy => (
+            (sub.tp + sub.tn) as f64,
+            sub.total() as f64,
+            (overall.tp + overall.tn) as f64,
+            overall.total() as f64,
+        ),
+        Statistic::SelectionRate => (
+            (sub.tp + sub.fp) as f64,
+            sub.total() as f64,
+            (overall.tp + overall.fp) as f64,
+            overall.total() as f64,
+        ),
+    };
+    let inside = Sample::bernoulli(succ_in, n_in);
+    let outside = Sample::bernoulli(succ_all - succ_in, n_all - n_in);
+    (inside, outside)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remedy_dataset::{Attribute, Schema};
+
+    /// Two protected attributes; the (a=1, b=1) corner gets all the false
+    /// positives.
+    fn biased_setup() -> (Dataset, Vec<u8>) {
+        let schema = Schema::new(
+            vec![
+                Attribute::from_strs("a", &["0", "1"]).protected(),
+                Attribute::from_strs("b", &["0", "1"]).protected(),
+                Attribute::from_strs("f", &["0", "1"]),
+            ],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        let mut preds = Vec::new();
+        // 40 negatives per cell; corner cell gets FPR 1.0, others 0.0
+        for a in 0..2u32 {
+            for b in 0..2u32 {
+                for i in 0..40 {
+                    d.push_row(&[a, b, (i % 2) as u32], 0).unwrap();
+                    preds.push(u8::from(a == 1 && b == 1));
+                }
+            }
+        }
+        (d, preds)
+    }
+
+    #[test]
+    fn enumerates_full_lattice() {
+        let (d, preds) = biased_setup();
+        let reports = Explorer::default().explore(&d, &preds, Statistic::Fpr);
+        // patterns: a=0, a=1, b=0, b=1, and the four intersections = 8
+        assert_eq!(reports.len(), 8);
+    }
+
+    #[test]
+    fn corner_subgroup_ranks_first_and_is_significant() {
+        let (d, preds) = biased_setup();
+        let reports = Explorer::default().explore(&d, &preds, Statistic::Fpr);
+        let top = &reports[0];
+        assert_eq!(top.pattern.level(), 2);
+        assert_eq!(top.pattern.get(0), Some(1));
+        assert_eq!(top.pattern.get(1), Some(1));
+        assert!((top.gamma - 1.0).abs() < 1e-12);
+        // overall FPR = 40/160 = 0.25 → divergence 0.75
+        assert!((top.divergence - 0.75).abs() < 1e-12);
+        assert!(top.significant);
+    }
+
+    #[test]
+    fn marginal_groups_show_intermediate_divergence() {
+        let (d, preds) = biased_setup();
+        let reports = Explorer::default().explore(&d, &preds, Statistic::Fpr);
+        let a1 = reports
+            .iter()
+            .find(|r| r.pattern.level() == 1 && r.pattern.get(0) == Some(1))
+            .unwrap();
+        // a=1: 80 negatives, 40 FP → FPR 0.5, divergence 0.25
+        assert!((a1.gamma - 0.5).abs() < 1e-12);
+        assert!((a1.divergence - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_filter_prunes() {
+        let (d, preds) = biased_setup();
+        let explorer = Explorer {
+            min_support: 0.3, // cells have support 0.25
+            ..Explorer::default()
+        };
+        let reports = explorer.explore(&d, &preds, Statistic::Fpr);
+        assert!(reports.iter().all(|r| r.support >= 0.3));
+        assert_eq!(reports.len(), 4); // only the level-1 groups survive
+    }
+
+    #[test]
+    fn max_level_restricts_depth() {
+        let (d, preds) = biased_setup();
+        let explorer = Explorer {
+            max_level: Some(1),
+            ..Explorer::default()
+        };
+        let reports = explorer.explore(&d, &preds, Statistic::Fpr);
+        assert!(reports.iter().all(|r| r.pattern.level() == 1));
+    }
+
+    #[test]
+    fn unfair_subgroups_apply_threshold() {
+        let (d, preds) = biased_setup();
+        let unfair =
+            Explorer::default().unfair_subgroups(&d, &preds, Statistic::Fpr, 0.3);
+        // only the corner (0.75) exceeds 0.3 significantly
+        assert_eq!(unfair.len(), 1);
+        assert_eq!(unfair[0].pattern.level(), 2);
+    }
+
+    #[test]
+    fn fnr_statistic_uses_positives() {
+        let schema = Schema::new(
+            vec![Attribute::from_strs("g", &["0", "1"]).protected()],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        let mut preds = Vec::new();
+        for g in 0..2u32 {
+            for _ in 0..50 {
+                d.push_row(&[g], 1).unwrap();
+                preds.push(u8::from(g == 1)); // group 0 all FN
+            }
+        }
+        let reports = Explorer::default().explore(&d, &preds, Statistic::Fnr);
+        let g0 = reports
+            .iter()
+            .find(|r| r.pattern.get(0) == Some(0))
+            .unwrap();
+        assert!((g0.gamma - 1.0).abs() < 1e-12);
+        assert!(g0.significant);
+    }
+
+    #[test]
+    fn custom_columns_explore_non_protected_attributes() {
+        let (d, preds) = biased_setup();
+        // explore over the (non-protected) feature column too, as the
+        // paper's Example 2 does with #prior
+        let explorer = Explorer {
+            columns: Some(vec![0, 1, 2]),
+            ..Explorer::default()
+        };
+        let reports = explorer.explore(&d, &preds, Statistic::Fpr);
+        assert!(
+            reports.iter().any(|r| r.pattern.get(2).is_some()),
+            "patterns over column f expected"
+        );
+        // full lattice over three binary-ish columns: (2+1)(2+1)(2+1)−1 = 26
+        assert_eq!(reports.len(), 26);
+    }
+
+    #[test]
+    fn balanced_predictions_are_not_significant() {
+        let schema = Schema::new(
+            vec![Attribute::from_strs("g", &["0", "1"]).protected()],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        let mut preds = Vec::new();
+        for g in 0..2u32 {
+            for i in 0..100 {
+                d.push_row(&[g], 0).unwrap();
+                preds.push(u8::from(i % 4 == 0)); // identical FPR everywhere
+            }
+        }
+        let reports = Explorer::default().explore(&d, &preds, Statistic::Fpr);
+        assert!(reports.iter().all(|r| !r.significant));
+        assert!(reports.iter().all(|r| r.divergence < 1e-12));
+    }
+}

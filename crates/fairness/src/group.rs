@@ -1,0 +1,169 @@
+//! Classical two-group fairness metrics.
+//!
+//! The paper's subgroup machinery generalizes the traditional group-level
+//! notions (§VII's "simplest scenario … a single protected attribute").
+//! For interoperability with that literature — and with toolkits like
+//! AIF360/Fairlearn — this module provides the standard pairwise
+//! measures over a single protected attribute's groups: demographic-parity
+//! difference, disparate-impact ratio, equal-opportunity difference, and
+//! equalized-odds difference.
+
+use crate::confusion::ConfusionCounts;
+use remedy_dataset::Dataset;
+
+/// Classical metrics comparing every group of one protected attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupFairnessReport {
+    /// Attribute the groups come from.
+    pub attribute: String,
+    /// Per-group confusion counts, indexed by value code.
+    pub groups: Vec<ConfusionCounts>,
+    /// Max |selection-rate difference| over group pairs.
+    pub demographic_parity_difference: f64,
+    /// Min selection-rate ratio over group pairs (the "80% rule" value);
+    /// `1.0` when all rates are equal, `0.0` when a group is never
+    /// selected while another is.
+    pub disparate_impact_ratio: f64,
+    /// Max |TPR difference| over group pairs (equal opportunity).
+    pub equal_opportunity_difference: f64,
+    /// Max over group pairs of max(|TPR diff|, |FPR diff|) (equalized
+    /// odds).
+    pub equalized_odds_difference: f64,
+}
+
+/// Computes the classical group-fairness metrics for one protected
+/// attribute.
+pub fn group_fairness(
+    data: &Dataset,
+    predictions: &[u8],
+    attribute: &str,
+) -> Result<GroupFairnessReport, remedy_dataset::DatasetError> {
+    assert_eq!(predictions.len(), data.len(), "length mismatch");
+    let col = data.schema().require(attribute)?;
+    let card = data.schema().attribute(col).cardinality();
+    let mut groups = vec![ConfusionCounts::default(); card];
+    for i in 0..data.len() {
+        groups[data.value(i, col) as usize].add(predictions[i], data.label(i));
+    }
+
+    let mut dp_diff = 0.0f64;
+    let mut di_ratio = 1.0f64;
+    let mut eo_diff = 0.0f64;
+    let mut eodds_diff = 0.0f64;
+    for (i, a) in groups.iter().enumerate() {
+        if a.total() == 0 {
+            continue;
+        }
+        for b in groups.iter().skip(i + 1) {
+            if b.total() == 0 {
+                continue;
+            }
+            let (sa, sb) = (a.selection_rate(), b.selection_rate());
+            dp_diff = dp_diff.max((sa - sb).abs());
+            let ratio = if sa.max(sb) > 0.0 {
+                sa.min(sb) / sa.max(sb)
+            } else {
+                1.0 // neither group selected: trivially equal
+            };
+            di_ratio = di_ratio.min(ratio);
+            let (tpr_a, tpr_b) = (1.0 - a.fnr(), 1.0 - b.fnr());
+            eo_diff = eo_diff.max((tpr_a - tpr_b).abs());
+            let fpr_gap = (a.fpr() - b.fpr()).abs();
+            eodds_diff = eodds_diff.max((tpr_a - tpr_b).abs().max(fpr_gap));
+        }
+    }
+    Ok(GroupFairnessReport {
+        attribute: attribute.to_string(),
+        groups,
+        demographic_parity_difference: dp_diff,
+        disparate_impact_ratio: di_ratio,
+        equal_opportunity_difference: eo_diff,
+        equalized_odds_difference: eodds_diff,
+    })
+}
+
+impl GroupFairnessReport {
+    /// Whether the report satisfies the four-fifths ("80%") rule.
+    pub fn passes_four_fifths(&self) -> bool {
+        self.disparate_impact_ratio >= 0.8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remedy_dataset::{Attribute, Schema};
+
+    fn setup(biased: bool) -> (Dataset, Vec<u8>) {
+        let schema = Schema::new(
+            vec![Attribute::from_strs("g", &["a", "b"]).protected()],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        let mut preds = Vec::new();
+        for g in 0..2u32 {
+            for i in 0..100 {
+                let y = u8::from(i % 2 == 0);
+                d.push_row(&[g], y).unwrap();
+                let selected = if biased && g == 1 {
+                    false // group b never selected
+                } else {
+                    y == 1
+                };
+                preds.push(u8::from(selected));
+            }
+        }
+        (d, preds)
+    }
+
+    #[test]
+    fn fair_predictions_score_clean() {
+        let (d, preds) = setup(false);
+        let r = group_fairness(&d, &preds, "g").unwrap();
+        assert_eq!(r.demographic_parity_difference, 0.0);
+        assert_eq!(r.disparate_impact_ratio, 1.0);
+        assert_eq!(r.equal_opportunity_difference, 0.0);
+        assert_eq!(r.equalized_odds_difference, 0.0);
+        assert!(r.passes_four_fifths());
+    }
+
+    #[test]
+    fn biased_predictions_show_gaps() {
+        let (d, preds) = setup(true);
+        let r = group_fairness(&d, &preds, "g").unwrap();
+        // group a selects 50%, group b 0%
+        assert!((r.demographic_parity_difference - 0.5).abs() < 1e-12);
+        assert_eq!(r.disparate_impact_ratio, 0.0);
+        // TPR a = 1, TPR b = 0
+        assert!((r.equal_opportunity_difference - 1.0).abs() < 1e-12);
+        assert!((r.equalized_odds_difference - 1.0).abs() < 1e-12);
+        assert!(!r.passes_four_fifths());
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        let (d, preds) = setup(false);
+        assert!(group_fairness(&d, &preds, "ghost").is_err());
+    }
+
+    #[test]
+    fn empty_groups_are_skipped() {
+        let schema = Schema::new(
+            vec![Attribute::from_strs("g", &["a", "b", "never"]).protected()],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        let mut preds = Vec::new();
+        for g in 0..2u32 {
+            for i in 0..10 {
+                d.push_row(&[g], u8::from(i % 2 == 0)).unwrap();
+                preds.push(u8::from(i % 2 == 0));
+            }
+        }
+        let r = group_fairness(&d, &preds, "g").unwrap();
+        assert_eq!(r.groups[2].total(), 0);
+        assert_eq!(r.demographic_parity_difference, 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # remedy-fairness
+//!
+//! Fairness-measurement substrate for the `remedy` reproduction.
+//!
+//! * [`confusion`] — confusion counts and the model statistics the paper
+//!   uses (`γ ∈ {FPR, FNR}`, plus accuracy and selection rate).
+//! * [`measure`] — the [`measure::Statistic`] enum and subgroup
+//!   divergence `Δγ_g = |γ_g − γ_d|` (Definition 1).
+//! * [`explorer`] — a DivExplorer-style enumerator that scores *every*
+//!   intersectional subgroup of the protected attributes in one sweep,
+//!   reporting support, divergence, and Welch-t significance.
+//! * [`index`] — the paper's *Fairness Index*: the sum of divergences over
+//!   significant unfair subgroups with support ≥ 0.1 (§V-A.d).
+//! * [`violation`] — GerryFair's *fairness violation*: the maximum
+//!   divergence × subgroup mass, used in the Table III baseline comparison.
+//! * [`stats`] — self-contained statistics (Welch t-test, Student-t CDF via
+//!   the regularized incomplete beta function).
+//! * [`report`] — Markdown audit reports bundling all of the above.
+
+pub mod confusion;
+pub mod explorer;
+pub mod group;
+pub mod index;
+pub mod measure;
+pub mod prune;
+pub mod report;
+pub mod stats;
+pub mod violation;
+
+pub use confusion::ConfusionCounts;
+pub use explorer::{Explorer, SubgroupReport};
+pub use group::{group_fairness, GroupFairnessReport};
+pub use index::{fairness_index, FairnessIndexParams};
+pub use measure::{divergence, statistic_of, Statistic};
+pub use prune::{explore_pruned, prune_redundant};
+pub use report::{audit, AuditConfig, AuditReport};
+pub use violation::fairness_violation;

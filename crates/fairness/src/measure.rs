@@ -1,0 +1,161 @@
+//! Model statistics `γ` and subgroup divergence (Definition 1).
+
+use crate::confusion::ConfusionCounts;
+use remedy_dataset::{Dataset, Pattern};
+
+/// The model statistic `γ` a fairness analysis is run under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Statistic {
+    /// False-positive rate (the *predictive equality* / equal-opportunity
+    /// family of constraints).
+    Fpr,
+    /// False-negative rate (part of *equalized odds*).
+    Fnr,
+    /// Prediction accuracy (discussed but not evaluated in the paper).
+    Accuracy,
+    /// Selection rate `Pr[h(x)=1]` (statistical parity).
+    SelectionRate,
+}
+
+impl Statistic {
+    /// Both statistics the paper evaluates, in its order.
+    pub const PAPER: [Statistic; 2] = [Statistic::Fpr, Statistic::Fnr];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Statistic::Fpr => "FPR",
+            Statistic::Fnr => "FNR",
+            Statistic::Accuracy => "ACC",
+            Statistic::SelectionRate => "SEL",
+        }
+    }
+}
+
+impl std::fmt::Display for Statistic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Evaluates a statistic on confusion counts.
+pub fn statistic_of(counts: &ConfusionCounts, stat: Statistic) -> f64 {
+    match stat {
+        Statistic::Fpr => counts.fpr(),
+        Statistic::Fnr => counts.fnr(),
+        Statistic::Accuracy => counts.accuracy(),
+        Statistic::SelectionRate => counts.selection_rate(),
+    }
+}
+
+/// Divergence `Δγ_g = |γ_g − γ_d|` of a subgroup statistic from the overall
+/// dataset statistic.
+pub fn divergence(gamma_subgroup: f64, gamma_dataset: f64) -> f64 {
+    (gamma_subgroup - gamma_dataset).abs()
+}
+
+/// Convenience: confusion counts restricted to a subgroup pattern.
+pub fn subgroup_counts(
+    data: &Dataset,
+    predictions: &[u8],
+    pattern: &Pattern,
+) -> ConfusionCounts {
+    assert_eq!(predictions.len(), data.len(), "length mismatch");
+    ConfusionCounts::from_masked(predictions, data.labels(), |i| data.matches(pattern, i))
+}
+
+/// Convenience: `Δγ_g` for a subgroup pattern against the full dataset.
+pub fn subgroup_divergence(
+    data: &Dataset,
+    predictions: &[u8],
+    pattern: &Pattern,
+    stat: Statistic,
+) -> f64 {
+    let overall = ConfusionCounts::from_predictions(predictions, data.labels());
+    let sub = subgroup_counts(data, predictions, pattern);
+    divergence(statistic_of(&sub, stat), statistic_of(&overall, stat))
+}
+
+/// Whether a subgroup is `τ_d`-fair under a statistic (Definition 1).
+pub fn is_fair(
+    data: &Dataset,
+    predictions: &[u8],
+    pattern: &Pattern,
+    stat: Statistic,
+    tau_d: f64,
+) -> bool {
+    subgroup_divergence(data, predictions, pattern, stat) <= tau_d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remedy_dataset::{Attribute, Schema};
+
+    fn setup() -> (Dataset, Vec<u8>) {
+        let schema = Schema::new(
+            vec![Attribute::from_strs("g", &["a", "b"]).protected()],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        // group a: 2 negatives, both predicted positive (FPR 1.0)
+        d.push_row(&[0], 0).unwrap();
+        d.push_row(&[0], 0).unwrap();
+        // group b: 2 negatives predicted negative, 2 positives predicted
+        // positive
+        d.push_row(&[1], 0).unwrap();
+        d.push_row(&[1], 0).unwrap();
+        d.push_row(&[1], 1).unwrap();
+        d.push_row(&[1], 1).unwrap();
+        let preds = vec![1, 1, 0, 0, 1, 1];
+        (d, preds)
+    }
+
+    #[test]
+    fn statistic_dispatch() {
+        let c = ConfusionCounts {
+            tp: 1,
+            fp: 1,
+            tn: 3,
+            fn_: 1,
+        };
+        assert_eq!(statistic_of(&c, Statistic::Fpr), c.fpr());
+        assert_eq!(statistic_of(&c, Statistic::Fnr), c.fnr());
+        assert_eq!(statistic_of(&c, Statistic::Accuracy), c.accuracy());
+        assert_eq!(statistic_of(&c, Statistic::SelectionRate), c.selection_rate());
+    }
+
+    #[test]
+    fn subgroup_divergence_example() {
+        let (d, preds) = setup();
+        // overall FPR = 2/4 = 0.5; group a FPR = 1.0 → divergence 0.5
+        let pa = Pattern::from_terms([(0usize, 0u32)]);
+        let div = subgroup_divergence(&d, &preds, &pa, Statistic::Fpr);
+        assert!((div - 0.5).abs() < 1e-12);
+        // group b FPR = 0 → divergence 0.5 as well
+        let pb = Pattern::from_terms([(0usize, 1u32)]);
+        let div_b = subgroup_divergence(&d, &preds, &pb, Statistic::Fpr);
+        assert!((div_b - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_threshold_definition_1() {
+        let (d, preds) = setup();
+        let pa = Pattern::from_terms([(0usize, 0u32)]);
+        assert!(!is_fair(&d, &preds, &pa, Statistic::Fpr, 0.1));
+        assert!(is_fair(&d, &preds, &pa, Statistic::Fpr, 0.6));
+    }
+
+    #[test]
+    fn divergence_is_symmetric_absolute() {
+        assert_eq!(divergence(0.3, 0.7), divergence(0.7, 0.3));
+        assert_eq!(divergence(0.5, 0.5), 0.0);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Statistic::Fpr.to_string(), "FPR");
+        assert_eq!(Statistic::Fnr.to_string(), "FNR");
+    }
+}

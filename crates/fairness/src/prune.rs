@@ -1,0 +1,143 @@
+//! Redundancy pruning for subgroup reports.
+//!
+//! A full lattice sweep reports every intersectional pattern, so a single
+//! underlying disparity surfaces many times: if `(race = X)` is unfair,
+//! every specialization `(race = X ∧ …)` that merely inherits the parent's
+//! divergence clutters the audit. [`prune_redundant`] keeps a subgroup only
+//! when it adds information over its *generalizations*: its divergence must
+//! exceed every reported strict generalization's by at least `epsilon`.
+//! This mirrors DivExplorer's notion of selecting pattern divergence that
+//! is not explained by shorter patterns.
+
+use crate::explorer::SubgroupReport;
+
+/// Keeps subgroups whose divergence exceeds that of every reported strict
+/// generalization by at least `epsilon` (level-1 subgroups are always
+/// kept). Input order is preserved for the survivors.
+pub fn prune_redundant(reports: &[SubgroupReport], epsilon: f64) -> Vec<SubgroupReport> {
+    assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    reports
+        .iter()
+        .filter(|candidate| {
+            !reports.iter().any(|general| {
+                general.pattern != candidate.pattern
+                    && candidate.pattern.is_dominated_by(&general.pattern)
+                    && candidate.divergence <= general.divergence + epsilon
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+/// Convenience: explore-and-prune in one call.
+pub fn explore_pruned(
+    explorer: &crate::explorer::Explorer,
+    data: &remedy_dataset::Dataset,
+    predictions: &[u8],
+    stat: crate::measure::Statistic,
+    epsilon: f64,
+) -> Vec<SubgroupReport> {
+    prune_redundant(&explorer.explore(data, predictions, stat), epsilon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::Explorer;
+    use crate::measure::Statistic;
+    use remedy_dataset::{Attribute, Dataset, Schema};
+
+    /// All the unfairness lives in the marginal group a=1; its
+    /// intersections with b inherit the same FPR.
+    fn marginal_bias() -> (Dataset, Vec<u8>) {
+        let schema = Schema::new(
+            vec![
+                Attribute::from_strs("a", &["0", "1"]).protected(),
+                Attribute::from_strs("b", &["0", "1"]).protected(),
+            ],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        let mut preds = Vec::new();
+        for a in 0..2u32 {
+            for b in 0..2u32 {
+                for _ in 0..50 {
+                    d.push_row(&[a, b], 0).unwrap();
+                    preds.push(u8::from(a == 1)); // FPR 1.0 across all of a=1
+                }
+            }
+        }
+        (d, preds)
+    }
+
+    #[test]
+    fn inherited_intersections_are_pruned() {
+        let (d, preds) = marginal_bias();
+        let reports = Explorer::default().explore(&d, &preds, Statistic::Fpr);
+        let pruned = prune_redundant(&reports, 1e-9);
+        // survivors: the two marginals of `a` and the two of `b`? b=0/b=1
+        // have FPR 0.5 == overall → divergence 0, kept only if no
+        // generalization exceeds them (they are level 1 → kept).
+        // The four (a,b) intersections all inherit their a-parent's
+        // divergence exactly and must vanish.
+        assert!(pruned.iter().all(|r| r.pattern.level() == 1), "{pruned:?}");
+        assert!(reports.iter().any(|r| r.pattern.level() == 2));
+    }
+
+    #[test]
+    fn genuinely_worse_intersections_survive() {
+        // corner (1,1) is strictly worse than either marginal
+        let schema = Schema::new(
+            vec![
+                Attribute::from_strs("a", &["0", "1"]).protected(),
+                Attribute::from_strs("b", &["0", "1"]).protected(),
+            ],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        let mut preds = Vec::new();
+        for a in 0..2u32 {
+            for b in 0..2u32 {
+                for i in 0..50 {
+                    d.push_row(&[a, b], 0).unwrap();
+                    // corner always FP; elsewhere 20% FP
+                    preds.push(u8::from(a == 1 && b == 1 || i % 5 == 0));
+                }
+            }
+        }
+        let reports = Explorer::default().explore(&d, &preds, Statistic::Fpr);
+        let pruned = prune_redundant(&reports, 1e-9);
+        assert!(
+            pruned.iter().any(|r| r.pattern.level() == 2
+                && r.pattern.get(0) == Some(1)
+                && r.pattern.get(1) == Some(1)),
+            "the corner adds divergence over its parents and must survive: {pruned:?}"
+        );
+    }
+
+    #[test]
+    fn epsilon_widens_the_pruning() {
+        let (d, preds) = marginal_bias();
+        let reports = Explorer::default().explore(&d, &preds, Statistic::Fpr);
+        let strict = prune_redundant(&reports, 0.0);
+        let loose = prune_redundant(&reports, 0.5);
+        assert!(loose.len() <= strict.len());
+    }
+
+    #[test]
+    fn explore_pruned_composes() {
+        let (d, preds) = marginal_bias();
+        let explorer = Explorer::default();
+        let direct = prune_redundant(&explorer.explore(&d, &preds, Statistic::Fpr), 1e-9);
+        let composed = explore_pruned(&explorer, &d, &preds, Statistic::Fpr, 1e-9);
+        assert_eq!(direct, composed);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_epsilon_rejected() {
+        let _ = prune_redundant(&[], -0.1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Cross-crate integration tests: the full dataset → IBS → remedy →
+//! classifier → fairness pipeline.
+
+use remedy::classifiers::{accuracy, train, ModelKind};
+use remedy::core::{
+    identify, remedy as remedy_data, Algorithm, IbsParams, RemedyParams, Scope, Technique,
+};
+use remedy::dataset::split::train_test_split;
+use remedy::dataset::synth;
+use remedy::fairness::{fairness_index, FairnessIndexParams, Statistic};
+
+/// The paper's headline claim end-to-end: remedying the training data
+/// lowers the subgroup fairness index of a downstream model without
+/// destroying accuracy.
+#[test]
+fn remedy_mitigates_subgroup_unfairness() {
+    let data = synth::compas(42);
+    let (train_set, test_set) = train_test_split(&data, 0.7, 42).unwrap();
+    let fi = FairnessIndexParams::default();
+
+    let base_model = train(ModelKind::DecisionTree, &train_set, 42);
+    let base_preds = base_model.predict(&test_set);
+    let base_fi_fpr = fairness_index(&test_set, &base_preds, Statistic::Fpr, &fi);
+    let base_fi_fnr = fairness_index(&test_set, &base_preds, Statistic::Fnr, &fi);
+    let base_acc = accuracy(&base_preds, test_set.labels());
+
+    let outcome = remedy_data(&train_set, &RemedyParams::default());
+    let model = train(ModelKind::DecisionTree, &outcome.dataset, 42);
+    let preds = model.predict(&test_set);
+    let fi_fpr = fairness_index(&test_set, &preds, Statistic::Fpr, &fi);
+    let fi_fnr = fairness_index(&test_set, &preds, Statistic::Fnr, &fi);
+    let acc = accuracy(&preds, test_set.labels());
+
+    assert!(
+        fi_fpr < base_fi_fpr * 0.7,
+        "FPR index should improve markedly: {base_fi_fpr} → {fi_fpr}"
+    );
+    // the paper: both statistics improve simultaneously (§V-B2)
+    assert!(
+        fi_fnr < base_fi_fnr,
+        "FNR index should improve too: {base_fi_fnr} → {fi_fnr}"
+    );
+    assert!(
+        base_acc - acc < 0.1,
+        "accuracy drop must stay below 0.1: {base_acc} → {acc}"
+    );
+}
+
+/// Remedying with each technique keeps datasets structurally valid.
+#[test]
+fn all_techniques_produce_valid_datasets() {
+    let data = synth::compas_n(2_000, 5);
+    for technique in Technique::ALL {
+        let outcome = remedy_data(
+            &data,
+            &RemedyParams {
+                technique,
+                ..RemedyParams::default()
+            },
+        );
+        let d = &outcome.dataset;
+        assert!(!d.is_empty(), "{technique}: dataset empty");
+        for i in 0..d.len() {
+            assert!(d.label(i) <= 1);
+            for col in 0..d.schema().len() {
+                assert!((d.value(i, col) as usize) < d.schema().attribute(col).cardinality());
+            }
+        }
+        // massaging must preserve size exactly; undersampling never grows;
+        // oversampling never shrinks
+        match technique {
+            Technique::Massaging => assert_eq!(d.len(), data.len()),
+            Technique::Undersampling => assert!(d.len() <= data.len()),
+            Technique::Oversampling => assert!(d.len() >= data.len()),
+            Technique::PreferentialSampling => {}
+        }
+    }
+}
+
+/// The naïve and optimized identification algorithms agree on every
+/// dataset and scope.
+#[test]
+fn identification_algorithms_agree_end_to_end() {
+    for (name, data) in [
+        ("compas", synth::compas_n(3_000, 1)),
+        ("law", synth::law_school_n(2_000, 1)),
+        ("adult", synth::adult_n(3_000, 1)),
+    ] {
+        for scope in [Scope::Lattice, Scope::Leaf, Scope::Top] {
+            let params = IbsParams {
+                scope,
+                ..IbsParams::default()
+            };
+            let naive = identify(&data, &params, Algorithm::Naive);
+            let optimized = identify(&data, &params, Algorithm::Optimized);
+            assert_eq!(naive, optimized, "{name}/{scope:?}");
+        }
+    }
+}
+
+/// Lattice-scope identification finds at least as many biased regions as
+/// either restricted scope.
+#[test]
+fn lattice_scope_subsumes_leaf_and_top() {
+    let data = synth::compas_n(3_000, 9);
+    let count = |scope| {
+        identify(
+            &data,
+            &IbsParams {
+                scope,
+                ..IbsParams::default()
+            },
+            Algorithm::Optimized,
+        )
+        .len()
+    };
+    let lattice = count(Scope::Lattice);
+    assert!(lattice >= count(Scope::Leaf));
+    assert!(lattice >= count(Scope::Top));
+}
+
+/// Seeds fully determine the pipeline: same inputs, same outputs.
+#[test]
+fn pipeline_is_reproducible() {
+    let data = synth::law_school_n(1_500, 3);
+    let params = RemedyParams::default();
+    let o1 = remedy_data(&data, &params);
+    let o2 = remedy_data(&data, &params);
+    assert_eq!(o1.dataset, o2.dataset);
+    let m1 = train(ModelKind::RandomForest, &o1.dataset, 3);
+    let m2 = train(ModelKind::RandomForest, &o2.dataset, 3);
+    assert_eq!(m1.predict(&data), m2.predict(&data));
+}
+
+/// Remedy never touches the test set: evaluation uses the untouched data.
+#[test]
+fn test_set_stays_untouched() {
+    let data = synth::compas_n(2_000, 4);
+    let (train_set, test_set) = train_test_split(&data, 0.7, 4).unwrap();
+    let before = test_set.clone();
+    let _ = remedy_data(&train_set, &RemedyParams::default());
+    assert_eq!(test_set, before);
+}

@@ -1,0 +1,216 @@
+//! Property-based tests over the core invariants, driven by proptest.
+
+use proptest::prelude::*;
+use remedy::core::{
+    identify, remedy as remedy_data, Algorithm, IbsParams, Neighborhood, RemedyParams, Scope,
+    Technique,
+};
+use remedy::core::Hierarchy;
+use remedy::dataset::split::train_test_split;
+use remedy::dataset::{Attribute, Dataset, Pattern, Schema};
+use remedy::fairness::{Explorer, Statistic};
+use remedy_baselines::reweight;
+
+/// Arbitrary small dataset: 2 protected attributes (cards 2 and 3), one
+/// feature attribute (card 2), 40–300 rows.
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    let row = (0u32..2, 0u32..3, 0u32..2, 0u8..2);
+    proptest::collection::vec(row, 40..300).prop_map(|rows| {
+        let schema = Schema::new(
+            vec![
+                Attribute::from_strs("a", &["0", "1"]).protected(),
+                Attribute::from_strs("b", &["0", "1", "2"]).protected(),
+                Attribute::from_strs("f", &["0", "1"]),
+            ],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        for (a, b, f, y) in rows {
+            d.push_row(&[a, b, f], y).unwrap();
+        }
+        d
+    })
+}
+
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    proptest::collection::vec((0usize..3, 0u32..2), 0..3)
+        .prop_map(Pattern::from_terms)
+}
+
+proptest! {
+    /// The optimized Algorithm 1 computes exactly what the naïve algorithm
+    /// computes, for both neighborhood settings and every scope.
+    #[test]
+    fn naive_equals_optimized(data in arb_dataset(), tau in 0.0f64..1.0, k in 0u64..40) {
+        for neighborhood in [Neighborhood::Unit, Neighborhood::Full] {
+            for scope in [Scope::Lattice, Scope::Leaf, Scope::Top] {
+                let params = IbsParams { tau_c: tau, min_size: k, neighborhood, scope };
+                let naive = identify(&data, &params, Algorithm::Naive);
+                let optimized = identify(&data, &params, Algorithm::Optimized);
+                prop_assert_eq!(&naive, &optimized);
+            }
+        }
+    }
+
+    /// Hierarchy counts agree with direct pattern filtering for every
+    /// non-empty region.
+    #[test]
+    fn hierarchy_counts_are_exact(data in arb_dataset()) {
+        let h = Hierarchy::build(&data);
+        for node in h.nodes() {
+            for (&key, &counts) in &node.regions {
+                let pattern = h.pattern_of(node.mask, key);
+                let (pos, neg) = data.class_counts(&pattern);
+                prop_assert_eq!(counts.pos, pos as u64);
+                prop_assert_eq!(counts.neg, neg as u64);
+            }
+        }
+    }
+
+    /// Each node's regions partition the dataset.
+    #[test]
+    fn nodes_partition_dataset(data in arb_dataset()) {
+        let h = Hierarchy::build(&data);
+        for node in h.nodes() {
+            let total: u64 = node.regions.values().map(|c| c.total()).sum();
+            prop_assert_eq!(total, data.len() as u64);
+        }
+    }
+
+    /// Dominance is reflexive and transitive; direct generalizations
+    /// always dominate.
+    #[test]
+    fn dominance_laws(p in arb_pattern(), q in arb_pattern(), r in arb_pattern()) {
+        prop_assert!(p.is_dominated_by(&p));
+        if p.is_dominated_by(&q) && q.is_dominated_by(&r) {
+            prop_assert!(p.is_dominated_by(&r));
+        }
+        for g in p.direct_generalizations() {
+            prop_assert!(p.is_dominated_by(&g));
+        }
+        // mutual dominance implies equality
+        if p.is_dominated_by(&q) && q.is_dominated_by(&p) {
+            prop_assert_eq!(&p, &q);
+        }
+    }
+
+    /// Remedy post-condition (Leaf scope, massaging): every updated
+    /// region's imbalance gap shrinks toward the target.
+    #[test]
+    fn remedy_moves_ratios_toward_target(data in arb_dataset(), seed in 0u64..100) {
+        let params = RemedyParams {
+            technique: Technique::Massaging,
+            tau_c: 0.2,
+            min_size: 10,
+            scope: Scope::Leaf,
+            seed,
+            ..RemedyParams::default()
+        };
+        let outcome = remedy_data(&data, &params);
+        for update in &outcome.updates {
+            let (pos, neg) = outcome.dataset.class_counts(&update.pattern);
+            // massaging keeps |r| constant; ratio must be defined or the
+            // region emptied one side entirely
+            if neg > 0 {
+                let after = pos as f64 / neg as f64;
+                let gap_before = (update.ratio_before - update.target_ratio).abs();
+                let gap_after = (after - update.target_ratio).abs();
+                // Definition 6 rounds the flip count to the nearest
+                // integer, so the final ratio may sit up to half a flip
+                // from the target: |d ratio / d flip| ≈ (|r⁺|+|r⁻|)/|r⁻|²
+                let slack = 0.5 * (pos + neg) as f64 / (neg as f64 * neg as f64) + 1e-9;
+                prop_assert!(
+                    gap_after <= gap_before.max(slack),
+                    "gap grew: {} -> {} (target {}, slack {})",
+                    gap_before, gap_after, update.target_ratio, slack
+                );
+            }
+        }
+    }
+
+    /// Oversampling only ever adds rows; undersampling only removes;
+    /// massaging preserves the row count.
+    #[test]
+    fn technique_size_invariants(data in arb_dataset(), seed in 0u64..50) {
+        let base = RemedyParams { min_size: 10, tau_c: 0.1, seed, ..RemedyParams::default() };
+        let over = remedy_data(&data, &RemedyParams { technique: Technique::Oversampling, ..base.clone() });
+        prop_assert!(over.dataset.len() >= data.len());
+        let under = remedy_data(&data, &RemedyParams { technique: Technique::Undersampling, ..base.clone() });
+        prop_assert!(under.dataset.len() <= data.len());
+        let massage = remedy_data(&data, &RemedyParams { technique: Technique::Massaging, ..base });
+        prop_assert_eq!(massage.dataset.len(), data.len());
+    }
+
+    /// Splits partition the dataset: sizes add up and class counts are
+    /// preserved.
+    #[test]
+    fn split_partitions(data in arb_dataset(), frac in 0.1f64..0.9, seed in 0u64..50) {
+        let (train, test) = train_test_split(&data, frac, seed).unwrap();
+        prop_assert_eq!(train.len() + test.len(), data.len());
+        prop_assert_eq!(train.positives() + test.positives(), data.positives());
+    }
+
+    /// Reweighting produces positive weights and, for every subgroup with
+    /// both classes present, equalizes the weighted class distribution to
+    /// the dataset's. (Total weight is preserved exactly only when every
+    /// (subgroup, label) cell is non-empty.)
+    #[test]
+    fn reweighting_invariants(data in arb_dataset()) {
+        let w = reweight(&data);
+        prop_assert!(w.weights().iter().all(|&x| x > 0.0));
+        let protected = data.schema().protected_indices();
+        let overall_pos = data.positives() as f64 / data.len() as f64;
+        // group rows by protected value tuple
+        let mut groups: std::collections::HashMap<Vec<u32>, Vec<usize>> =
+            std::collections::HashMap::new();
+        for i in 0..data.len() {
+            let key: Vec<u32> = protected.iter().map(|&a| data.value(i, a)).collect();
+            groups.entry(key).or_default().push(i);
+        }
+        for rows in groups.values() {
+            let has_pos = rows.iter().any(|&i| data.label(i) == 1);
+            let has_neg = rows.iter().any(|&i| data.label(i) == 0);
+            if !(has_pos && has_neg) {
+                continue;
+            }
+            let w_pos: f64 = rows.iter().filter(|&&i| w.label(i) == 1).map(|&i| w.weight(i)).sum();
+            let w_all: f64 = rows.iter().map(|&i| w.weight(i)).sum();
+            prop_assert!(
+                (w_pos / w_all - overall_pos).abs() < 1e-9,
+                "group class distribution {} != overall {}",
+                w_pos / w_all, overall_pos
+            );
+        }
+    }
+
+    /// Explorer reports are internally consistent: support matches size,
+    /// divergence is within [0, 1], counts match direct filtering.
+    #[test]
+    fn explorer_reports_consistent(data in arb_dataset(), preds_seed in 0u64..50) {
+        // pseudo-random predictions derived from the seed
+        let preds: Vec<u8> = (0..data.len())
+            .map(|i| u8::from((i as u64).wrapping_mul(preds_seed + 7).is_multiple_of(3)))
+            .collect();
+        let reports = Explorer::default().explore(&data, &preds, Statistic::Fpr);
+        for r in &reports {
+            prop_assert!((r.support - r.size as f64 / data.len() as f64).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&r.divergence));
+            prop_assert!((0.0..=1.0).contains(&r.p_value));
+            let expected = data.indices_matching(&r.pattern).len();
+            prop_assert_eq!(r.size, expected);
+        }
+    }
+
+    /// The imbalance-score sentinel appears exactly when a region has no
+    /// negatives.
+    #[test]
+    fn imbalance_sentinel(pos in 0u64..1000, neg in 0u64..1000) {
+        let score = remedy::core::imbalance(pos, neg);
+        if neg == 0 {
+            prop_assert_eq!(score, -1.0);
+        } else {
+            prop_assert!((score - pos as f64 / neg as f64).abs() < 1e-12);
+        }
+    }
+}
