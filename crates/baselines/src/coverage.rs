@@ -195,7 +195,8 @@ mod tests {
             .iter()
             .any(|(p, c)| p.level() == 1 && p.get(0) == Some(1) && *c == 5));
         assert!(
-            mups.iter().all(|(p, _)| p.get(0) != Some(1) || p.level() == 1),
+            mups.iter()
+                .all(|(p, _)| p.get(0) != Some(1) || p.level() == 1),
             "specializations of an uncovered pattern are not maximal: {mups:?}"
         );
     }

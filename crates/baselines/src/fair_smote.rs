@@ -58,7 +58,10 @@ pub fn fair_smote(data: &Dataset, params: &FairSmoteParams) -> Dataset {
     for i in 0..data.len() {
         key.clear();
         key.extend(protected.iter().map(|&a| data.value(i, a)));
-        cells.entry((key.clone(), data.label(i))).or_default().push(i);
+        cells
+            .entry((key.clone(), data.label(i)))
+            .or_default()
+            .push(i);
     }
     let max_cell = cells.values().map(Vec::len).max().unwrap_or(0);
 
@@ -82,8 +85,7 @@ pub fn fair_smote(data: &Dataset, params: &FairSmoteParams) -> Dataset {
             } else {
                 rows.clone()
             };
-            let neighbors =
-                nearest_neighbors(data, &seed_codes, &pool, params.k, Some(seed_row));
+            let neighbors = nearest_neighbors(data, &seed_codes, &pool, params.k, Some(seed_row));
             let partner = if neighbors.is_empty() {
                 seed_row
             } else {
@@ -96,7 +98,8 @@ pub fn fair_smote(data: &Dataset, params: &FairSmoteParams) -> Dataset {
                     seed_codes[col]
                 };
             }
-            out.push_row(&synthetic, *label).expect("valid synthetic row");
+            out.push_row(&synthetic, *label)
+                .expect("valid synthetic row");
         }
     }
     out
@@ -158,9 +161,7 @@ mod tests {
         // counted above; additionally, every row must have valid codes
         for i in 0..out.len() {
             for col in 0..out.schema().len() {
-                assert!(
-                    (out.value(i, col) as usize) < out.schema().attribute(col).cardinality()
-                );
+                assert!((out.value(i, col) as usize) < out.schema().attribute(col).cardinality());
             }
         }
     }

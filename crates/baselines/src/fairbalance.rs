@@ -38,7 +38,11 @@ pub fn fairbalance_weights(data: &Dataset) -> Dataset {
         let cell = group[&key];
         let s_total = cell[0] + cell[1];
         let s_y = cell[data.label(i) as usize];
-        let w = if s_y > 0.0 { s_total / (2.0 * s_y) } else { 1.0 };
+        let w = if s_y > 0.0 {
+            s_total / (2.0 * s_y)
+        } else {
+            1.0
+        };
         out.set_weight(i, w);
     }
     out

@@ -92,16 +92,11 @@ impl GerryFair {
             // If g* is over-predicted (FPR above overall), false positives
             // there must become costlier → upweight g*'s negatives;
             // otherwise upweight its positives.
-            let overall_fpr = remedy_fairness::ConfusionCounts::from_predictions(
-                &predictions,
-                data.labels(),
-            )
-            .fpr();
-            let group_counts = remedy_fairness::measure::subgroup_counts(
-                data,
-                &predictions,
-                &group,
-            );
+            let overall_fpr =
+                remedy_fairness::ConfusionCounts::from_predictions(&predictions, data.labels())
+                    .fpr();
+            let group_counts =
+                remedy_fairness::measure::subgroup_counts(data, &predictions, &group);
             let over_predicted = group_counts.fpr() >= overall_fpr;
             // cost-sensitive response on negatives only: predicting 1 on a
             // negative in g* gets costlier when g* is over-predicted and

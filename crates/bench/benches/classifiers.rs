@@ -11,9 +11,11 @@ fn bench_training(c: &mut Criterion) {
     group.sample_size(10);
     let data = synth::compas_n(3_000, 42);
     for kind in ModelKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.abbrev()), &kind, |b, &k| {
-            b.iter(|| train(k, std::hint::black_box(&data), 42))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.abbrev()),
+            &kind,
+            |b, &k| b.iter(|| train(k, std::hint::black_box(&data), 42)),
+        );
     }
     group.bench_function("NB_ranker", |b| {
         b.iter(|| NaiveBayes::fit(std::hint::black_box(&data)))

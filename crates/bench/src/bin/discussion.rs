@@ -23,7 +23,9 @@
 use remedy_bench::datasets::{load, DatasetSpec};
 use remedy_bench::eval::paper_split;
 use remedy_bench::table::{f3, TsvWriter};
-use remedy_classifiers::{accuracy, cost_proportionate, CostMatrix, DecisionTree, DecisionTreeParams, Model};
+use remedy_classifiers::{
+    accuracy, cost_proportionate, CostMatrix, DecisionTree, DecisionTreeParams, Model,
+};
 use remedy_core::{remedy, remedy_iterative, IterativeParams, RemedyParams};
 use remedy_dataset::Dataset;
 use remedy_fairness::{fairness_index, FairnessIndexParams, Statistic};
@@ -44,7 +46,12 @@ fn statistical_parity() {
     let seed = 42;
     let mut table = TsvWriter::new(
         "discussion_statparity",
-        &["dataset", "FI(selection rate) orig", "FI(selection rate) remedied", "accuracy delta"],
+        &[
+            "dataset",
+            "FI(selection rate) orig",
+            "FI(selection rate) remedied",
+            "accuracy delta",
+        ],
     );
     for spec in [DatasetSpec::Compas, DatasetSpec::LawSchool] {
         let data = load(spec, seed);
@@ -99,18 +106,8 @@ fn cost_sensitive_limitation() {
         let cost = CostMatrix::favor_recall(ratio);
         let base = dt(&cost_proportionate(&train_set, cost));
         let fixed = dt(&cost_proportionate(&remedied, cost));
-        let fi_base = fairness_index(
-            &test_set,
-            &base.predict(&test_set),
-            Statistic::Fpr,
-            &fi,
-        );
-        let fi_fixed = fairness_index(
-            &test_set,
-            &fixed.predict(&test_set),
-            Statistic::Fpr,
-            &fi,
-        );
+        let fi_base = fairness_index(&test_set, &base.predict(&test_set), Statistic::Fpr, &fi);
+        let fi_fixed = fairness_index(&test_set, &fixed.predict(&test_set), Statistic::Fpr, &fi);
         let improvement = if fi_base > 0.0 {
             1.0 - fi_fixed / fi_base
         } else {

@@ -45,7 +45,8 @@ fn main() {
         min_size: 30,
         ..IbsParams::default()
     };
-    let ibs = remedy_core::identify::identify_over(&train_set, &columns, &params, Algorithm::Optimized);
+    let ibs =
+        remedy_core::identify::identify_over(&train_set, &columns, &params, Algorithm::Optimized);
     println!(
         "IBS on training data: {} biased regions (τ_c = {}, T = 1)\n",
         ibs.len(),
@@ -121,11 +122,12 @@ fn main() {
         }
     }
     table.finish();
-    println!(
-        "\n{marked}/{total} unfair subgroups are in IBS or dominate IBS regions (γ = {stat})"
-    );
+    println!("\n{marked}/{total} unfair subgroups are in IBS or dominate IBS regions (γ = {stat})");
     if !sign_agreements.is_empty() {
         let mean = sign_agreements.iter().sum::<f64>() / sign_agreements.len() as f64;
-        println!("gap-sign ↔ unfairness-direction agreement: {:.0}%", mean * 100.0);
+        println!(
+            "gap-sign ↔ unfairness-direction agreement: {:.0}%",
+            mean * 100.0
+        );
     }
 }

@@ -21,7 +21,13 @@ fn main() {
     let seed = 42;
     let mut table = TsvWriter::new(
         "fig7_tau_sweep",
-        &["dataset", "tau_c", "FI(FPR)", "accuracy", "regions remedied"],
+        &[
+            "dataset",
+            "tau_c",
+            "FI(FPR)",
+            "accuracy",
+            "regions remedied",
+        ],
     );
     for spec in [DatasetSpec::Compas, DatasetSpec::Adult] {
         let data = load(spec, seed);

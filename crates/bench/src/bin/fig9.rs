@@ -63,10 +63,8 @@ fn sweep_attrs() {
         // hierarchy construction is shared by both algorithms; the
         // naive/optimized asymmetry is in the per-region neighbor work
         let (hierarchy, t_build) = time_it(|| Hierarchy::build_over(&data, &cols));
-        let (ibs_naive, t_naive) =
-            time_it(|| identify_in(&hierarchy, &params, Algorithm::Naive));
-        let (ibs_opt, t_opt) =
-            time_it(|| identify_in(&hierarchy, &params, Algorithm::Optimized));
+        let (ibs_naive, t_naive) = time_it(|| identify_in(&hierarchy, &params, Algorithm::Naive));
+        let (ibs_opt, t_opt) = time_it(|| identify_in(&hierarchy, &params, Algorithm::Optimized));
         assert_eq!(ibs_naive.len(), ibs_opt.len(), "algorithms must agree");
         ident.row(&[
             k.to_string(),
@@ -115,7 +113,13 @@ fn sweep_size() {
     ];
     let mut ident = TsvWriter::new(
         "fig9c_identify_size",
-        &["rows", "hierarchy (s)", "naive (s)", "optimized (s)", "IBS size"],
+        &[
+            "rows",
+            "hierarchy (s)",
+            "naive (s)",
+            "optimized (s)",
+            "IBS size",
+        ],
     );
     let mut rem = TsvWriter::new(
         "fig9d_remedy_size",
@@ -125,10 +129,8 @@ fn sweep_size() {
         let data = synth::adult_n(n, 42);
         let cols = protected_cols(&data, 8);
         let (hierarchy, t_build) = time_it(|| Hierarchy::build_over(&data, &cols));
-        let (ibs_naive, t_naive) =
-            time_it(|| identify_in(&hierarchy, &params, Algorithm::Naive));
-        let (ibs_opt, t_opt) =
-            time_it(|| identify_in(&hierarchy, &params, Algorithm::Optimized));
+        let (ibs_naive, t_naive) = time_it(|| identify_in(&hierarchy, &params, Algorithm::Naive));
+        let (ibs_opt, t_opt) = time_it(|| identify_in(&hierarchy, &params, Algorithm::Optimized));
         assert_eq!(ibs_naive.len(), ibs_opt.len());
         ident.row(&[
             n.to_string(),

@@ -67,7 +67,13 @@ fn main() {
 
     // Coverage
     let (covered, secs) = time_it(|| coverage_augment(&train_set, &CoverageParams::default()).0);
-    report(&mut table, "Coverage", &*lg(&covered), &test_set, Some(secs));
+    report(
+        &mut table,
+        "Coverage",
+        &*lg(&covered),
+        &test_set,
+        Some(secs),
+    );
 
     // FairBalance
     let (balanced, secs) = time_it(|| fairbalance_weights(&train_set));
@@ -135,6 +141,7 @@ fn report(
         name.to_string(),
         f4(violation),
         f3(acc),
-        secs.map(|s| format!("{s:.2}")).unwrap_or_else(|| "-".into()),
+        secs.map(|s| format!("{s:.2}"))
+            .unwrap_or_else(|| "-".into()),
     ]);
 }

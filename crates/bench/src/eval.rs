@@ -31,7 +31,11 @@ pub struct PipelineConfig {
 
 /// Trains on (optionally remedied) training data and evaluates on the test
 /// set. As in the paper, the test set is never remedied.
-pub fn run_pipeline(train_set: &Dataset, test_set: &Dataset, config: &PipelineConfig) -> Evaluation {
+pub fn run_pipeline(
+    train_set: &Dataset,
+    test_set: &Dataset,
+    config: &PipelineConfig,
+) -> Evaluation {
     let effective_train = match &config.remedy {
         Some(params) => remedy(train_set, params).dataset,
         None => train_set.clone(),

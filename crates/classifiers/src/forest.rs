@@ -84,8 +84,7 @@ impl RandomForest {
                 scope.spawn(move || {
                     for (j, slot) in slot_chunk.iter_mut().enumerate() {
                         let tree_idx = t * chunk + j;
-                        let mut rng =
-                            StdRng::seed_from_u64(seed ^ (0x5EED_0000 + tree_idx as u64));
+                        let mut rng = StdRng::seed_from_u64(seed ^ (0x5EED_0000 + tree_idx as u64));
                         // weighted bootstrap of |D| rows
                         let rows: Vec<u32> = (0..data.len())
                             .map(|_| {
@@ -114,7 +113,10 @@ impl RandomForest {
             }
         });
         RandomForest {
-            trees: trees.into_iter().map(|t| t.expect("tree trained")).collect(),
+            trees: trees
+                .into_iter()
+                .map(|t| t.expect("tree trained"))
+                .collect(),
         }
     }
 
@@ -129,11 +131,7 @@ impl Model for RandomForest {
         if self.trees.is_empty() {
             return 0.0;
         }
-        let sum: f64 = self
-            .trees
-            .iter()
-            .map(|t| t.predict_proba_row(codes))
-            .sum();
+        let sum: f64 = self.trees.iter().map(|t| t.predict_proba_row(codes)).sum();
         sum / self.trees.len() as f64
     }
 }
@@ -171,8 +169,8 @@ mod tests {
         let f = RandomForest::fit(&d, &RandomForestParams::default(), 7);
         assert_eq!(f.n_trees(), 30);
         let preds = f.predict(&d);
-        let acc = preds.iter().zip(d.labels()).filter(|(p, y)| p == y).count() as f64
-            / d.len() as f64;
+        let acc =
+            preds.iter().zip(d.labels()).filter(|(p, y)| p == y).count() as f64 / d.len() as f64;
         assert!(acc > 0.95, "forest accuracy {acc}");
     }
 

@@ -65,16 +65,17 @@ impl GridSearch {
                 )
             }
             ModelKind::RandomForest => {
-                let grid = [(20usize, 10usize), (30, 14), (50, 14)].into_iter().map(
-                    |(n_trees, depth)| RandomForestParams {
-                        n_trees,
-                        tree: DecisionTreeParams {
-                            max_depth: depth,
-                            ..DecisionTreeParams::default()
-                        },
-                        ..RandomForestParams::default()
-                    },
-                );
+                let grid =
+                    [(20usize, 10usize), (30, 14), (50, 14)]
+                        .into_iter()
+                        .map(|(n_trees, depth)| RandomForestParams {
+                            n_trees,
+                            tree: DecisionTreeParams {
+                                max_depth: depth,
+                                ..DecisionTreeParams::default()
+                            },
+                            ..RandomForestParams::default()
+                        });
                 self.pick(
                     data,
                     &train,
@@ -101,10 +102,12 @@ impl GridSearch {
                 )
             }
             ModelKind::NeuralNetwork => {
-                let grid = [8usize, 16, 32].into_iter().map(|hidden| NeuralNetworkParams {
-                    hidden,
-                    ..NeuralNetworkParams::default()
-                });
+                let grid = [8usize, 16, 32]
+                    .into_iter()
+                    .map(|hidden| NeuralNetworkParams {
+                        hidden,
+                        ..NeuralNetworkParams::default()
+                    });
                 self.pick(
                     data,
                     &train,

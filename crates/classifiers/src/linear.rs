@@ -60,7 +60,11 @@ impl LogisticRegression {
         }
         let x = encoder.encode(data);
         let total_weight: f64 = data.weights().iter().sum();
-        let norm = if total_weight > 0.0 { total_weight } else { 1.0 };
+        let norm = if total_weight > 0.0 {
+            total_weight
+        } else {
+            1.0
+        };
 
         let mut grad = vec![0.0_f64; n_features];
         for _ in 0..params.epochs {

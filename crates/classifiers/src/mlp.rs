@@ -109,13 +109,7 @@ impl NeuralNetwork {
                         }
                         *hk = z.max(0.0);
                     }
-                    let z2 = net.b2
-                        + net
-                            .w2
-                            .iter()
-                            .zip(h.iter())
-                            .map(|(a, b)| a * b)
-                            .sum::<f64>();
+                    let z2 = net.b2 + net.w2.iter().zip(h.iter()).map(|(a, b)| a * b).sum::<f64>();
                     let p = sigmoid(z2);
                     let err = (p - f64::from(data.label(i))) * w;
                     // backward

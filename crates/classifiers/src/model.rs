@@ -134,11 +134,7 @@ mod tests {
         for kind in ModelKind::ALL {
             let model = train(kind, &d, 42);
             let preds = model.predict(&d);
-            let acc = preds
-                .iter()
-                .zip(d.labels())
-                .filter(|(p, y)| p == y)
-                .count() as f64
+            let acc = preds.iter().zip(d.labels()).filter(|(p, y)| p == y).count() as f64
                 / d.len() as f64;
             assert!(acc > 0.95, "{kind} only reached accuracy {acc}");
         }

@@ -106,7 +106,10 @@ fn write_tree_body(tree: &DecisionTree, out: &mut String) {
 
 /// Serializes a random forest.
 pub fn forest_to_text(forest: &RandomForest) -> String {
-    let mut out = format!("{MAGIC}\nkind random-forest\ntrees {}\n", forest.trees.len());
+    let mut out = format!(
+        "{MAGIC}\nkind random-forest\ntrees {}\n",
+        forest.trees.len()
+    );
     for tree in &forest.trees {
         write_tree_body(tree, &mut out);
     }

@@ -80,7 +80,13 @@ impl DecisionTree {
         tree
     }
 
-    fn build(&mut self, data: &Dataset, params: &DecisionTreeParams, rows: Vec<u32>, depth: usize) -> usize {
+    fn build(
+        &mut self,
+        data: &Dataset,
+        params: &DecisionTreeParams,
+        rows: Vec<u32>,
+        depth: usize,
+    ) -> usize {
         self.build_masked(data, params, rows, depth, None)
     }
 
@@ -192,7 +198,11 @@ impl Model for DecisionTree {
                     eq,
                     ne,
                 } => {
-                    idx = if codes[*attribute] == *value { *eq } else { *ne };
+                    idx = if codes[*attribute] == *value {
+                        *eq
+                    } else {
+                        *ne
+                    };
                 }
             }
         }

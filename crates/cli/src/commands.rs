@@ -9,13 +9,15 @@ use remedy_classifiers::{
 use remedy_classifiers::{DecisionTree, DecisionTreeParams};
 use remedy_core::hypothesis::{validate_on_columns, IbsMark};
 use remedy_core::{
-    identify, remedy as remedy_data, Algorithm, IbsParams, Neighborhood, RemedyParams, Scope,
-    Technique,
+    identify, identify_in_parallel, remedy as remedy_data, Algorithm, Hierarchy, IbsParams,
+    Neighborhood, RemedyParams, Scope, Technique,
 };
 use remedy_dataset::csv::{self, LoadOptions, RawTable};
 use remedy_dataset::split::train_test_split;
 use remedy_dataset::{synth, Dataset};
-use remedy_fairness::{audit, fairness_index, AuditConfig, Explorer, FairnessIndexParams, Statistic};
+use remedy_fairness::{
+    audit, fairness_index, AuditConfig, Explorer, FairnessIndexParams, Statistic,
+};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -28,6 +30,7 @@ COMMANDS:
     identify   find the Implicit Biased Set of a dataset
     remedy     rewrite a dataset so biased regions match their neighborhood
     audit      train a model and report unfair subgroups
+    pipeline   run a declarative plan as a cached, parallel stage DAG
     report     write a full Markdown fairness audit
     train      train a model (optionally on remedied data) and save it
     describe   profile a dataset (value frequencies, label associations)
@@ -45,6 +48,7 @@ pub fn run(command: &str, raw: Vec<String>) -> Result<(), CliError> {
         "identify" => cmd_identify(raw),
         "remedy" => cmd_remedy(raw),
         "audit" => cmd_audit(raw),
+        "pipeline" => cmd_pipeline(raw),
         "report" => cmd_report(raw),
         "train" => cmd_train(raw),
         "describe" => cmd_describe(raw),
@@ -55,9 +59,7 @@ pub fn run(command: &str, raw: Vec<String>) -> Result<(), CliError> {
             print!("{USAGE}");
             Ok(())
         }
-        other => Err(CliError(format!(
-            "unknown command `{other}`\n\n{USAGE}"
-        ))),
+        other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
 }
 
@@ -77,9 +79,7 @@ fn load_input(args: &Args) -> Result<Dataset, CliError> {
     let label = args.require("label")?;
     let protected = args.get_list("protected");
     if protected.is_empty() {
-        return Err(CliError(
-            "CSV input needs --protected attr1,attr2,…".into(),
-        ));
+        return Err(CliError("CSV input needs --protected attr1,attr2,…".into()));
     }
     let table = RawTable::from_path(source).map_err(|e| CliError(e.to_string()))?;
     let mut opts = LoadOptions::new(label);
@@ -105,7 +105,11 @@ fn parse_neighborhood(args: &Args) -> Result<Neighborhood, CliError> {
         other => other
             .parse::<f64>()
             .map(Neighborhood::OrderedRadius)
-            .map_err(|_| CliError(format!("--neighborhood: `{other}` is not unit|full|<radius>"))),
+            .map_err(|_| {
+                CliError(format!(
+                    "--neighborhood: `{other}` is not unit|full|<radius>"
+                ))
+            }),
     }
 }
 
@@ -138,16 +142,22 @@ fn cmd_identify(raw: Vec<String>) -> Result<(), CliError> {
         println!(
             "remedy identify <csv|adult|compas|law> [--label Y --protected a,b] \
              [--tau 0.1] [--min-size 30] [--neighborhood unit|full] \
-             [--scope lattice|leaf|top] [--top 20]"
+             [--scope lattice|leaf|top] [--top 20] [--threads N]"
         );
         return Ok(());
     }
     let mut known = DATA_OPTS.to_vec();
-    known.extend(["tau", "min-size", "neighborhood", "scope", "top"]);
+    known.extend(["tau", "min-size", "neighborhood", "scope", "top", "threads"]);
     args.check_known(&known)?;
     let data = load_input(&args)?;
     let params = ibs_params(&args)?;
-    let ibs = identify(&data, &params, Algorithm::Optimized);
+    let ibs = match args.get_parsed("threads", 1usize)? {
+        1 => identify(&data, &params, Algorithm::Optimized),
+        n => {
+            let hierarchy = Hierarchy::build(&data);
+            identify_in_parallel(&hierarchy, &params, Algorithm::Optimized, n)
+        }
+    };
     let top = args.get_parsed("top", 20usize)?;
     println!(
         "{} biased regions (τ_c = {}, k = {}, {}, scope {})",
@@ -284,7 +294,10 @@ fn cmd_audit(raw: Vec<String>) -> Result<(), CliError> {
     };
     let tau_d = args.get_parsed("tau-d", 0.1)?;
     let unfair = explorer.unfair_subgroups(&test_set, &predictions, stat, tau_d);
-    println!("{} unfair subgroups (Δγ > {tau_d}, significant):", unfair.len());
+    println!(
+        "{} unfair subgroups (Δγ > {tau_d}, significant):",
+        unfair.len()
+    );
     for report in unfair.iter().take(20) {
         println!(
             "  {}  Δ{}={:.3} γ_g={:.3} support={:.2}",
@@ -294,6 +307,73 @@ fn cmd_audit(raw: Vec<String>) -> Result<(), CliError> {
             report.gamma,
             report.support
         );
+    }
+    Ok(())
+}
+
+fn cmd_pipeline(raw: Vec<String>) -> Result<(), CliError> {
+    let args = Args::parse(raw)?;
+    if args.flag("help") || args.positional_count() == 0 {
+        println!(
+            "remedy pipeline <plan-file> [--cache .remedy-cache] [--threads N] \
+             [--out run.json] [--force]\n\n\
+             Plan files are line-oriented `key value` pairs plus one line per\n\
+             branch, e.g.:\n\n    \
+             dataset compas\n    \
+             rows 2000\n    \
+             seed 42\n    \
+             tau 0.1\n    \
+             branch base technique=none model=dt\n    \
+             branch ps technique=ps model=dt"
+        );
+        return Ok(());
+    }
+    args.check_known(&["cache", "threads", "out", "force", "help"])?;
+    let plan_path = args.positional(0).unwrap();
+    let plan = remedy_pipeline::Plan::from_path(plan_path).map_err(|e| CliError(e.to_string()))?;
+    let options = remedy_pipeline::PipelineOptions {
+        cache_dir: args.get("cache").unwrap_or(".remedy-cache").into(),
+        threads: args.get_parsed("threads", 0usize)?,
+        force: args.flag("force"),
+    };
+    let manifest = remedy_pipeline::run(&plan, &options).map_err(|e| CliError(e.to_string()))?;
+    for stage in &manifest.stages {
+        let status = if stage.skipped {
+            "skipped"
+        } else if stage.cache_hit {
+            "cached"
+        } else {
+            "computed"
+        };
+        let branch = stage
+            .branch
+            .as_deref()
+            .map(|b| format!("{b}/"))
+            .unwrap_or_default();
+        println!(
+            "{status:>8}  {branch}{} ({:.2} ms)",
+            stage.stage, stage.wall_ms
+        );
+    }
+    println!();
+    for branch in &manifest.branches {
+        println!(
+            "{}: {} + {} → accuracy {:.3}, fairness index ({}) {:.3}, \
+             {} unfair subgroups",
+            branch.name,
+            branch.technique,
+            branch.model,
+            branch.metrics.accuracy,
+            branch.metrics.statistic.name(),
+            branch.metrics.fairness_index,
+            branch.metrics.unfair_subgroups
+        );
+    }
+    if let Some(out) = args.get("out") {
+        manifest
+            .write_path(out)
+            .map_err(|e| CliError(e.to_string()))?;
+        println!("\nwrote manifest to {out}");
     }
     Ok(())
 }
@@ -333,8 +413,7 @@ fn cmd_report(raw: Vec<String>) -> Result<(), CliError> {
     let report = audit(&test_set, &predictions, &config);
     match args.get("out") {
         Some(path) if !path.is_empty() => {
-            std::fs::write(path, report.to_string())
-                .map_err(|e| CliError(e.to_string()))?;
+            std::fs::write(path, report.to_string()).map_err(|e| CliError(e.to_string()))?;
             println!("wrote audit to {path}");
         }
         _ => print!("{report}"),
@@ -613,6 +692,50 @@ mod tests {
     }
 
     #[test]
+    fn identify_accepts_threads() {
+        run(
+            "identify",
+            vec!["compas".into(), "--threads".into(), "2".into()],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn pipeline_runs_plan_and_writes_manifest() {
+        let dir = std::env::temp_dir().join("remedy_cli_pipeline");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan = dir.join("plan.txt");
+        std::fs::write(
+            &plan,
+            "dataset compas\nrows 800\nseed 7\n\
+             branch base technique=none model=dt\nbranch ps technique=ps model=dt\n",
+        )
+        .unwrap();
+        let manifest = dir.join("run.json");
+        let argv = vec![
+            plan.to_string_lossy().into_owned(),
+            "--cache".into(),
+            dir.join("cache").to_string_lossy().into_owned(),
+            "--out".into(),
+            manifest.to_string_lossy().into_owned(),
+        ];
+        run("pipeline", argv.clone()).unwrap();
+        let json = std::fs::read_to_string(&manifest).unwrap();
+        assert!(json.contains("\"cache_hit\": false"));
+        // second run replays from cache
+        run("pipeline", argv).unwrap();
+        let json = std::fs::read_to_string(&manifest).unwrap();
+        assert!(json.contains("\"cache_hit\": true"));
+        // a broken plan is a clean error, not a panic
+        assert!(run(
+            "pipeline",
+            vec![plan.join("nope").to_string_lossy().into_owned()]
+        )
+        .is_err());
+    }
+
+    #[test]
     fn report_writes_markdown() {
         let dir = std::env::temp_dir().join("remedy_cli_test3");
         std::fs::create_dir_all(&dir).unwrap();
@@ -668,7 +791,11 @@ mod tests {
             vec!["compas".into(), "--folds".into(), "3".into()],
         )
         .unwrap();
-        assert!(run("validate", vec!["compas".into(), "--model".into(), "zz".into()]).is_err());
+        assert!(run(
+            "validate",
+            vec!["compas".into(), "--model".into(), "zz".into()]
+        )
+        .is_err());
     }
 
     #[test]

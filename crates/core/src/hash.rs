@@ -1,10 +1,18 @@
-//! A fast non-cryptographic hasher for packed region keys.
+//! Hashing utilities: a fast in-memory hasher and a stable content hasher.
 //!
-//! Region keys are small packed integers (`u128` with 8 bits per protected
-//! attribute), hashed millions of times during hierarchy construction. The
-//! default SipHash is needlessly slow for this workload; this multiply-mix
-//! hasher (FxHash-style) is an order of magnitude faster and sufficient for
-//! in-memory maps keyed by trusted data.
+//! Two distinct needs live here:
+//!
+//! * [`MixHasher`] — region keys are small packed integers (`u128` with 8
+//!   bits per protected attribute), hashed millions of times during
+//!   hierarchy construction. The default SipHash is needlessly slow for
+//!   this workload; this multiply-mix hasher (FxHash-style) is an order of
+//!   magnitude faster and sufficient for in-memory maps keyed by trusted
+//!   data.
+//! * [`StableHasher`] — pipeline artifact caching needs keys that are
+//!   identical across processes, platforms, and releases. `MixHasher` (and
+//!   anything implementing `std::hash::Hasher`) makes no such promise, so
+//!   cache keys use FNV-1a/128 with an explicitly specified input encoding
+//!   instead.
 
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -71,6 +79,81 @@ impl Hasher for MixHasher {
     }
 }
 
+/// FNV-1a offset basis for the 128-bit variant.
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a prime for the 128-bit variant.
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+
+/// A process- and platform-stable content hasher (FNV-1a, 128 bit).
+///
+/// Used to derive pipeline cache keys from stage inputs. Unlike
+/// `std::hash::Hasher` implementations, the digest depends only on the
+/// byte sequence fed in, so equal inputs hash equally across runs,
+/// machines, and compiler versions. Multi-field inputs must be framed by
+/// the caller (e.g. via [`StableHasher::write_str`], which appends a
+/// separator) so that field boundaries are unambiguous.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u128,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher {
+            state: FNV128_OFFSET,
+        }
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        StableHasher::default()
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// Absorbs a string followed by a `0x1f` unit separator, so that
+    /// `("ab", "c")` and `("a", "bc")` hash differently.
+    pub fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+        self.write(&[0x1f]);
+    }
+
+    /// Absorbs an integer as little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a float by its exact bit pattern (no text rounding).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write(&v.to_bits().to_le_bytes());
+    }
+
+    /// The 128-bit digest.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+
+    /// The digest as 32 lowercase hex digits (cache-directory names).
+    pub fn finish_hex(&self) -> String {
+        format!("{:032x}", self.state)
+    }
+}
+
+/// One-shot stable hash of a byte slice.
+pub fn stable_hash(bytes: &[u8]) -> u128 {
+    let mut h = StableHasher::new();
+    h.write(bytes);
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +193,36 @@ mod tests {
         s.insert(7);
         s.insert(7);
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn stable_hash_known_vectors() {
+        // FNV-1a/128 reference digests (spec test vectors)
+        assert_eq!(stable_hash(b""), FNV128_OFFSET);
+        assert_eq!(stable_hash(b"a"), 0xd228_cb69_6f1a_8caf_7891_2b70_4e4a_8964);
+    }
+
+    #[test]
+    fn stable_hash_framing_disambiguates() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn stable_hash_is_pure() {
+        let mut h1 = StableHasher::new();
+        let mut h2 = StableHasher::new();
+        for h in [&mut h1, &mut h2] {
+            h.write_u64(42);
+            h.write_f64(0.1);
+            h.write_str("unit");
+        }
+        assert_eq!(h1.finish(), h2.finish());
+        assert_eq!(h1.finish_hex().len(), 32);
     }
 }

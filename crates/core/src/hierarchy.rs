@@ -67,7 +67,10 @@ impl Hierarchy {
     pub fn build_over(data: &Dataset, protected: &[usize]) -> Self {
         let p = protected.len();
         assert!(p >= 1, "need at least one protected attribute");
-        assert!(p <= MAX_PROTECTED, "at most {MAX_PROTECTED} protected attributes");
+        assert!(
+            p <= MAX_PROTECTED,
+            "at most {MAX_PROTECTED} protected attributes"
+        );
         let cards: Vec<u32> = protected
             .iter()
             .map(|&a| data.schema().attribute(a).cardinality() as u32)
@@ -114,8 +117,7 @@ impl Hierarchy {
             let parent_mask = mask | (1 << missing);
             // position of the dropped attribute within the parent's key
             let drop_pos = (parent_mask & ((1 << missing) - 1)).count_ones() as usize;
-            let parent_regions =
-                std::mem::take(&mut nodes[(parent_mask - 1) as usize].regions);
+            let parent_regions = std::mem::take(&mut nodes[(parent_mask - 1) as usize].regions);
             {
                 let node = &mut nodes[(mask - 1) as usize];
                 node.regions.reserve(parent_regions.len() / 2);
@@ -328,12 +330,7 @@ mod tests {
         let d = data();
         let h = Hierarchy::build(&d);
         for mask in 1u32..4 {
-            let sum: u64 = h
-                .node(mask)
-                .regions
-                .values()
-                .map(|c| c.total())
-                .sum();
+            let sum: u64 = h.node(mask).regions.values().map(|c| c.total()).sum();
             assert_eq!(sum, d.len() as u64, "node {mask} must partition D");
         }
     }

@@ -121,8 +121,7 @@ pub fn validate_hypothesis(
             MarkedSubgroup {
                 report: report.clone(),
                 mark,
-                excess_positives: region
-                    .map(|r| r.ratio < 0.0 || r.ratio > r.neighbor_ratio),
+                excess_positives: region.map(|r| r.ratio < 0.0 || r.ratio > r.neighbor_ratio),
             }
         })
         .collect();
@@ -149,7 +148,15 @@ pub fn validate_on(
     tau_d: f64,
 ) -> HypothesisValidation {
     let protected = train.schema().protected_indices();
-    validate_on_columns(train, test, predictions, statistic, params, tau_d, &protected)
+    validate_on_columns(
+        train,
+        test,
+        predictions,
+        statistic,
+        params,
+        tau_d,
+        &protected,
+    )
 }
 
 /// Like [`validate_on`] but over an explicit column set — the paper's own
@@ -229,11 +236,8 @@ mod tests {
             &IbsParams::default(),
             0.1,
         );
-        let overall = remedy_fairness::ConfusionCounts::from_predictions(
-            &predictions,
-            test.labels(),
-        )
-        .fpr();
+        let overall =
+            remedy_fairness::ConfusionCounts::from_predictions(&predictions, test.labels()).fpr();
         if let Some(agreement) = validation.sign_agreement(overall) {
             assert!(agreement > 0.6, "gap-sign agreement {agreement}");
         }

@@ -32,7 +32,7 @@ pub enum Algorithm {
 }
 
 /// Parameters of IBS identification (Problem 1).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IbsParams {
     /// Imbalance threshold `τ_c` (Definition 5).
     pub tau_c: f64,
@@ -53,6 +53,36 @@ impl Default for IbsParams {
             neighborhood: Neighborhood::Unit,
             scope: Scope::Lattice,
         }
+    }
+}
+
+impl IbsParams {
+    /// Feeds every field into `h` with an unambiguous encoding (floats by
+    /// bit pattern, enums by discriminant tag). Two parameter sets produce
+    /// the same digest iff they are equal, which is what lets pipeline
+    /// cache keys stand in for the parameters themselves.
+    pub fn stable_hash_into(&self, h: &mut crate::hash::StableHasher) {
+        h.write_str("ibs-params");
+        h.write_f64(self.tau_c);
+        h.write_u64(self.min_size);
+        match self.neighborhood {
+            Neighborhood::Unit => h.write_str("unit"),
+            Neighborhood::Full => h.write_str("full"),
+            Neighborhood::OrderedRadius(t) => {
+                h.write_str("radius");
+                h.write_f64(t);
+            }
+        }
+        h.write_str(self.scope.name());
+    }
+
+    /// Stable 128-bit digest of the parameters (see [`stable_hash_into`]).
+    ///
+    /// [`stable_hash_into`]: IbsParams::stable_hash_into
+    pub fn stable_hash(&self) -> u128 {
+        let mut h = crate::hash::StableHasher::new();
+        self.stable_hash_into(&mut h);
+        h.finish()
     }
 }
 
@@ -214,7 +244,10 @@ pub fn identify_in_parallel(
                 })
             })
             .collect();
-        per_thread = handles.into_iter().map(|h| h.join().expect("worker")).collect();
+        per_thread = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect();
     });
     let mut result: Vec<BiasedRegion> = per_thread.into_iter().flatten().collect();
     result.sort_by(|a, b| {

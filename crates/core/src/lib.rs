@@ -35,10 +35,12 @@ pub mod hypothesis;
 pub mod identify;
 pub mod iterative;
 pub mod neighborhood;
+pub mod persist;
 pub mod remedy;
 pub mod scope;
 pub mod score;
 
+pub use hash::{stable_hash, StableHasher};
 pub use hierarchy::Hierarchy;
 pub use hypothesis::{validate_hypothesis, validate_on, HypothesisValidation, IbsMark};
 pub use identify::{identify, identify_in_parallel, Algorithm, BiasedRegion, IbsParams};

@@ -72,7 +72,7 @@ impl std::fmt::Display for Technique {
 }
 
 /// Parameters of the remedy pipeline (Problem 2).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RemedyParams {
     /// Pre-processing technique.
     pub technique: Technique,
@@ -98,6 +98,31 @@ impl Default for RemedyParams {
             scope: Scope::Lattice,
             seed: 0x5EED,
         }
+    }
+}
+
+impl RemedyParams {
+    /// Feeds every field into `h` with an unambiguous encoding, mirroring
+    /// [`IbsParams::stable_hash_into`](crate::identify::IbsParams::stable_hash_into).
+    pub fn stable_hash_into(&self, h: &mut crate::hash::StableHasher) {
+        h.write_str("remedy-params");
+        h.write_str(self.technique.label());
+        let ibs = crate::identify::IbsParams {
+            tau_c: self.tau_c,
+            min_size: self.min_size,
+            neighborhood: self.neighborhood,
+            scope: self.scope,
+        };
+        ibs.stable_hash_into(h);
+        h.write_u64(self.seed);
+    }
+
+    /// Stable 128-bit digest of the parameters, suitable as (part of) a
+    /// content-addressed cache key.
+    pub fn stable_hash(&self) -> u128 {
+        let mut h = crate::hash::StableHasher::new();
+        self.stable_hash_into(&mut h);
+        h.finish()
     }
 }
 
@@ -503,7 +528,11 @@ mod tests {
         let mut d = Dataset::new(schema);
         for a in 0..3u32 {
             for b in 0..3u32 {
-                let (pos, neg) = if a == 1 && b == 1 { (126, 57) } else { (39, 61) };
+                let (pos, neg) = if a == 1 && b == 1 {
+                    (126, 57)
+                } else {
+                    (39, 61)
+                };
                 for i in 0..pos.max(neg) {
                     if i < pos {
                         d.push_row(&[a, b], 1).unwrap();

@@ -83,10 +83,7 @@ mod tests {
         c.add(Counts::new(1, 2));
         assert_eq!(c, Counts::new(4, 6));
         assert_eq!(c.total(), 10);
-        assert_eq!(
-            c.saturating_sub(Counts::new(10, 1)),
-            Counts::new(0, 5)
-        );
+        assert_eq!(c.saturating_sub(Counts::new(10, 1)), Counts::new(0, 5));
         assert!((c.imbalance() - 4.0 / 6.0).abs() < 1e-12);
     }
 }

@@ -1,9 +1,7 @@
 //! Guard-rail tests: documented panics and boundary conditions of the core
 //! crate.
 
-use remedy_core::{
-    identify, remedy, Algorithm, Hierarchy, IbsParams, Neighborhood, RemedyParams,
-};
+use remedy_core::{identify, remedy, Algorithm, Hierarchy, IbsParams, Neighborhood, RemedyParams};
 use remedy_dataset::{Attribute, Dataset, Schema};
 
 fn one_attr_dataset() -> Dataset {

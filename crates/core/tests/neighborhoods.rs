@@ -2,9 +2,7 @@
 //! ablation) and the ordered-distance extension.
 
 use remedy_core::identify::{identify, identify_in, identify_over};
-use remedy_core::{
-    remedy, Algorithm, Hierarchy, IbsParams, Neighborhood, RemedyParams, Technique,
-};
+use remedy_core::{remedy, Algorithm, Hierarchy, IbsParams, Neighborhood, RemedyParams, Technique};
 use remedy_dataset::{synth, Attribute, Dataset, Schema};
 
 #[test]
@@ -64,8 +62,13 @@ fn ordered_radius_identification_end_to_end() {
     .into_shared();
     let mut d = Dataset::new(schema);
     // positives concentrate in bucket 0; buckets 1..4 balanced
-    for (bucket, pos, neg) in [(0u32, 90, 30), (1, 60, 60), (2, 60, 60), (3, 60, 60), (4, 60, 60)]
-    {
+    for (bucket, pos, neg) in [
+        (0u32, 90, 30),
+        (1, 60, 60),
+        (2, 60, 60),
+        (3, 60, 60),
+        (4, 60, 60),
+    ] {
         for _ in 0..pos {
             d.push_row(&[bucket], 1).unwrap();
         }

@@ -33,7 +33,9 @@ pub fn collapse_rare(
     if n_rare == 0 {
         return Ok((data.clone(), 0));
     }
-    if attr.domain().iter().any(|v| v == other_label) && !rare[attr.code_of(other_label).unwrap() as usize] {
+    if attr.domain().iter().any(|v| v == other_label)
+        && !rare[attr.code_of(other_label).unwrap() as usize]
+    {
         return Err(DatasetError::Invalid(format!(
             "label `{other_label}` already names a frequent category of `{column}`"
         )));
@@ -67,7 +69,13 @@ pub fn collapse_rare(
         .attributes()
         .iter()
         .enumerate()
-        .map(|(i, a)| if i == col { new_attr.clone() } else { a.clone() })
+        .map(|(i, a)| {
+            if i == col {
+                new_attr.clone()
+            } else {
+                a.clone()
+            }
+        })
         .collect();
     let schema = Schema::new(attrs, data.schema().label_name()).into_shared();
 
@@ -98,7 +106,8 @@ mod tests {
         .into_shared();
         let mut d = Dataset::new(schema);
         for i in 0..60 {
-            d.push_row(&[0, (i % 2) as u32], u8::from(i % 3 == 0)).unwrap();
+            d.push_row(&[0, (i % 2) as u32], u8::from(i % 3 == 0))
+                .unwrap();
         }
         for i in 0..20 {
             d.push_row(&[1, (i % 2) as u32], 1).unwrap();

@@ -30,6 +30,7 @@ pub mod discretize;
 pub mod encode;
 pub mod error;
 pub mod pattern;
+pub mod persist;
 pub mod profile;
 pub mod schema;
 pub mod split;

@@ -139,11 +139,7 @@ impl fmt::Display for DatasetProfile {
                 attr.cramers_v
             )?;
             for (value, count, rate) in &attr.values {
-                writeln!(
-                    f,
-                    "  {value:<18} {count:>8}  positive rate {:.3}",
-                    rate
-                )?;
+                writeln!(f, "  {value:<18} {count:>8}  positive rate {:.3}", rate)?;
             }
         }
         Ok(())

@@ -79,7 +79,10 @@ impl Attribute {
 
     /// Resolves a category name to its code.
     pub fn code_of(&self, value: &str) -> Option<u32> {
-        self.domain.iter().position(|v| v == value).map(|i| i as u32)
+        self.domain
+            .iter()
+            .position(|v| v == value)
+            .map(|i| i as u32)
     }
 
     /// Resolves a code back to its category name.

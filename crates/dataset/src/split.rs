@@ -15,7 +15,11 @@ impl SplitRng {
     /// Creates an RNG from a seed (0 is remapped to a fixed constant).
     pub fn new(seed: u64) -> Self {
         SplitRng {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 
@@ -62,7 +66,9 @@ pub fn train_test_split(
         )));
     }
     if data.is_empty() {
-        return Err(DatasetError::Invalid("cannot split an empty dataset".into()));
+        return Err(DatasetError::Invalid(
+            "cannot split an empty dataset".into(),
+        ));
     }
     let mut indices: Vec<usize> = (0..data.len()).collect();
     let mut rng = SplitRng::new(seed);
@@ -86,13 +92,17 @@ pub fn stratified_split(
         )));
     }
     if data.is_empty() {
-        return Err(DatasetError::Invalid("cannot split an empty dataset".into()));
+        return Err(DatasetError::Invalid(
+            "cannot split an empty dataset".into(),
+        ));
     }
     let mut rng = SplitRng::new(seed);
     let mut train_idx = Vec::new();
     let mut test_idx = Vec::new();
     for class in [0u8, 1u8] {
-        let mut idx: Vec<usize> = (0..data.len()).filter(|&i| data.label(i) == class).collect();
+        let mut idx: Vec<usize> = (0..data.len())
+            .filter(|&i| data.label(i) == class)
+            .collect();
         rng.shuffle(&mut idx);
         let n_train = ((idx.len() as f64) * train_fraction).round() as usize;
         let n_train = n_train.min(idx.len());

@@ -83,19 +83,19 @@ fn spec() -> SyntheticSpec {
     .into_shared();
 
     let marginals = vec![
-        vec![0.18, 0.35, 0.35, 0.12],       // age
-        vec![0.78, 0.12, 0.05, 0.02, 0.03], // race
-        vec![0.63, 0.37],                   // gender
-        vec![0.31, 0.48, 0.16, 0.05],       // marital-status
-        vec![0.38, 0.12, 0.17, 0.26, 0.07], // relationship
-        vec![0.87, 0.06, 0.07],             // country
-        vec![0.42, 0.27, 0.21, 0.10],       // education
+        vec![0.18, 0.35, 0.35, 0.12],                   // age
+        vec![0.78, 0.12, 0.05, 0.02, 0.03],             // race
+        vec![0.63, 0.37],                               // gender
+        vec![0.31, 0.48, 0.16, 0.05],                   // marital-status
+        vec![0.38, 0.12, 0.17, 0.26, 0.07],             // relationship
+        vec![0.87, 0.06, 0.07],                         // country
+        vec![0.42, 0.27, 0.21, 0.10],                   // education
         vec![0.16, 0.17, 0.15, 0.16, 0.13, 0.15, 0.08], // occupation
-        vec![0.72, 0.17, 0.11],             // workclass
-        vec![0.17, 0.58, 0.25],             // hours
-        vec![0.83, 0.12, 0.05],             // capital
-        vec![0.19, 0.23, 0.25, 0.15, 0.18], // industry
-        vec![0.30, 0.47, 0.23],             // tenure
+        vec![0.72, 0.17, 0.11],                         // workclass
+        vec![0.17, 0.58, 0.25],                         // hours
+        vec![0.83, 0.12, 0.05],                         // capital
+        vec![0.19, 0.23, 0.25, 0.15, 0.18],             // industry
+        vec![0.30, 0.47, 0.23],                         // tenure
     ];
 
     let col = |name: &str| schema.index_of(name).expect("attribute exists");
@@ -111,8 +111,8 @@ fn spec() -> SyntheticSpec {
         (col("capital"), 1, 0.8),
         (col("capital"), 2, 2.2),
         // occupation
-        (col("occupation"), 2, 0.8), // exec
-        (col("occupation"), 3, 0.7), // prof
+        (col("occupation"), 2, 0.8),  // exec
+        (col("occupation"), 3, 0.7),  // prof
         (col("occupation"), 5, -0.5), // service
         // age profile
         (col("age"), 0, -1.0),
@@ -134,7 +134,10 @@ fn spec() -> SyntheticSpec {
         // historical gender x race disparities
         bump(&[("gender", "male"), ("race", "white")], 0.95),
         bump(&[("gender", "female"), ("race", "black")], -1.40),
-        bump(&[("gender", "female"), ("marital-status", "married")], -0.80),
+        bump(
+            &[("gender", "female"), ("marital-status", "married")],
+            -0.80,
+        ),
         // national origin
         bump(&[("country", "mexico")], -1.20),
         bump(&[("country", "other"), ("race", "asian-pac")], 0.75),
@@ -146,15 +149,27 @@ fn spec() -> SyntheticSpec {
             -0.90,
         ),
         bump(
-            &[("race", "white"), ("gender", "male"), ("education", "advanced")],
+            &[
+                ("race", "white"),
+                ("gender", "male"),
+                ("education", "advanced"),
+            ],
             1.05,
         ),
         bump(
-            &[("gender", "male"), ("marital-status", "married"), ("age", "40-60")],
+            &[
+                ("gender", "male"),
+                ("marital-status", "married"),
+                ("age", "40-60"),
+            ],
             0.80,
         ),
         bump(
-            &[("race", "white"), ("relationship", "husband"), ("hours", ">45")],
+            &[
+                ("race", "white"),
+                ("relationship", "husband"),
+                ("hours", ">45"),
+            ],
             0.70,
         ),
     ];
@@ -213,10 +228,7 @@ mod tests {
         // neighbourhood (clearly minority-positive)
         let d = adult_n(20_000, 11);
         let prev = d.prevalence();
-        assert!(
-            (0.15..0.40).contains(&prev),
-            "unexpected prevalence {prev}"
-        );
+        assert!((0.15..0.40).contains(&prev), "unexpected prevalence {prev}");
     }
 
     #[test]

@@ -1,23 +1,33 @@
-//! Property-based tests for the CSV reader/writer and the discretizer.
+//! Randomized property tests for the CSV reader/writer and the
+//! discretizer, driven by a seeded [`SplitRng`] loop (the build
+//! environment is offline, so no external property-testing framework).
+//! Failures print the case index so a case can be replayed by seed.
 
-use proptest::prelude::*;
 use remedy_dataset::csv::{self, LoadOptions, RawTable};
 use remedy_dataset::discretize::{quantile_cutpoints, Discretizer};
+use remedy_dataset::split::SplitRng;
 use remedy_dataset::{Attribute, Dataset, Schema};
 
-/// Cell strategy: printable text including the characters the quoting
-/// machinery must survive.
-fn arb_cell() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[a-zA-Z0-9 ,\"'\\n_-]{0,12}").unwrap()
+const CASES: u64 = 60;
+
+/// Printable cell text including the characters the quoting machinery
+/// must survive: commas, double quotes, newlines.
+fn arb_cell(rng: &mut SplitRng) -> String {
+    const ALPHABET: &[char] = &[
+        'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', ',', '"', '\'', '\n', '_', '-',
+    ];
+    let len = rng.below(13);
+    (0..len)
+        .map(|_| ALPHABET[rng.below(ALPHABET.len())])
+        .collect()
 }
 
-proptest! {
-    /// Writing any categorical dataset to CSV and loading it back yields
-    /// the same rows, labels, and domains.
-    #[test]
-    fn dataset_csv_roundtrip(
-        rows in proptest::collection::vec((0u32..3, 0u32..2, 0u8..2), 1..60)
-    ) {
+/// Writing any categorical dataset to CSV and loading it back yields the
+/// same rows, labels, and domains.
+#[test]
+fn dataset_csv_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SplitRng::new(case + 1);
         let schema = Schema::new(
             vec![
                 Attribute::from_strs("color", &["red", "green", "blue"]).protected(),
@@ -27,15 +37,19 @@ proptest! {
         )
         .into_shared();
         let mut d = Dataset::new(schema);
-        for (a, b, y) in rows {
+        let rows = 1 + rng.below(59);
+        for _ in 0..rows {
+            let a = rng.below(3) as u32;
+            let b = rng.below(2) as u32;
+            let y = rng.below(2) as u8;
             d.push_row(&[a, b], y).unwrap();
         }
         let text = csv::to_csv(&d);
         let table = RawTable::parse_str(&text).unwrap();
         let opts = LoadOptions::new("label").protected(&["color"]);
         let back = table.to_dataset(&opts).unwrap();
-        prop_assert_eq!(back.len(), d.len());
-        prop_assert_eq!(back.labels(), d.labels());
+        assert_eq!(back.len(), d.len(), "case {case}");
+        assert_eq!(back.labels(), d.labels(), "case {case}");
         // values survive as names (codes may be renumbered by first
         // appearance, so compare decoded strings)
         for i in 0..d.len() {
@@ -46,15 +60,19 @@ proptest! {
                     .attribute(col)
                     .value_of(back.value(i, col))
                     .unwrap();
-                prop_assert_eq!(orig, new);
+                assert_eq!(orig, new, "case {case}");
             }
         }
     }
+}
 
-    /// The low-level parser round-trips arbitrary cells through the
-    /// writer's quoting.
-    #[test]
-    fn cell_quoting_roundtrip(cells in proptest::collection::vec(arb_cell(), 1..6)) {
+/// The low-level parser round-trips arbitrary cells through the writer's
+/// quoting.
+#[test]
+fn cell_quoting_roundtrip() {
+    for case in 0..400 {
+        let mut rng = SplitRng::new(case + 100);
+        let cells: Vec<String> = (0..1 + rng.below(5)).map(|_| arb_cell(&mut rng)).collect();
         // build one CSV row using the library's writer via a fake dataset
         // is awkward for arbitrary cells, so exercise parse() directly on
         // manually quoted text
@@ -72,52 +90,57 @@ proptest! {
         let parsed = csv::parse(&format!("{line}\n")).unwrap();
         // blank-line suppression: a single empty cell row is dropped
         if cells.len() == 1 && cells[0].is_empty() {
-            prop_assert!(parsed.is_empty());
+            assert!(parsed.is_empty(), "case {case}");
         } else {
-            prop_assert_eq!(parsed.len(), 1);
-            prop_assert_eq!(&parsed[0], &cells);
+            assert_eq!(parsed.len(), 1, "case {case}");
+            assert_eq!(&parsed[0], &cells, "case {case}");
         }
     }
+}
 
-    /// Every value falls in a valid discretizer bucket, buckets are
-    /// monotone in the value, and bucket count matches the labels.
-    #[test]
-    fn discretizer_invariants(
-        values in proptest::collection::vec(-1e6f64..1e6, 2..200),
-        bins in 2usize..8
-    ) {
+/// Every value falls in a valid discretizer bucket, buckets are monotone
+/// in the value, and bucket count matches the labels.
+#[test]
+fn discretizer_invariants() {
+    for case in 0..CASES {
+        let mut rng = SplitRng::new(case + 200);
+        let n = 2 + rng.below(198);
+        let values: Vec<f64> = (0..n).map(|_| (rng.unit() - 0.5) * 2e6).collect();
+        let bins = 2 + rng.below(6);
         for d in [
             Discretizer::equal_width(&values, bins),
             Discretizer::quantile(&values, bins),
         ] {
-            prop_assert_eq!(d.bucket_labels().len(), d.buckets());
+            assert_eq!(d.bucket_labels().len(), d.buckets(), "case {case}");
             let mut sorted = values.clone();
             sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let mut last = 0usize;
             for &v in &sorted {
                 let b = d.bucket(v);
-                prop_assert!(b < d.buckets());
-                prop_assert!(b >= last, "buckets must be monotone");
+                assert!(b < d.buckets(), "case {case}");
+                assert!(b >= last, "case {case}: buckets must be monotone");
                 last = b;
             }
         }
     }
+}
 
-    /// Quantile cutpoints are strictly increasing and within the data
-    /// range.
-    #[test]
-    fn quantile_cutpoints_sorted(
-        values in proptest::collection::vec(-1e3f64..1e3, 1..100),
-        bins in 1usize..10
-    ) {
+/// Quantile cutpoints are strictly increasing and within the data range.
+#[test]
+fn quantile_cutpoints_sorted() {
+    for case in 0..CASES {
+        let mut rng = SplitRng::new(case + 300);
+        let n = 1 + rng.below(99);
+        let values: Vec<f64> = (0..n).map(|_| (rng.unit() - 0.5) * 2e3).collect();
+        let bins = 1 + rng.below(9);
         let cuts = quantile_cutpoints(&values, bins);
         for w in cuts.windows(2) {
-            prop_assert!(w[0] < w[1]);
+            assert!(w[0] < w[1], "case {case}");
         }
         let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         for &c in &cuts {
-            prop_assert!(c > lo - 1e-9 && c <= hi + 1e-9);
+            assert!(c > lo - 1e-9 && c <= hi + 1e-9, "case {case}");
         }
     }
 }

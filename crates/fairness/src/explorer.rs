@@ -316,8 +316,7 @@ mod tests {
     #[test]
     fn unfair_subgroups_apply_threshold() {
         let (d, preds) = biased_setup();
-        let unfair =
-            Explorer::default().unfair_subgroups(&d, &preds, Statistic::Fpr, 0.3);
+        let unfair = Explorer::default().unfair_subgroups(&d, &preds, Statistic::Fpr, 0.3);
         // only the corner (0.75) exceeds 0.3 significantly
         assert_eq!(unfair.len(), 1);
         assert_eq!(unfair[0].pattern.level(), 2);

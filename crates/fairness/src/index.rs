@@ -73,11 +73,7 @@ mod tests {
             for b in 0..2u32 {
                 for i in 0..60 {
                     d.push_row(&[a, b], 0).unwrap();
-                    let fp = if biased {
-                        a == 1 && b == 1
-                    } else {
-                        i % 5 == 0
-                    };
+                    let fp = if biased { a == 1 && b == 1 } else { i % 5 == 0 };
                     preds.push(u8::from(fp));
                 }
             }

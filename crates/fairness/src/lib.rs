@@ -25,6 +25,7 @@ pub mod measure;
 pub mod prune;
 pub mod report;
 pub mod stats;
+pub mod summary;
 pub mod violation;
 
 pub use confusion::ConfusionCounts;
@@ -34,4 +35,5 @@ pub use index::{fairness_index, FairnessIndexParams};
 pub use measure::{divergence, statistic_of, Statistic};
 pub use prune::{explore_pruned, prune_redundant};
 pub use report::{audit, AuditConfig, AuditReport};
+pub use summary::MetricsSummary;
 pub use violation::fairness_violation;

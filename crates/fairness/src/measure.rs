@@ -55,11 +55,7 @@ pub fn divergence(gamma_subgroup: f64, gamma_dataset: f64) -> f64 {
 }
 
 /// Convenience: confusion counts restricted to a subgroup pattern.
-pub fn subgroup_counts(
-    data: &Dataset,
-    predictions: &[u8],
-    pattern: &Pattern,
-) -> ConfusionCounts {
+pub fn subgroup_counts(data: &Dataset, predictions: &[u8], pattern: &Pattern) -> ConfusionCounts {
     assert_eq!(predictions.len(), data.len(), "length mismatch");
     ConfusionCounts::from_masked(predictions, data.labels(), |i| data.matches(pattern, i))
 }
@@ -123,7 +119,10 @@ mod tests {
         assert_eq!(statistic_of(&c, Statistic::Fpr), c.fpr());
         assert_eq!(statistic_of(&c, Statistic::Fnr), c.fnr());
         assert_eq!(statistic_of(&c, Statistic::Accuracy), c.accuracy());
-        assert_eq!(statistic_of(&c, Statistic::SelectionRate), c.selection_rate());
+        assert_eq!(
+            statistic_of(&c, Statistic::SelectionRate),
+            c.selection_rate()
+        );
     }
 
     #[test]

@@ -83,8 +83,7 @@ pub fn audit(data: &Dataset, predictions: &[u8], config: &AuditConfig) -> AuditR
         .statistics
         .iter()
         .map(|&statistic| {
-            let mut unfair =
-                explorer.unfair_subgroups(data, predictions, statistic, config.tau_d);
+            let mut unfair = explorer.unfair_subgroups(data, predictions, statistic, config.tau_d);
             unfair.truncate(config.top_k);
             let (worst_violation, _) =
                 fairness_violation_with_group(data, predictions, statistic, 30);
@@ -230,7 +229,9 @@ mod tests {
         let preds: Vec<u8> = d.labels().to_vec(); // perfect predictions
         let report = audit(&d, &preds, &AuditConfig::default());
         assert!(!report.has_findings());
-        assert!(report.to_string().contains("no significant unfair subgroups"));
+        assert!(report
+            .to_string()
+            .contains("no significant unfair subgroups"));
     }
 
     #[test]

@@ -185,7 +185,11 @@ pub fn welch_t_test(a: Sample, b: Sample) -> WelchT {
     let t = (a.mean - b.mean) / se2.sqrt();
     let df_num = se2 * se2;
     let df_den = (a.var / a.n).powi(2) / (a.n - 1.0) + (b.var / b.n).powi(2) / (b.n - 1.0);
-    let df = if df_den > 0.0 { df_num / df_den } else { a.n + b.n - 2.0 };
+    let df = if df_den > 0.0 {
+        df_num / df_den
+    } else {
+        a.n + b.n - 2.0
+    };
     let p = 2.0 * (1.0 - student_t_cdf(t.abs(), df));
     WelchT {
         t,

@@ -75,8 +75,7 @@ fn intersections_reveal_the_disparity() {
 #[test]
 fn unfair_subgroups_are_exactly_the_four_intersections() {
     let (d, preds) = hiring_setup();
-    let unfair =
-        Explorer::default().unfair_subgroups(&d, &preds, Statistic::SelectionRate, 0.1);
+    let unfair = Explorer::default().unfair_subgroups(&d, &preds, Statistic::SelectionRate, 0.1);
     assert_eq!(unfair.len(), 4, "{unfair:?}");
     assert!(unfair.iter().all(|r| r.pattern.level() == 2));
 }

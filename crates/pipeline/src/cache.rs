@@ -1,0 +1,151 @@
+//! Content-addressed artifact cache.
+//!
+//! Every stage's inputs — upstream artifact hashes plus its own parameters
+//! — are folded into a 128-bit [`StableHasher`] key. The key names a
+//! directory under the cache root holding the stage's output (`artifact`)
+//! and a one-line human-readable description (`meta`). A stage whose key
+//! directory exists is a cache hit and is not re-executed; because keys
+//! chain through upstream hashes, changing one knob invalidates exactly
+//! the stages downstream of it.
+//!
+//! Writes go through a temp file + rename so concurrent branches that
+//! race on the same key (e.g. two branches with identical remedy
+//! parameters) both land a complete artifact.
+
+use crate::error::PipelineError;
+use remedy_core::hash::StableHasher;
+use std::path::{Path, PathBuf};
+
+/// Name of the artifact payload inside a cache entry.
+const ARTIFACT_FILE: &str = "artifact";
+/// Name of the human-readable description inside a cache entry.
+const META_FILE: &str = "meta";
+
+/// A 128-bit cache key, printed as 32 hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheKey(pub u128);
+
+impl CacheKey {
+    /// Finalizes a hasher into a key.
+    pub fn from_hasher(h: &StableHasher) -> Self {
+        CacheKey(h.finish())
+    }
+
+    /// The hex form used in directory names and manifests.
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+/// An on-disk artifact store rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct ArtifactCache {
+    root: PathBuf,
+}
+
+impl ArtifactCache {
+    /// Opens (and creates if needed) a cache at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<ArtifactCache, PipelineError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| PipelineError(format!("cannot create cache dir: {e}")))?;
+        Ok(ArtifactCache { root })
+    }
+
+    /// The cache root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entry_dir(&self, stage: &str, key: CacheKey) -> PathBuf {
+        self.root.join(format!("{stage}-{}", key.hex()))
+    }
+
+    /// Returns the cached artifact text for `(stage, key)`, if present.
+    pub fn lookup(&self, stage: &str, key: CacheKey) -> Option<String> {
+        std::fs::read_to_string(self.entry_dir(stage, key).join(ARTIFACT_FILE)).ok()
+    }
+
+    /// Stores an artifact with a one-line description; atomic per entry.
+    pub fn store(
+        &self,
+        stage: &str,
+        key: CacheKey,
+        artifact: &str,
+        description: &str,
+    ) -> Result<(), PipelineError> {
+        let dir = self.entry_dir(stage, key);
+        let tmp = self
+            .root
+            .join(format!(".tmp-{stage}-{}-{}", key.hex(), std::process::id()));
+        std::fs::create_dir_all(&tmp)?;
+        std::fs::write(tmp.join(ARTIFACT_FILE), artifact)?;
+        std::fs::write(tmp.join(META_FILE), format!("{description}\n"))?;
+        match std::fs::rename(&tmp, &dir) {
+            Ok(()) => Ok(()),
+            Err(_) if dir.join(ARTIFACT_FILE).exists() => {
+                // a concurrent writer won the race; its artifact is
+                // identical by construction (same key = same inputs)
+                let _ = std::fs::remove_dir_all(&tmp);
+                Ok(())
+            }
+            Err(e) => Err(PipelineError(format!("cannot store cache entry: {e}"))),
+        }
+    }
+
+    /// Number of entries currently in the cache (for tests and stats).
+    pub fn len(&self) -> usize {
+        std::fs::read_dir(&self.root)
+            .map(|entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .filter(|e| !e.file_name().to_string_lossy().starts_with(".tmp-"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the cache has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_cache(name: &str) -> ArtifactCache {
+        let dir = std::env::temp_dir().join(format!("remedy_cache_test_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        ArtifactCache::open(dir).unwrap()
+    }
+
+    #[test]
+    fn store_then_lookup() {
+        let cache = temp_cache("roundtrip");
+        let key = CacheKey(0xABCD);
+        assert_eq!(cache.lookup("load", key), None);
+        cache.store("load", key, "payload", "test entry").unwrap();
+        assert_eq!(cache.lookup("load", key).as_deref(), Some("payload"));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_stages_do_not_collide() {
+        let cache = temp_cache("stages");
+        let key = CacheKey(1);
+        cache.store("load", key, "a", "").unwrap();
+        assert_eq!(cache.lookup("identify", key), None);
+    }
+
+    #[test]
+    fn double_store_is_idempotent() {
+        let cache = temp_cache("idempotent");
+        let key = CacheKey(2);
+        cache.store("train", key, "x", "").unwrap();
+        cache.store("train", key, "x", "").unwrap();
+        assert_eq!(cache.lookup("train", key).as_deref(), Some("x"));
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! The orchestrator: runs a plan's stage DAG with caching and branch
+//! parallelism.
+//!
+//! The DAG has a linear shared prefix and an independent fan-out:
+//!
+//! ```text
+//! Load ──► Discretize ──► Identify ──► branch 1: [Remedy] ─► Train ─► Audit
+//!                                  ├──► branch 2: [Remedy] ─► Train ─► Audit
+//!                                  └──► ...
+//! ```
+//!
+//! Branches share the identify artifact and fan out over scoped worker
+//! threads (a claim-by-atomic-counter queue, the same shape as
+//! `remedy_core::identify_in_parallel`). Each branch runs its own
+//! remedy → train → audit chain sequentially; results are stitched back
+//! into plan order so manifests are deterministic regardless of thread
+//! interleaving.
+
+use crate::cache::ArtifactCache;
+use crate::error::PipelineError;
+use crate::manifest::{BranchOutcome, RunManifest, StageRecord};
+use crate::plan::{BranchSpec, Plan};
+use crate::stages::{
+    audit_stage, discretize_stage, identify_stage, load_stage, remedy_stage, skipped_remedy_record,
+    split_dataset, train_stage, StageOutput,
+};
+use remedy_core::hash::stable_hash;
+use remedy_dataset::persist as data_persist;
+use remedy_dataset::Dataset;
+use remedy_fairness::MetricsSummary;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Knobs that affect *how* a run executes, never *what* it computes —
+/// none of these participate in cache keys.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Cache root directory.
+    pub cache_dir: std::path::PathBuf,
+    /// Worker threads for identification and branch fan-out; 0 = all
+    /// cores.
+    pub threads: usize,
+    /// Recompute every stage even when a cached artifact exists (fresh
+    /// artifacts still overwrite the cache).
+    pub force: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            cache_dir: ".remedy-cache".into(),
+            threads: 0,
+            force: false,
+        }
+    }
+}
+
+/// Everything one branch produces: its stage records in DAG order plus
+/// the audit outcome.
+struct BranchRun {
+    records: Vec<StageRecord>,
+    outcome: BranchOutcome,
+}
+
+/// Runs a plan end to end; returns the manifest describing what happened.
+pub fn run(plan: &Plan, opts: &PipelineOptions) -> Result<RunManifest, PipelineError> {
+    let started = Instant::now();
+    let cache = ArtifactCache::open(opts.cache_dir.clone())?;
+
+    // shared prefix: load → discretize → identify
+    let load = load_stage(plan, &cache, opts.force)?;
+    let discretized = discretize_stage(plan, &load, &cache, opts.force)?;
+    let data = data_persist::dataset_from_text(&discretized.text)?;
+    let (train_set, test_set) = split_dataset(plan, &data)?;
+    let identify = identify_stage(
+        plan,
+        &discretized,
+        &train_set,
+        opts.threads,
+        &cache,
+        opts.force,
+    )?;
+
+    // the unremedied training split doubles as the remedy "artifact" of
+    // technique=none branches; serialize it once for all of them
+    let train_split_text = data_persist::dataset_to_text(&train_set);
+    let train_split_hash = format!("{:032x}", stable_hash(train_split_text.as_bytes()));
+
+    // branch fan-out
+    let n_workers = effective_workers(opts.threads, plan.branches.len());
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, Result<BranchRun, PipelineError>)>> =
+        Mutex::new(Vec::with_capacity(plan.branches.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(branch) = plan.branches.get(idx) else {
+                    break;
+                };
+                let result = run_branch(
+                    plan,
+                    branch,
+                    &discretized,
+                    &identify,
+                    &train_set,
+                    &test_set,
+                    &train_split_text,
+                    &train_split_hash,
+                    &cache,
+                    opts.force,
+                );
+                results.lock().unwrap().push((idx, result));
+            });
+        }
+    });
+
+    let mut runs = results.into_inner().unwrap();
+    runs.sort_by_key(|(idx, _)| *idx);
+    let mut stages = vec![load.record, discretized.record, identify.record];
+    let mut branches = Vec::with_capacity(runs.len());
+    for (_, result) in runs {
+        let run = result?;
+        stages.extend(run.records);
+        branches.push(run.outcome);
+    }
+    Ok(RunManifest {
+        dataset: plan.source.clone(),
+        seed: plan.seed,
+        threads: opts.threads,
+        total_ms: started.elapsed().as_secs_f64() * 1e3,
+        stages,
+        branches,
+    })
+}
+
+/// Worker count: bounded by the branch count, `0` means all cores.
+fn effective_workers(threads: usize, branches: usize) -> usize {
+    let cap = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    cap.clamp(1, branches.max(1))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_branch(
+    plan: &Plan,
+    branch: &BranchSpec,
+    discretized: &StageOutput,
+    identify: &StageOutput,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    train_split_text: &str,
+    train_split_hash: &str,
+    cache: &ArtifactCache,
+    force: bool,
+) -> Result<BranchRun, PipelineError> {
+    let mut records = Vec::with_capacity(3);
+
+    // remedy (or pass the unremedied split through)
+    let (train_input, train_input_hash) = match branch.technique {
+        Some(technique) => {
+            let params = plan.remedy_params(technique);
+            let remedied = remedy_stage(
+                plan,
+                &branch.name,
+                &params,
+                discretized,
+                identify,
+                train_set,
+                cache,
+                force,
+            )?;
+            let hash = remedied.artifact_hash.clone();
+            records.push(remedied.record.clone());
+            (remedied.text, hash)
+        }
+        None => {
+            records.push(skipped_remedy_record(&branch.name, train_split_hash));
+            (train_split_text.to_string(), train_split_hash.to_string())
+        }
+    };
+
+    // train
+    let model = train_stage(
+        plan,
+        &branch.name,
+        branch.model,
+        &train_input,
+        &train_input_hash,
+        cache,
+        force,
+    )?;
+    records.push(model.record.clone());
+
+    // audit
+    let audit = audit_stage(
+        plan,
+        &branch.name,
+        &model,
+        discretized,
+        test_set,
+        cache,
+        force,
+    )?;
+    records.push(audit.record.clone());
+    let metrics = MetricsSummary::from_text(&audit.text)
+        .map_err(|e| PipelineError(format!("bad metrics artifact: {e}")))?;
+
+    Ok(BranchRun {
+        records,
+        outcome: BranchOutcome {
+            name: branch.name.clone(),
+            technique: branch
+                .technique
+                .map(|t| t.label().to_string())
+                .unwrap_or_else(|| "none".to_string()),
+            model: branch.model.token().to_string(),
+            metrics,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_is_sane() {
+        assert_eq!(effective_workers(4, 2), 2);
+        assert_eq!(effective_workers(1, 8), 1);
+        assert!(effective_workers(0, 3) >= 1);
+        assert_eq!(effective_workers(2, 0), 1);
+    }
+}

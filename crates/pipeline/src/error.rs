@@ -1,0 +1,25 @@
+//! The pipeline's single error type.
+
+/// Anything that can go wrong while parsing a plan or running it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineError(pub String);
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<remedy_dataset::DatasetError> for PipelineError {
+    fn from(e: remedy_dataset::DatasetError) -> Self {
+        PipelineError(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for PipelineError {
+    fn from(e: std::io::Error) -> Self {
+        PipelineError(format!("io error: {e}"))
+    }
+}

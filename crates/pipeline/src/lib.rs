@@ -1,0 +1,52 @@
+//! # remedy-pipeline
+//!
+//! End-to-end runs as a cached, parallel DAG of typed stages:
+//!
+//! ```text
+//! Load ──► Discretize ──► Identify ──► branch: [Remedy] ─► Train ─► Audit
+//! ```
+//!
+//! A [`Plan`] declares the dataset, the shared identification parameters,
+//! and a fan-out of branches — each a (remedy technique, model family)
+//! pair. [`run`] executes the DAG:
+//!
+//! * **Content-hashed caching** ([`cache`]) — every stage's key is the
+//!   stable FNV-1a/128 digest of its inputs (upstream artifact hashes +
+//!   its own parameters, via [`remedy_core::hash::StableHasher`]).
+//!   Re-running a plan with one changed knob (say τ_c) replays every
+//!   stage upstream of the change from `.remedy-cache/` and recomputes
+//!   only what the change can affect.
+//! * **Parallel branches** ([`engine`]) — branches share one identify
+//!   artifact and fan out over scoped worker threads.
+//! * **Run manifest** ([`manifest`]) — each run yields a [`RunManifest`]
+//!   (serializable to `run.json`) recording per-stage wall time, cache
+//!   hit/miss, artifact hashes, and per-branch fairness/accuracy metrics.
+//! * **Determinism** — one master seed drives generation, splitting,
+//!   remedy sampling, and training, and every artifact format round-trips
+//!   floats bit-exactly, so identical plans produce byte-identical
+//!   artifacts.
+//!
+//! ```no_run
+//! use remedy_pipeline::{run, PipelineOptions, Plan};
+//!
+//! let plan = Plan::parse(
+//!     "dataset compas\nrows 2000\nbranch base technique=none model=dt\n\
+//!      branch ps technique=ps model=dt\n",
+//! )?;
+//! let manifest = run(&plan, &PipelineOptions::default())?;
+//! println!("{}", manifest.to_json());
+//! # Ok::<(), remedy_pipeline::PipelineError>(())
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod manifest;
+pub mod plan;
+pub mod stages;
+
+pub use cache::{ArtifactCache, CacheKey};
+pub use engine::{run, PipelineOptions};
+pub use error::PipelineError;
+pub use manifest::{BranchOutcome, RunManifest, StageRecord};
+pub use plan::{BranchSpec, ModelFamily, Plan};

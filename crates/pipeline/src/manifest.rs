@@ -1,0 +1,245 @@
+//! The run manifest: what executed, what was cached, what came out.
+//!
+//! Every pipeline run produces a [`RunManifest`] — one [`StageRecord`]
+//! per executed (or cache-satisfied, or skipped) stage plus per-branch
+//! outcome metrics. The manifest serializes to JSON by hand, in the same
+//! no-dependency spirit as the `remedy-classifiers::persist` text formats.
+
+use remedy_fairness::MetricsSummary;
+
+/// One stage execution in the manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRecord {
+    /// Stage kind: `load`, `discretize`, `identify`, `remedy`, `train`,
+    /// or `audit`.
+    pub stage: &'static str,
+    /// Owning branch, or `None` for the shared prefix.
+    pub branch: Option<String>,
+    /// The content-addressed cache key (32 hex digits).
+    pub key: String,
+    /// Stable hash of the produced artifact (32 hex digits).
+    pub artifact_hash: String,
+    /// Whether the artifact came from the cache.
+    pub cache_hit: bool,
+    /// Whether the stage was skipped entirely (`technique=none` remedy).
+    pub skipped: bool,
+    /// Wall-clock time spent in this stage, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Outcome metrics of one branch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BranchOutcome {
+    /// Branch name from the plan.
+    pub name: String,
+    /// Technique label (`PS`, `US`, `DP`, `Massaging`) or `none`.
+    pub technique: String,
+    /// Model family token (`dt`, `rf`, `lg`, `nb`).
+    pub model: String,
+    /// The audit metrics.
+    pub metrics: MetricsSummary,
+}
+
+/// The full record of one pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Dataset source from the plan.
+    pub dataset: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads used for branch fan-out (0 = all cores).
+    pub threads: usize,
+    /// Total wall-clock time, milliseconds.
+    pub total_ms: f64,
+    /// Every stage, shared prefix first, then branch stages in branch
+    /// order.
+    pub stages: Vec<StageRecord>,
+    /// Per-branch outcomes, in plan order.
+    pub branches: Vec<BranchOutcome>,
+}
+
+impl RunManifest {
+    /// Looks up a stage record by kind and owning branch.
+    pub fn stage(&self, stage: &str, branch: Option<&str>) -> Option<&StageRecord> {
+        self.stages
+            .iter()
+            .find(|s| s.stage == stage && s.branch.as_deref() == branch)
+    }
+
+    /// Looks up a branch outcome by name.
+    pub fn branch(&self, name: &str) -> Option<&BranchOutcome> {
+        self.branches.iter().find(|b| b.name == name)
+    }
+
+    /// Serializes the manifest as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"dataset\": {},\n", json_str(&self.dataset)));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"total_ms\": {},\n", json_f64(self.total_ms)));
+        out.push_str("  \"stages\": [\n");
+        for (i, s) in self.stages.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"stage\": {}, ", json_str(s.stage)));
+            match &s.branch {
+                Some(b) => out.push_str(&format!("\"branch\": {}, ", json_str(b))),
+                None => out.push_str("\"branch\": null, "),
+            }
+            out.push_str(&format!("\"key\": {}, ", json_str(&s.key)));
+            out.push_str(&format!(
+                "\"artifact_hash\": {}, ",
+                json_str(&s.artifact_hash)
+            ));
+            out.push_str(&format!("\"cache_hit\": {}, ", s.cache_hit));
+            out.push_str(&format!("\"skipped\": {}, ", s.skipped));
+            out.push_str(&format!("\"wall_ms\": {}", json_f64(s.wall_ms)));
+            out.push('}');
+            if i + 1 < self.stages.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"branches\": [\n");
+        for (i, b) in self.branches.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"name\": {}, ", json_str(&b.name)));
+            out.push_str(&format!("\"technique\": {}, ", json_str(&b.technique)));
+            out.push_str(&format!("\"model\": {}, ", json_str(&b.model)));
+            out.push_str(&format!(
+                "\"stat\": {}, ",
+                json_str(b.metrics.statistic.name())
+            ));
+            out.push_str(&format!("\"accuracy\": {}, ", json_f64(b.metrics.accuracy)));
+            out.push_str(&format!(
+                "\"fairness_index\": {}, ",
+                json_f64(b.metrics.fairness_index)
+            ));
+            out.push_str(&format!(
+                "\"unfair_subgroups\": {}, ",
+                b.metrics.unfair_subgroups
+            ));
+            out.push_str(&format!("\"test_rows\": {}", b.metrics.test_rows));
+            out.push('}');
+            if i + 1 < self.branches.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON manifest to disk.
+    pub fn write_path(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number (finite; NaN/∞ become null).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // shortest representation that round-trips
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remedy_fairness::Statistic;
+
+    fn sample() -> RunManifest {
+        RunManifest {
+            dataset: "compas".into(),
+            seed: 42,
+            threads: 2,
+            total_ms: 12.5,
+            stages: vec![
+                StageRecord {
+                    stage: "load",
+                    branch: None,
+                    key: "aa".into(),
+                    artifact_hash: "bb".into(),
+                    cache_hit: false,
+                    skipped: false,
+                    wall_ms: 1.0,
+                },
+                StageRecord {
+                    stage: "remedy",
+                    branch: Some("ps".into()),
+                    key: "cc".into(),
+                    artifact_hash: "dd".into(),
+                    cache_hit: true,
+                    skipped: false,
+                    wall_ms: 0.1,
+                },
+            ],
+            branches: vec![BranchOutcome {
+                name: "ps".into(),
+                technique: "PS".into(),
+                model: "dt".into(),
+                metrics: MetricsSummary {
+                    statistic: Statistic::Fpr,
+                    accuracy: 0.75,
+                    fairness_index: 0.125,
+                    unfair_subgroups: 3,
+                    test_rows: 600,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn lookups_find_records() {
+        let m = sample();
+        assert!(m.stage("load", None).is_some());
+        assert!(m.stage("remedy", Some("ps")).unwrap().cache_hit);
+        assert!(m.stage("remedy", None).is_none());
+        assert_eq!(m.branch("ps").unwrap().metrics.unfair_subgroups, 3);
+    }
+
+    #[test]
+    fn json_is_wellformed() {
+        let json = sample().to_json();
+        assert!(json.contains("\"dataset\": \"compas\""));
+        assert!(json.contains("\"cache_hit\": true"));
+        assert!(json.contains("\"branch\": null"));
+        assert!(json.contains("\"fairness_index\": 0.125"));
+        // crude structural check: balanced braces and brackets
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(0.5), "0.5");
+    }
+}

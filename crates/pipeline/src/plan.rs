@@ -1,0 +1,366 @@
+//! Declarative run plans.
+//!
+//! A plan is a line-oriented text file: `key value` settings followed by
+//! one `branch` line per (remedy technique, model family) combination to
+//! evaluate. `#` starts a comment; blank lines are ignored.
+//!
+//! ```text
+//! # compare preferential sampling against the unremedied baseline
+//! dataset compas
+//! rows 2000
+//! seed 42
+//! split 0.7
+//! tau 0.1
+//! branch base technique=none model=dt
+//! branch ps-dt technique=ps model=dt
+//! branch us-rf technique=us model=rf
+//! ```
+//!
+//! Every branch shares the Load → Discretize → Identify prefix of the DAG;
+//! branches themselves are independent and run in parallel.
+
+use crate::error::PipelineError;
+use remedy_core::{IbsParams, Neighborhood, RemedyParams, Scope, Technique};
+use remedy_fairness::Statistic;
+use std::path::Path;
+
+/// Model families the pipeline can train *and persist as artifacts*.
+///
+/// This is the intersection of the trainable families and the
+/// `remedy-classifiers::persist` formats (the MLP is excluded there by
+/// design: it is seed-reproducible, so retraining is the persistence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelFamily {
+    /// CART decision tree.
+    DecisionTree,
+    /// Random forest.
+    RandomForest,
+    /// Logistic regression.
+    LogisticRegression,
+    /// Categorical naive Bayes.
+    NaiveBayes,
+}
+
+impl ModelFamily {
+    /// The plan-file token (`dt`, `rf`, `lg`, `nb`).
+    pub fn token(self) -> &'static str {
+        match self {
+            ModelFamily::DecisionTree => "dt",
+            ModelFamily::RandomForest => "rf",
+            ModelFamily::LogisticRegression => "lg",
+            ModelFamily::NaiveBayes => "nb",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, PipelineError> {
+        match s {
+            "dt" => Ok(ModelFamily::DecisionTree),
+            "rf" => Ok(ModelFamily::RandomForest),
+            "lg" => Ok(ModelFamily::LogisticRegression),
+            "nb" => Ok(ModelFamily::NaiveBayes),
+            other => Err(PipelineError(format!(
+                "model `{other}` is not dt|rf|lg|nb (nn cannot be persisted as an artifact)"
+            ))),
+        }
+    }
+}
+
+/// One leg of the fan-out: a remedy technique (or none) plus a model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BranchSpec {
+    /// Unique branch name; keys manifest entries.
+    pub name: String,
+    /// Remedy technique; `None` trains on the unremedied split.
+    pub technique: Option<Technique>,
+    /// Downstream model family.
+    pub model: ModelFamily,
+}
+
+/// A parsed pipeline plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Dataset source: `adult`, `compas`, `law`, or a CSV path.
+    pub source: String,
+    /// Synthetic row count; `0` uses the generator's paper-sized default.
+    pub rows: usize,
+    /// Master seed, threaded through generation, splitting, remedy
+    /// sampling, and model training.
+    pub seed: u64,
+    /// Train fraction of the train/test split.
+    pub split: f64,
+    /// Label column (CSV sources only).
+    pub label: Option<String>,
+    /// Protected attribute names (CSV sources only).
+    pub protected: Vec<String>,
+    /// Positive label value (CSV sources only).
+    pub positive: Option<String>,
+    /// Quantile buckets for continuous CSV columns.
+    pub bins: usize,
+    /// Identification parameters shared by every branch.
+    pub ibs: IbsParams,
+    /// Audit statistic γ.
+    pub stat: Statistic,
+    /// Audit unfairness threshold `τ_d`.
+    pub tau_d: f64,
+    /// Minimum subgroup support in the audit.
+    pub min_support: f64,
+    /// The fan-out.
+    pub branches: Vec<BranchSpec>,
+}
+
+impl Default for Plan {
+    fn default() -> Self {
+        Plan {
+            source: String::new(),
+            rows: 0,
+            seed: 42,
+            split: 0.7,
+            label: None,
+            protected: Vec::new(),
+            positive: None,
+            bins: 4,
+            ibs: IbsParams::default(),
+            stat: Statistic::Fpr,
+            tau_d: 0.1,
+            min_support: 0.1,
+            branches: Vec::new(),
+        }
+    }
+}
+
+impl Plan {
+    /// Parses a plan from text.
+    pub fn parse(text: &str) -> Result<Plan, PipelineError> {
+        let mut plan = Plan::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| at(idx, format!("`{line}` has no value")))?;
+            let value = value.trim();
+            match key {
+                "dataset" => plan.source = value.to_string(),
+                "rows" => plan.rows = parse_num(idx, "rows", value)?,
+                "seed" => plan.seed = parse_num(idx, "seed", value)?,
+                "split" => plan.split = parse_num(idx, "split", value)?,
+                "label" => plan.label = Some(value.to_string()),
+                "protected" => {
+                    plan.protected = value.split(',').map(|s| s.trim().to_string()).collect()
+                }
+                "positive" => plan.positive = Some(value.to_string()),
+                "bins" => plan.bins = parse_num(idx, "bins", value)?,
+                "tau" => plan.ibs.tau_c = parse_num(idx, "tau", value)?,
+                "min-size" => plan.ibs.min_size = parse_num(idx, "min-size", value)?,
+                "neighborhood" => plan.ibs.neighborhood = parse_neighborhood(idx, value)?,
+                "scope" => plan.ibs.scope = parse_scope(idx, value)?,
+                "stat" => plan.stat = parse_stat(idx, value)?,
+                "tau-d" => plan.tau_d = parse_num(idx, "tau-d", value)?,
+                "min-support" => plan.min_support = parse_num(idx, "min-support", value)?,
+                "branch" => plan.branches.push(parse_branch(idx, value)?),
+                other => return Err(at(idx, format!("unknown key `{other}`"))),
+            }
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Reads and parses a plan file.
+    pub fn from_path(path: impl AsRef<Path>) -> Result<Plan, PipelineError> {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| PipelineError(format!("cannot read {}: {e}", path.as_ref().display())))?;
+        Plan::parse(&text)
+    }
+
+    /// The remedy parameters a branch runs with (identification settings
+    /// come from the shared plan; the seed is the master seed).
+    pub fn remedy_params(&self, technique: Technique) -> RemedyParams {
+        RemedyParams {
+            technique,
+            tau_c: self.ibs.tau_c,
+            min_size: self.ibs.min_size,
+            neighborhood: self.ibs.neighborhood,
+            scope: self.ibs.scope,
+            seed: self.seed,
+        }
+    }
+
+    fn validate(&self) -> Result<(), PipelineError> {
+        if self.source.is_empty() {
+            return Err(PipelineError("plan needs a `dataset` line".into()));
+        }
+        if self.branches.is_empty() {
+            return Err(PipelineError(
+                "plan needs at least one `branch` line".into(),
+            ));
+        }
+        if !(self.split > 0.0 && self.split < 1.0) {
+            return Err(PipelineError(format!(
+                "split {} is not in (0, 1)",
+                self.split
+            )));
+        }
+        let mut names: Vec<&str> = self.branches.iter().map(|b| b.name.as_str()).collect();
+        names.sort_unstable();
+        if let Some(w) = names.windows(2).find(|w| w[0] == w[1]) {
+            return Err(PipelineError(format!("duplicate branch name `{}`", w[0])));
+        }
+        let is_builtin = matches!(self.source.as_str(), "adult" | "compas" | "law");
+        if !is_builtin && self.label.is_none() {
+            return Err(PipelineError(
+                "CSV sources need a `label` line (and `protected`)".into(),
+            ));
+        }
+        if !is_builtin && self.protected.is_empty() {
+            return Err(PipelineError("CSV sources need a `protected` line".into()));
+        }
+        Ok(())
+    }
+}
+
+fn at(idx: usize, msg: String) -> PipelineError {
+    PipelineError(format!("plan line {}: {msg}", idx + 1))
+}
+
+fn parse_num<T: std::str::FromStr>(idx: usize, key: &str, value: &str) -> Result<T, PipelineError> {
+    value
+        .parse()
+        .map_err(|_| at(idx, format!("bad {key} value `{value}`")))
+}
+
+fn parse_neighborhood(idx: usize, value: &str) -> Result<Neighborhood, PipelineError> {
+    match value {
+        "unit" | "1" => Ok(Neighborhood::Unit),
+        "full" => Ok(Neighborhood::Full),
+        other => other
+            .parse::<f64>()
+            .map(Neighborhood::OrderedRadius)
+            .map_err(|_| {
+                at(
+                    idx,
+                    format!("neighborhood `{other}` is not unit|full|<radius>"),
+                )
+            }),
+    }
+}
+
+fn parse_scope(idx: usize, value: &str) -> Result<Scope, PipelineError> {
+    match value {
+        "lattice" => Ok(Scope::Lattice),
+        "leaf" => Ok(Scope::Leaf),
+        "top" => Ok(Scope::Top),
+        other => Err(at(idx, format!("scope `{other}` is not lattice|leaf|top"))),
+    }
+}
+
+fn parse_stat(idx: usize, value: &str) -> Result<Statistic, PipelineError> {
+    match value {
+        "fpr" => Ok(Statistic::Fpr),
+        "fnr" => Ok(Statistic::Fnr),
+        "acc" => Ok(Statistic::Accuracy),
+        "sel" => Ok(Statistic::SelectionRate),
+        other => Err(at(idx, format!("stat `{other}` is not fpr|fnr|acc|sel"))),
+    }
+}
+
+fn parse_branch(idx: usize, value: &str) -> Result<BranchSpec, PipelineError> {
+    let mut fields = value.split_whitespace();
+    let name = fields
+        .next()
+        .ok_or_else(|| at(idx, "branch needs a name".into()))?
+        .to_string();
+    let mut technique = None;
+    let mut model = None;
+    for field in fields {
+        let (k, v) = field
+            .split_once('=')
+            .ok_or_else(|| at(idx, format!("branch option `{field}` is not key=value")))?;
+        match k {
+            "technique" => {
+                technique = Some(match v {
+                    "none" => None,
+                    "ps" | "preferential" => Some(Technique::PreferentialSampling),
+                    "us" | "undersample" => Some(Technique::Undersampling),
+                    "dp" | "oversample" => Some(Technique::Oversampling),
+                    "massage" | "massaging" => Some(Technique::Massaging),
+                    other => {
+                        return Err(at(
+                            idx,
+                            format!("technique `{other}` is not none|ps|us|dp|massage"),
+                        ))
+                    }
+                })
+            }
+            "model" => model = Some(ModelFamily::parse(v).map_err(|e| at(idx, e.0))?),
+            other => return Err(at(idx, format!("unknown branch option `{other}`"))),
+        }
+    }
+    Ok(BranchSpec {
+        name,
+        technique: technique
+            .ok_or_else(|| at(idx, "branch needs technique=none|ps|us|dp|massage".into()))?,
+        model: model.ok_or_else(|| at(idx, "branch needs model=dt|rf|lg|nb".into()))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PLAN: &str = "\
+# demo plan
+dataset compas
+rows 1500
+seed 7
+split 0.7
+tau 0.15        # inline comment
+branch base technique=none model=dt
+branch ps technique=ps model=dt
+";
+
+    #[test]
+    fn parses_a_full_plan() {
+        let plan = Plan::parse(PLAN).unwrap();
+        assert_eq!(plan.source, "compas");
+        assert_eq!(plan.rows, 1500);
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.ibs.tau_c, 0.15);
+        assert_eq!(plan.branches.len(), 2);
+        assert_eq!(plan.branches[0].technique, None);
+        assert_eq!(
+            plan.branches[1].technique,
+            Some(Technique::PreferentialSampling)
+        );
+        assert_eq!(plan.branches[1].model, ModelFamily::DecisionTree);
+    }
+
+    #[test]
+    fn rejects_bad_plans() {
+        assert!(Plan::parse("dataset compas\n").is_err()); // no branch
+        assert!(Plan::parse("branch a technique=ps model=dt\n").is_err()); // no dataset
+        assert!(Plan::parse(
+            "dataset compas\nbranch a technique=ps model=dt\nbranch a technique=us model=dt\n"
+        )
+        .is_err()); // duplicate name
+        assert!(
+            Plan::parse("dataset compas\nsplit 1.5\nbranch a technique=ps model=dt\n").is_err()
+        );
+        assert!(Plan::parse("dataset x.csv\nbranch a technique=ps model=dt\n").is_err()); // no label
+        assert!(
+            Plan::parse("dataset compas\nfrobnicate 3\nbranch a technique=ps model=dt\n").is_err()
+        );
+        assert!(Plan::parse("dataset compas\nbranch a technique=zz model=dt\n").is_err());
+        assert!(Plan::parse("dataset compas\nbranch a technique=ps model=nn\n").is_err());
+    }
+
+    #[test]
+    fn remedy_params_inherit_shared_settings() {
+        let plan = Plan::parse(PLAN).unwrap();
+        let params = plan.remedy_params(Technique::Undersampling);
+        assert_eq!(params.tau_c, 0.15);
+        assert_eq!(params.seed, 7);
+        assert_eq!(params.technique, Technique::Undersampling);
+    }
+}

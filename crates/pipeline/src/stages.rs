@@ -1,0 +1,413 @@
+//! The six typed stages and the shared cached-execution wrapper.
+//!
+//! Each stage function derives its [`CacheKey`] from the stage inputs —
+//! upstream artifact hashes plus its own parameters — then either replays
+//! the cached artifact or computes, stores, and returns a fresh one.
+//! Artifacts are the exact text formats of the member crates
+//! (`remedy-dataset v1`, `remedy-ibs v1`, `remedy-model v1`,
+//! `remedy-metrics v1`), so a cache hit is byte-identical to a re-run.
+//!
+//! Worker-thread counts are deliberately *excluded* from every key: they
+//! change wall time, never results.
+
+use crate::cache::{ArtifactCache, CacheKey};
+use crate::error::PipelineError;
+use crate::manifest::StageRecord;
+use crate::plan::{ModelFamily, Plan};
+use remedy_classifiers::persist as model_persist;
+use remedy_classifiers::{
+    accuracy, DecisionTree, DecisionTreeParams, LogisticRegression, LogisticRegressionParams,
+    Model, NaiveBayes, RandomForest, RandomForestParams,
+};
+use remedy_core::hash::{stable_hash, StableHasher};
+use remedy_core::{
+    identify_in_parallel, persist as ibs_persist, Algorithm, Hierarchy, RemedyParams,
+};
+use remedy_dataset::csv::{LoadOptions, RawTable};
+use remedy_dataset::persist as data_persist;
+use remedy_dataset::split::train_test_split;
+use remedy_dataset::{synth, Dataset};
+use remedy_fairness::{fairness_index, Explorer, FairnessIndexParams, MetricsSummary};
+use std::time::Instant;
+
+/// Magic header of exact dataset artifacts (used to recognize pass-through
+/// inputs in the discretize stage).
+const DATASET_MAGIC: &str = "remedy-dataset v1";
+
+/// Artifact text plus its manifest record.
+#[derive(Debug, Clone)]
+pub struct StageOutput {
+    /// The artifact's text payload.
+    pub text: String,
+    /// Hex stable hash of `text` (chained into downstream keys).
+    pub artifact_hash: String,
+    /// Manifest entry for this execution.
+    pub record: StageRecord,
+}
+
+/// Executes one stage through the cache: replay on hit, compute + store on
+/// miss, record either way.
+pub fn run_stage(
+    cache: &ArtifactCache,
+    stage: &'static str,
+    branch: Option<&str>,
+    key: CacheKey,
+    force: bool,
+    description: &str,
+    compute: impl FnOnce() -> Result<String, PipelineError>,
+) -> Result<StageOutput, PipelineError> {
+    let start = Instant::now();
+    if !force {
+        if let Some(text) = cache.lookup(stage, key) {
+            return Ok(finish(stage, branch, key, true, text, start));
+        }
+    }
+    let text = compute()?;
+    cache.store(stage, key, &text, description)?;
+    Ok(finish(stage, branch, key, false, text, start))
+}
+
+fn finish(
+    stage: &'static str,
+    branch: Option<&str>,
+    key: CacheKey,
+    cache_hit: bool,
+    text: String,
+    start: Instant,
+) -> StageOutput {
+    let artifact_hash = format!("{:032x}", stable_hash(text.as_bytes()));
+    StageOutput {
+        record: StageRecord {
+            stage,
+            branch: branch.map(String::from),
+            key: key.hex(),
+            artifact_hash: artifact_hash.clone(),
+            cache_hit,
+            skipped: false,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        },
+        artifact_hash,
+        text,
+    }
+}
+
+/// Whether the plan's source is a built-in synthetic generator.
+fn is_builtin(source: &str) -> bool {
+    matches!(source, "adult" | "compas" | "law")
+}
+
+/// Load: raw bytes into the pipeline.
+///
+/// Built-in sources generate their synthetic dataset (keyed by name, row
+/// count, and seed) and emit it as an exact dataset artifact. CSV sources
+/// emit the file's raw text, keyed by its *content* hash so editing the
+/// file invalidates everything downstream while renaming it does not.
+pub fn load_stage(
+    plan: &Plan,
+    cache: &ArtifactCache,
+    force: bool,
+) -> Result<StageOutput, PipelineError> {
+    let mut h = StableHasher::new();
+    h.write_str("load");
+    if is_builtin(&plan.source) {
+        h.write_str(&plan.source);
+        h.write_u64(plan.rows as u64);
+        h.write_u64(plan.seed);
+        let key = CacheKey::from_hasher(&h);
+        let (source, rows, seed) = (plan.source.clone(), plan.rows, plan.seed);
+        run_stage(
+            cache,
+            "load",
+            None,
+            key,
+            force,
+            &format!("load {source} rows={rows} seed={seed}"),
+            move || {
+                let data = match (source.as_str(), rows) {
+                    ("adult", 0) => synth::adult(seed),
+                    ("adult", n) => synth::adult_n(n, seed),
+                    ("compas", 0) => synth::compas(seed),
+                    ("compas", n) => synth::compas_n(n, seed),
+                    ("law", 0) => synth::law_school(seed),
+                    ("law", n) => synth::law_school_n(n, seed),
+                    _ => unreachable!("is_builtin checked"),
+                };
+                Ok(data_persist::dataset_to_text(&data))
+            },
+        )
+    } else {
+        let text = std::fs::read_to_string(&plan.source)
+            .map_err(|e| PipelineError(format!("cannot read {}: {e}", plan.source)))?;
+        h.write_str("csv");
+        h.write(text.as_bytes());
+        let key = CacheKey::from_hasher(&h);
+        run_stage(
+            cache,
+            "load",
+            None,
+            key,
+            force,
+            &format!("load {}", plan.source),
+            move || Ok(text),
+        )
+    }
+}
+
+/// Discretize: normalize the loaded bytes into an exact dataset artifact.
+///
+/// CSV inputs get their label/protected columns resolved and continuous
+/// columns quantile-bucketized; already-exact inputs (built-in sources)
+/// pass through unchanged. Either way the output is the canonical
+/// categorical dataset every downstream stage consumes.
+pub fn discretize_stage(
+    plan: &Plan,
+    load: &StageOutput,
+    cache: &ArtifactCache,
+    force: bool,
+) -> Result<StageOutput, PipelineError> {
+    let mut h = StableHasher::new();
+    h.write_str("discretize");
+    h.write_str(&load.artifact_hash);
+    h.write_str(plan.label.as_deref().unwrap_or(""));
+    for p in &plan.protected {
+        h.write_str(p);
+    }
+    h.write_str(plan.positive.as_deref().unwrap_or(""));
+    h.write_u64(plan.bins as u64);
+    let key = CacheKey::from_hasher(&h);
+    let input = load.text.clone();
+    let (label, protected, positive, bins) = (
+        plan.label.clone(),
+        plan.protected.clone(),
+        plan.positive.clone(),
+        plan.bins,
+    );
+    run_stage(
+        cache,
+        "discretize",
+        None,
+        key,
+        force,
+        &format!("discretize bins={bins}"),
+        move || {
+            if input.starts_with(DATASET_MAGIC) {
+                return Ok(input);
+            }
+            let label = label.ok_or_else(|| PipelineError("CSV source needs a label".into()))?;
+            let table = RawTable::parse_str(&input).map_err(PipelineError::from)?;
+            let mut opts = LoadOptions::new(label);
+            opts.protected = protected;
+            opts.positive_value = positive;
+            opts.numeric_bins = bins;
+            let data = table.to_dataset(&opts).map_err(PipelineError::from)?;
+            Ok(data_persist::dataset_to_text(&data))
+        },
+    )
+}
+
+/// Computes the train/test split every consuming stage agrees on.
+pub fn split_dataset(plan: &Plan, data: &Dataset) -> Result<(Dataset, Dataset), PipelineError> {
+    train_test_split(data, plan.split, plan.seed).map_err(PipelineError::from)
+}
+
+/// Folds the split definition into a stage key.
+fn write_split(h: &mut StableHasher, plan: &Plan) {
+    h.write_f64(plan.split);
+    h.write_u64(plan.seed);
+}
+
+/// Identify: the IBS of the training split, shared by every branch.
+///
+/// `threads` fans region scoring out over scoped worker threads; it is
+/// not part of the key because it cannot change the result.
+pub fn identify_stage(
+    plan: &Plan,
+    discretized: &StageOutput,
+    train_set: &Dataset,
+    threads: usize,
+    cache: &ArtifactCache,
+    force: bool,
+) -> Result<StageOutput, PipelineError> {
+    let mut h = StableHasher::new();
+    h.write_str("identify");
+    h.write_str(&discretized.artifact_hash);
+    write_split(&mut h, plan);
+    plan.ibs.stable_hash_into(&mut h);
+    let key = CacheKey::from_hasher(&h);
+    let params = plan.ibs.clone();
+    run_stage(
+        cache,
+        "identify",
+        None,
+        key,
+        force,
+        &format!("identify tau={} k={}", params.tau_c, params.min_size),
+        move || {
+            let algorithm = if params.neighborhood.supports_optimized() {
+                Algorithm::Optimized
+            } else {
+                Algorithm::Naive
+            };
+            let hierarchy = Hierarchy::build(train_set);
+            let regions = identify_in_parallel(&hierarchy, &params, algorithm, threads);
+            Ok(ibs_persist::regions_to_text(&regions))
+        },
+    )
+}
+
+/// Remedy: rewrite the training split so biased regions match their
+/// neighborhood. One execution per branch with a technique.
+pub fn remedy_stage(
+    plan: &Plan,
+    branch: &str,
+    params: &RemedyParams,
+    discretized: &StageOutput,
+    identify: &StageOutput,
+    train_set: &Dataset,
+    cache: &ArtifactCache,
+    force: bool,
+) -> Result<StageOutput, PipelineError> {
+    let mut h = StableHasher::new();
+    h.write_str("remedy");
+    h.write_str(&discretized.artifact_hash);
+    // the identify artifact is a deterministic function of the same
+    // inputs, so chaining its hash documents the DAG edge at no cost in
+    // spurious misses
+    h.write_str(&identify.artifact_hash);
+    write_split(&mut h, plan);
+    params.stable_hash_into(&mut h);
+    let key = CacheKey::from_hasher(&h);
+    let params = params.clone();
+    run_stage(
+        cache,
+        "remedy",
+        Some(branch),
+        key,
+        force,
+        &format!("remedy {} tau={}", params.technique, params.tau_c),
+        move || {
+            let outcome = remedy_core::remedy(train_set, &params);
+            Ok(data_persist::dataset_to_text(&outcome.dataset))
+        },
+    )
+}
+
+/// A record for a `technique=none` branch: the remedy stage is skipped
+/// and the training input is the unremedied split.
+pub fn skipped_remedy_record(branch: &str, train_split_hash: &str) -> StageRecord {
+    StageRecord {
+        stage: "remedy",
+        branch: Some(branch.to_string()),
+        key: "-".into(),
+        artifact_hash: train_split_hash.to_string(),
+        cache_hit: false,
+        skipped: true,
+        wall_ms: 0.0,
+    }
+}
+
+/// Train: fit the branch's model family on its training input.
+pub fn train_stage(
+    plan: &Plan,
+    branch: &str,
+    family: ModelFamily,
+    train_input: &str,
+    train_input_hash: &str,
+    cache: &ArtifactCache,
+    force: bool,
+) -> Result<StageOutput, PipelineError> {
+    let mut h = StableHasher::new();
+    h.write_str("train");
+    h.write_str(train_input_hash);
+    h.write_str(family.token());
+    h.write_u64(plan.seed);
+    let key = CacheKey::from_hasher(&h);
+    let seed = plan.seed;
+    run_stage(
+        cache,
+        "train",
+        Some(branch),
+        key,
+        force,
+        &format!("train {} seed={seed}", family.token()),
+        move || {
+            let data = data_persist::dataset_from_text(train_input)?;
+            Ok(match family {
+                ModelFamily::DecisionTree => model_persist::tree_to_text(&DecisionTree::fit(
+                    &data,
+                    &DecisionTreeParams::default(),
+                )),
+                ModelFamily::RandomForest => model_persist::forest_to_text(&RandomForest::fit(
+                    &data,
+                    &RandomForestParams::default(),
+                    seed,
+                )),
+                ModelFamily::LogisticRegression => model_persist::logistic_to_text(
+                    &LogisticRegression::fit(&data, &LogisticRegressionParams::default()),
+                ),
+                ModelFamily::NaiveBayes => {
+                    model_persist::naive_bayes_to_text(&NaiveBayes::fit(&data))
+                }
+            })
+        },
+    )
+}
+
+/// Audit: metrics of the branch's model on the held-out test split.
+pub fn audit_stage(
+    plan: &Plan,
+    branch: &str,
+    model: &StageOutput,
+    discretized: &StageOutput,
+    test_set: &Dataset,
+    cache: &ArtifactCache,
+    force: bool,
+) -> Result<StageOutput, PipelineError> {
+    let mut h = StableHasher::new();
+    h.write_str("audit");
+    h.write_str(&model.artifact_hash);
+    h.write_str(&discretized.artifact_hash);
+    write_split(&mut h, plan);
+    h.write_str(plan.stat.name());
+    h.write_f64(plan.tau_d);
+    h.write_f64(plan.min_support);
+    let key = CacheKey::from_hasher(&h);
+    let model_text = model.text.clone();
+    let (stat, tau_d, min_support) = (plan.stat, plan.tau_d, plan.min_support);
+    run_stage(
+        cache,
+        "audit",
+        Some(branch),
+        key,
+        force,
+        &format!("audit {} tau_d={tau_d}", stat.name()),
+        move || {
+            let model = model_persist::from_text(&model_text)
+                .map_err(|e| PipelineError(format!("cannot load model artifact: {e}")))?;
+            let predictions = model.predict(test_set);
+            let acc = accuracy(&predictions, test_set.labels());
+            let fi = fairness_index(
+                test_set,
+                &predictions,
+                stat,
+                &FairnessIndexParams {
+                    min_support,
+                    alpha: 0.05,
+                },
+            );
+            let explorer = Explorer {
+                min_support,
+                ..Explorer::default()
+            };
+            let unfair = explorer.unfair_subgroups(test_set, &predictions, stat, tau_d);
+            Ok(MetricsSummary {
+                statistic: stat,
+                accuracy: acc,
+                fairness_index: fi,
+                unfair_subgroups: unfair.len() as u64,
+                test_rows: test_set.len() as u64,
+            }
+            .to_text())
+        },
+    )
+}

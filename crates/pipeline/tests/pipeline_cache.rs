@@ -1,0 +1,230 @@
+//! Integration tests for the pipeline DAG: cache hit/miss semantics
+//! across re-runs, metric parity with the equivalent hand-rolled
+//! computation, determinism of artifacts, and injectivity of the
+//! cache-key hashing.
+
+use remedy_classifiers::{accuracy, DecisionTree, DecisionTreeParams, Model};
+use remedy_core::{IbsParams, Neighborhood, RemedyParams, Scope, Technique};
+use remedy_dataset::split::train_test_split;
+use remedy_dataset::synth;
+use remedy_fairness::{fairness_index, FairnessIndexParams, Statistic};
+use remedy_pipeline::{run, PipelineOptions, Plan};
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+const PLAN: &str = "\
+dataset compas
+rows 1000
+seed 9
+split 0.7
+tau 0.1
+min-size 30
+branch base technique=none model=dt
+branch ps technique=ps model=dt
+";
+
+fn fresh_cache(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("remedy_pipeline_test_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(cache: &std::path::Path) -> PipelineOptions {
+    PipelineOptions {
+        cache_dir: cache.to_path_buf(),
+        threads: 2,
+        force: false,
+    }
+}
+
+/// The load-bearing acceptance test: a cold run misses everywhere, an
+/// identical re-run hits everywhere, and changing only τ_c re-executes
+/// exactly the stages downstream of identification.
+#[test]
+fn rerun_with_changed_tau_reexecutes_only_downstream() {
+    let cache = fresh_cache("tau");
+    let plan = Plan::parse(PLAN).unwrap();
+
+    // cold run: every executed stage is a miss
+    let first = run(&plan, &opts(&cache)).unwrap();
+    for stage in &first.stages {
+        assert!(!stage.cache_hit, "cold run hit cache: {stage:?}");
+    }
+    assert!(first.stage("remedy", Some("base")).unwrap().skipped);
+    assert!(!first.stage("remedy", Some("ps")).unwrap().skipped);
+
+    // identical re-run: every non-skipped stage is a hit, results equal
+    let second = run(&plan, &opts(&cache)).unwrap();
+    for stage in &second.stages {
+        assert_eq!(
+            stage.cache_hit, !stage.skipped,
+            "warm re-run should hit: {stage:?}"
+        );
+    }
+    assert_eq!(first.branches, second.branches);
+    for (a, b) in first.stages.iter().zip(&second.stages) {
+        assert_eq!(a.artifact_hash, b.artifact_hash);
+        assert_eq!(a.key, b.key);
+    }
+
+    // change only tau: the shared Load/Discretize prefix replays from
+    // cache, identification and the ps branch recompute; the technique=none
+    // branch is untouched by tau so its train/audit stay cached
+    let mut changed = plan.clone();
+    changed.ibs.tau_c = 0.2;
+    let third = run(&changed, &opts(&cache)).unwrap();
+    assert!(third.stage("load", None).unwrap().cache_hit);
+    assert!(third.stage("discretize", None).unwrap().cache_hit);
+    assert!(!third.stage("identify", None).unwrap().cache_hit);
+    assert!(!third.stage("remedy", Some("ps")).unwrap().cache_hit);
+    assert!(!third.stage("train", Some("ps")).unwrap().cache_hit);
+    assert!(!third.stage("audit", Some("ps")).unwrap().cache_hit);
+    assert!(third.stage("train", Some("base")).unwrap().cache_hit);
+    assert!(third.stage("audit", Some("base")).unwrap().cache_hit);
+    // the unaffected branch's outcome is bit-identical
+    assert_eq!(first.branch("base"), third.branch("base"));
+}
+
+/// Pipeline metrics must equal the same computation done by hand with the
+/// individual building blocks (the CLI-subcommand equivalent).
+#[test]
+fn metrics_match_manual_computation() {
+    let cache = fresh_cache("parity");
+    let plan = Plan::parse(PLAN).unwrap();
+    let manifest = run(&plan, &opts(&cache)).unwrap();
+
+    // hand-rolled equivalent of the ps branch
+    let data = synth::compas_n(1000, 9);
+    let (train_set, test_set) = train_test_split(&data, 0.7, 9).unwrap();
+    let remedied = remedy_core::remedy(
+        &train_set,
+        &RemedyParams {
+            technique: Technique::PreferentialSampling,
+            tau_c: 0.1,
+            min_size: 30,
+            seed: 9,
+            ..RemedyParams::default()
+        },
+    )
+    .dataset;
+    let model = DecisionTree::fit(&remedied, &DecisionTreeParams::default());
+    let predictions = model.predict(&test_set);
+    let expected_acc = accuracy(&predictions, test_set.labels());
+    let expected_fi = fairness_index(
+        &test_set,
+        &predictions,
+        Statistic::Fpr,
+        &FairnessIndexParams {
+            min_support: 0.1,
+            alpha: 0.05,
+        },
+    );
+
+    let ps = manifest.branch("ps").unwrap();
+    assert_eq!(ps.metrics.accuracy, expected_acc);
+    assert_eq!(ps.metrics.fairness_index, expected_fi);
+    assert_eq!(ps.metrics.test_rows as usize, test_set.len());
+
+    // and the baseline branch trains on the unremedied split
+    let base_model = DecisionTree::fit(&train_set, &DecisionTreeParams::default());
+    let base_preds = base_model.predict(&test_set);
+    assert_eq!(
+        manifest.branch("base").unwrap().metrics.accuracy,
+        accuracy(&base_preds, test_set.labels())
+    );
+}
+
+/// Forced recomputation into a second cache produces byte-identical
+/// artifacts: the whole DAG is deterministic from the plan alone.
+#[test]
+fn forced_reruns_are_byte_identical() {
+    let plan = Plan::parse(PLAN).unwrap();
+    let cache_a = fresh_cache("det_a");
+    let cache_b = fresh_cache("det_b");
+    let a = run(&plan, &opts(&cache_a)).unwrap();
+    let mut forced = opts(&cache_b);
+    forced.force = true;
+    forced.threads = 1; // thread count must not leak into artifacts
+    let b = run(&plan, &forced).unwrap();
+    assert_eq!(a.stages.len(), b.stages.len());
+    for (x, y) in a.stages.iter().zip(&b.stages) {
+        assert_eq!(x.stage, y.stage);
+        assert_eq!(x.artifact_hash, y.artifact_hash, "stage {}", x.stage);
+    }
+    assert_eq!(a.branches, b.branches);
+}
+
+/// The manifest serializes and reports what ran.
+#[test]
+fn manifest_json_written() {
+    let cache = fresh_cache("json");
+    let plan = Plan::parse(PLAN).unwrap();
+    let manifest = run(&plan, &opts(&cache)).unwrap();
+    let path = cache.join("run.json");
+    manifest.write_path(&path).unwrap();
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert!(json.contains("\"cache_hit\": false"));
+    assert!(json.contains("\"branch\": \"ps\""));
+    assert!(json.contains("\"fairness_index\": "));
+}
+
+/// Property: cache-key hashing is injective over a grid of distinct
+/// `IbsParams` (and stays injective when embedded in `RemedyParams`).
+/// A collision would silently serve one parameterization's artifacts for
+/// another's, so this is the cache's core soundness property.
+#[test]
+fn stable_hash_injective_over_param_grid() {
+    let taus = [0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.5, 1.0];
+    let sizes = [0u64, 1, 10, 30, 50, 100];
+    let neighborhoods = [
+        Neighborhood::Unit,
+        Neighborhood::Full,
+        Neighborhood::OrderedRadius(0.5),
+        Neighborhood::OrderedRadius(1.0),
+        Neighborhood::OrderedRadius(2.0),
+    ];
+    let scopes = [Scope::Lattice, Scope::Leaf, Scope::Top];
+    let mut seen = HashSet::new();
+    let mut count = 0usize;
+    for &tau_c in &taus {
+        for &min_size in &sizes {
+            for &neighborhood in &neighborhoods {
+                for &scope in &scopes {
+                    let params = IbsParams {
+                        tau_c,
+                        min_size,
+                        neighborhood,
+                        scope,
+                    };
+                    assert!(seen.insert(params.stable_hash()), "collision at {params:?}");
+                    count += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(seen.len(), count);
+
+    // RemedyParams add technique and seed on top; every combination over a
+    // smaller grid must still be distinct, and distinct from plain
+    // IbsParams digests (domain separation via the leading tag)
+    for &tau_c in &taus[..3] {
+        for technique in Technique::ALL {
+            for seed in [0u64, 1, 0x5EED] {
+                let params = RemedyParams {
+                    technique,
+                    tau_c,
+                    seed,
+                    ..RemedyParams::default()
+                };
+                assert!(seen.insert(params.stable_hash()), "collision at {params:?}");
+            }
+        }
+    }
+
+    // equal params hash equally (the other half of "stands in for the
+    // parameters themselves")
+    assert_eq!(
+        IbsParams::default().stable_hash(),
+        IbsParams::default().stable_hash()
+    );
+}

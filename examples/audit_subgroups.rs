@@ -46,7 +46,10 @@ fn main() {
         unfair.len(),
         ibs.len()
     );
-    println!("{:<52} {:>10} {:>8}  IBS?", "subgroup", "divergence", "FPR_g");
+    println!(
+        "{:<52} {:>10} {:>8}  IBS?",
+        "subgroup", "divergence", "FPR_g"
+    );
     for report in unfair.iter().take(15) {
         let in_ibs = ibs.iter().any(|r| r.pattern == report.pattern);
         let dominates = ibs.iter().any(|r| report.pattern.dominates(&r.pattern));

@@ -32,7 +32,10 @@ fn main() {
         test_set.len(),
         train_set.schema().protected_len()
     );
-    println!("{:<14} {:>18} {:>10}", "method", "fairness violation", "accuracy");
+    println!(
+        "{:<14} {:>18} {:>10}",
+        "method", "fairness violation", "accuracy"
+    );
 
     let lg = |d: &remedy::dataset::Dataset| {
         LogisticRegression::fit(d, &LogisticRegressionParams::default())

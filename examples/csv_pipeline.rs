@@ -19,7 +19,10 @@ fn main() {
         (
             std::path::PathBuf::from(&args[0]),
             args[1].clone(),
-            args[2].split(',').map(|s| s.to_string()).collect::<Vec<_>>(),
+            args[2]
+                .split(',')
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
         )
     } else {
         // demo mode: serialize the COMPAS stand-in to CSV first

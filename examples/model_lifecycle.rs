@@ -38,7 +38,11 @@ fn main() {
     let path = std::env::temp_dir().join("remedy_lifecycle_model.txt");
     persist::save_to_path(&persist::tree_to_text(&model), &path).unwrap();
     let loaded = persist::load_from_path(&path).unwrap();
-    println!("\nsaved and reloaded a {} from {}", loaded.kind(), path.display());
+    println!(
+        "\nsaved and reloaded a {} from {}",
+        loaded.kind(),
+        path.display()
+    );
 
     // 4. audit the reloaded model
     let predictions = loaded.predict(&test_set);
@@ -53,7 +57,11 @@ fn main() {
             "{name:<5} demographic parity Δ {:.3} · disparate impact {:.2} ({}) · eq. odds Δ {:.3}",
             g.demographic_parity_difference,
             g.disparate_impact_ratio,
-            if g.passes_four_fifths() { "passes 80% rule" } else { "FAILS 80% rule" },
+            if g.passes_four_fifths() {
+                "passes 80% rule"
+            } else {
+                "FAILS 80% rule"
+            },
             g.equalized_odds_difference
         );
     }

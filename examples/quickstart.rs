@@ -30,7 +30,10 @@ fn main() {
     // 2. identify biased regions: |ratio_r − ratio_rn| > τ_c, |r| > 30
     let params = IbsParams::default(); // τ_c = 0.1, T = 1, k = 30
     let ibs = identify(&train_set, &params, Algorithm::Optimized);
-    println!("\nIBS: {} biased regions. The five largest gaps:", ibs.len());
+    println!(
+        "\nIBS: {} biased regions. The five largest gaps:",
+        ibs.len()
+    );
     let mut by_gap = ibs.clone();
     by_gap.sort_by(|a, b| b.gap().partial_cmp(&a.gap()).unwrap());
     for region in by_gap.iter().take(5) {

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Full verification gate: release build, the whole test suite, and
+# formatting. Run before sending a PR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q --workspace
+cargo fmt --check
+echo "verify: OK"

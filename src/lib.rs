@@ -14,6 +14,7 @@
 //! | [`fairness`] | `remedy-fairness` | divergence, subgroup explorer, fairness index, violations, audits |
 //! | [`core`] | `remedy-core` | the paper's method: hierarchy, IBS identification, dataset remedy |
 //! | [`baselines`] | `remedy-baselines` | Coverage, Reweighting, FairBalance, Fair-SMOTE, GerryFair |
+//! | [`pipeline`] | `remedy-pipeline` | end-to-end runs as a cached, parallel DAG of typed stages |
 //!
 //! The [`prelude`] pulls in the types most programs need:
 //!
@@ -36,6 +37,7 @@ pub use remedy_classifiers as classifiers;
 pub use remedy_core as core;
 pub use remedy_dataset as dataset;
 pub use remedy_fairness as fairness;
+pub use remedy_pipeline as pipeline;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
