@@ -22,6 +22,7 @@ fn bench_pipeline(c: &mut Criterion) {
         cache_dir: cache_dir.clone(),
         threads: 0,
         force: true, // recompute every stage, ignore stored artifacts
+        trace: None,
     };
     group.bench_function("cold_run", |b| {
         b.iter(|| run(std::hint::black_box(&plan), &cold).unwrap())
@@ -31,6 +32,7 @@ fn bench_pipeline(c: &mut Criterion) {
         cache_dir: cache_dir.clone(),
         threads: 0,
         force: false,
+        trace: None,
     };
     run(&plan, &warm).unwrap(); // prime the cache
     group.bench_function("warm_run", |b| {

@@ -9,8 +9,8 @@ use remedy_classifiers::{
 use remedy_classifiers::{DecisionTree, DecisionTreeParams};
 use remedy_core::hypothesis::{validate_on_columns, IbsMark};
 use remedy_core::{
-    identify, identify_in_parallel, remedy as remedy_data, Algorithm, Hierarchy, IbsParams,
-    Neighborhood, RemedyParams, Scope, Technique,
+    identify_in_parallel_with, identify_in_with, remedy as remedy_data, Algorithm, Hierarchy,
+    IbsParams, Neighborhood, RemedyParams, Scope, Technique,
 };
 use remedy_dataset::csv::{self, LoadOptions, RawTable};
 use remedy_dataset::split::train_test_split;
@@ -142,22 +142,36 @@ fn cmd_identify(raw: Vec<String>) -> Result<(), CliError> {
         println!(
             "remedy identify <csv|adult|compas|law> [--label Y --protected a,b] \
              [--tau 0.1] [--min-size 30] [--neighborhood unit|full] \
-             [--scope lattice|leaf|top] [--top 20] [--threads N]"
+             [--scope lattice|leaf|top] [--top 20] [--threads N] \
+             [--trace trace.jsonl]"
         );
         return Ok(());
     }
     let mut known = DATA_OPTS.to_vec();
-    known.extend(["tau", "min-size", "neighborhood", "scope", "top", "threads"]);
+    known.extend([
+        "tau",
+        "min-size",
+        "neighborhood",
+        "scope",
+        "top",
+        "threads",
+        "trace",
+    ]);
     args.check_known(&known)?;
     let data = load_input(&args)?;
     let params = ibs_params(&args)?;
-    let ibs = match args.get_parsed("threads", 1usize)? {
-        1 => identify(&data, &params, Algorithm::Optimized),
-        n => {
-            let hierarchy = Hierarchy::build(&data);
-            identify_in_parallel(&hierarchy, &params, Algorithm::Optimized, n)
-        }
+    let recorder = match args.get("trace") {
+        Some(path) => remedy_obs::Recorder::to_path(path)
+            .map_err(|e| CliError(format!("cannot open trace {path}: {e}")))?,
+        None => remedy_obs::Recorder::disabled(),
     };
+    let obs = recorder.scope("identify");
+    let hierarchy = Hierarchy::build(&data);
+    let ibs = match args.get_parsed("threads", 1usize)? {
+        1 => identify_in_with(&hierarchy, &params, Algorithm::Optimized, &obs),
+        n => identify_in_parallel_with(&hierarchy, &params, Algorithm::Optimized, n, &obs),
+    };
+    recorder.finish();
     let top = args.get_parsed("top", 20usize)?;
     println!(
         "{} biased regions (τ_c = {}, k = {}, {}, scope {})",
@@ -316,7 +330,7 @@ fn cmd_pipeline(raw: Vec<String>) -> Result<(), CliError> {
     if args.flag("help") || args.positional_count() == 0 {
         println!(
             "remedy pipeline <plan-file> [--cache .remedy-cache] [--threads N] \
-             [--out run.json] [--force]\n\n\
+             [--out run.json] [--trace trace.jsonl] [--force]\n\n\
              Plan files are line-oriented `key value` pairs plus one line per\n\
              branch, e.g.:\n\n    \
              dataset compas\n    \
@@ -328,13 +342,14 @@ fn cmd_pipeline(raw: Vec<String>) -> Result<(), CliError> {
         );
         return Ok(());
     }
-    args.check_known(&["cache", "threads", "out", "force", "help"])?;
+    args.check_known(&["cache", "threads", "out", "trace", "force", "help"])?;
     let plan_path = args.positional(0).unwrap();
     let plan = remedy_pipeline::Plan::from_path(plan_path).map_err(|e| CliError(e.to_string()))?;
     let options = remedy_pipeline::PipelineOptions {
         cache_dir: args.get("cache").unwrap_or(".remedy-cache").into(),
         threads: args.get_parsed("threads", 0usize)?,
         force: args.flag("force"),
+        trace: args.get("trace").map(Into::into),
     };
     let manifest = remedy_pipeline::run(&plan, &options).map_err(|e| CliError(e.to_string()))?;
     for stage in &manifest.stages {

@@ -1,0 +1,97 @@
+//! End-to-end CLI tests for `--trace`: both `remedy pipeline` and
+//! `remedy identify` stream JSONL traces, and the pipeline's `run.json`
+//! carries per-stage counters.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("remedy_cli_trace_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn assert_jsonl(path: &std::path::Path) -> String {
+    let text = std::fs::read_to_string(path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty(), "empty trace {}", path.display());
+    assert!(lines[0].contains("\"t\":\"trace\""), "missing header");
+    for line in &lines {
+        assert!(
+            line.starts_with("{\"t\":\"") && line.ends_with('}'),
+            "not a JSONL event: {line}"
+        );
+    }
+    text
+}
+
+#[test]
+fn pipeline_trace_and_manifest_counters() {
+    let dir = workdir("pipeline");
+    let plan_path = dir.join("plan.txt");
+    std::fs::write(
+        &plan_path,
+        "dataset compas\nrows 600\nseed 9\ntau 0.1\nmin-size 30\n\
+         branch base technique=none model=dt\nbranch ps technique=ps model=dt\n",
+    )
+    .unwrap();
+    let trace_path = dir.join("trace.jsonl");
+    let out_path = dir.join("run.json");
+
+    let status = Command::new(env!("CARGO_BIN_EXE_remedy"))
+        .args([
+            "pipeline",
+            plan_path.to_str().unwrap(),
+            "--cache",
+            dir.join("cache").to_str().unwrap(),
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap();
+    assert!(status.success());
+
+    let trace = assert_jsonl(&trace_path);
+    assert!(trace.contains("\"scope\":\"pipeline\""));
+    assert!(trace.contains("\"scope\":\"ps/remedy\""));
+    assert!(trace.contains("\"t\":\"counters\""));
+
+    let manifest = std::fs::read_to_string(&out_path).unwrap();
+    assert!(manifest.contains("\"counters\": {"));
+    assert!(manifest.contains("\"regions_scanned\""));
+    assert!(manifest.contains("\"cache_misses\": 1"));
+}
+
+#[test]
+fn identify_trace_is_opt_in() {
+    let dir = workdir("identify");
+    let trace_path = dir.join("identify.jsonl");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_remedy"))
+        .args([
+            "identify",
+            "compas",
+            "--trace",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("biased regions"), "unexpected: {stdout}");
+
+    let trace = assert_jsonl(&trace_path);
+    assert!(trace.contains("\"scope\":\"identify\""));
+    assert!(trace.contains("\"regions_scanned\""));
+
+    // without --trace nothing is written
+    let plain = Command::new(env!("CARGO_BIN_EXE_remedy"))
+        .args(["identify", "compas"])
+        .output()
+        .unwrap();
+    assert!(plain.status.success());
+    assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+}

@@ -19,8 +19,9 @@
 use crate::hierarchy::{drop_byte, get_byte, set_byte, Hierarchy, Node};
 use crate::neighborhood::Neighborhood;
 use crate::scope::Scope;
-use crate::score::{imbalance, Counts};
+use crate::score::{imbalance, is_defined, Counts};
 use remedy_dataset::{Dataset, Pattern};
+use remedy_obs::Scope as ObsScope;
 
 /// Which identification algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -109,9 +110,25 @@ impl BiasedRegion {
         self.pattern.level()
     }
 
-    /// The gap `|ratio_r − ratio_rn|` that exceeded `τ_c`.
+    /// The gap `|ratio_r − ratio_rn|` that exceeded `τ_c`, for regions
+    /// where both scores are defined. A [`one_sided`] region has no
+    /// arithmetic gap (one score is the undefined sentinel); `f64::MAX`
+    /// is returned so such regions sort ahead of every finite gap without
+    /// leaking infinities into serialized output.
+    ///
+    /// [`one_sided`]: BiasedRegion::one_sided
     pub fn gap(&self) -> f64 {
-        (self.ratio - self.neighbor_ratio).abs()
+        if self.one_sided() {
+            f64::MAX
+        } else {
+            (self.ratio - self.neighbor_ratio).abs()
+        }
+    }
+
+    /// Whether exactly one of the two imbalance scores is the undefined
+    /// `-1` sentinel (a zero-negative region or neighborhood).
+    pub fn one_sided(&self) -> bool {
+        is_defined(self.ratio) != is_defined(self.neighbor_ratio)
     }
 }
 
@@ -139,41 +156,131 @@ pub fn identify_in(
     params: &IbsParams,
     algorithm: Algorithm,
 ) -> Vec<BiasedRegion> {
-    let total_levels = hierarchy.arity();
+    identify_in_with(hierarchy, params, algorithm, &ObsScope::disabled())
+}
+
+/// [`identify_in`] with observability: records regions scanned / skipped
+/// by `min_size` / flagged, neighbor lookups, and a per-level timing
+/// histogram into `obs`. Counters are tallied in locals and flushed per
+/// level, so a disabled scope keeps the hot loop within benchmark noise.
+pub fn identify_in_with(
+    hierarchy: &Hierarchy,
+    params: &IbsParams,
+    algorithm: Algorithm,
+    obs: &ObsScope,
+) -> Vec<BiasedRegion> {
+    let _span = obs.span("identify_in");
     let mut result = Vec::new();
     // bottom-up: leaf level first
-    let mut masks: Vec<u32> = hierarchy.nodes().iter().map(|n| n.mask).collect();
+    let mut masks: Vec<u32> = scoped_masks(hierarchy, params);
     masks.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
-    for mask in masks {
-        let node = hierarchy.node(mask);
-        if !params.scope.includes(node.level(), total_levels) {
-            continue;
+    let mut i = 0;
+    while i < masks.len() {
+        let level = masks[i].count_ones();
+        let timer = obs.timer();
+        let mut tally = ScanTally::default();
+        while i < masks.len() && masks[i].count_ones() == level {
+            scan_node(
+                hierarchy,
+                masks[i],
+                params,
+                algorithm,
+                &mut tally,
+                &mut result,
+            );
+            i += 1;
         }
-        for (&key, &counts) in &node.regions {
-            if counts.total() <= params.min_size {
-                continue;
-            }
-            let neighbor = neighbor_counts(hierarchy, node, key, counts, params, algorithm);
-            let ratio = counts.imbalance();
-            let neighbor_ratio = neighbor.imbalance();
-            if (ratio - neighbor_ratio).abs() > params.tau_c {
-                result.push(BiasedRegion {
-                    pattern: hierarchy.pattern_of(mask, key),
-                    mask,
-                    key,
-                    counts,
-                    ratio,
-                    neighbor_ratio,
-                });
-            }
+        tally.flush(obs);
+        if timer.is_some() {
+            obs.observe_since(&format!("level{level}_us"), timer);
         }
     }
+    sort_regions(&mut result);
+    result
+}
+
+/// Masks of the hierarchy nodes the params' scope covers.
+fn scoped_masks(hierarchy: &Hierarchy, params: &IbsParams) -> Vec<u32> {
+    let total_levels = hierarchy.arity();
+    hierarchy
+        .nodes()
+        .iter()
+        .map(|n| n.mask)
+        .filter(|&m| {
+            params
+                .scope
+                .includes(hierarchy.node(m).level(), total_levels)
+        })
+        .collect()
+}
+
+/// Canonical result order: bottom-up by level, then by pattern.
+fn sort_regions(result: &mut [BiasedRegion]) {
     result.sort_by(|a, b| {
         b.level()
             .cmp(&a.level())
             .then_with(|| a.pattern.cmp(&b.pattern))
     });
-    result
+}
+
+/// Per-worker / per-level counter tallies, flushed to an [`ObsScope`] in
+/// one batch so the hot region loop touches no locks (overhead contract
+/// of `remedy-obs`).
+#[derive(Default)]
+struct ScanTally {
+    scanned: u64,
+    skipped_min_size: u64,
+    flagged: u64,
+    lookups: u64,
+    underflows: u64,
+}
+
+impl ScanTally {
+    fn flush(&self, obs: &ObsScope) {
+        obs.add_many(&[
+            ("regions_scanned", self.scanned),
+            ("regions_skipped_min_size", self.skipped_min_size),
+            ("regions_flagged", self.flagged),
+            ("neighbor_lookups", self.lookups),
+            ("neighbor_underflow", self.underflows),
+        ]);
+    }
+}
+
+/// Scores every region of one node, appending flagged regions to
+/// `result`. Shared verbatim by the sequential and parallel drivers so
+/// they cannot drift.
+fn scan_node(
+    hierarchy: &Hierarchy,
+    mask: u32,
+    params: &IbsParams,
+    algorithm: Algorithm,
+    tally: &mut ScanTally,
+    result: &mut Vec<BiasedRegion>,
+) {
+    let node = hierarchy.node(mask);
+    for (&key, &counts) in &node.regions {
+        if counts.total() <= params.min_size {
+            tally.skipped_min_size += 1;
+            continue;
+        }
+        tally.scanned += 1;
+        let neighbor =
+            neighbor_counts_tallied(hierarchy, node, key, counts, params, algorithm, tally);
+        let ratio = counts.imbalance();
+        let neighbor_ratio = neighbor.imbalance();
+        if is_biased(ratio, neighbor_ratio, params.tau_c) {
+            tally.flagged += 1;
+            result.push(BiasedRegion {
+                pattern: hierarchy.pattern_of(mask, key),
+                mask,
+                key,
+                counts,
+                ratio,
+                neighbor_ratio,
+            });
+        }
+    }
 }
 
 /// Identifies the IBS over a prebuilt hierarchy using scoped worker
@@ -187,17 +294,27 @@ pub fn identify_in_parallel(
     algorithm: Algorithm,
     n_threads: usize,
 ) -> Vec<BiasedRegion> {
-    let total_levels = hierarchy.arity();
-    let masks: Vec<u32> = hierarchy
-        .nodes()
-        .iter()
-        .map(|n| n.mask)
-        .filter(|&m| {
-            params
-                .scope
-                .includes(hierarchy.node(m).level(), total_levels)
-        })
-        .collect();
+    identify_in_parallel_with(
+        hierarchy,
+        params,
+        algorithm,
+        n_threads,
+        &ObsScope::disabled(),
+    )
+}
+
+/// [`identify_in_parallel`] with observability: per-worker tallies are
+/// flushed once at worker exit, plus a `worker{i}_claims` counter showing
+/// how evenly the node queue spread across workers.
+pub fn identify_in_parallel_with(
+    hierarchy: &Hierarchy,
+    params: &IbsParams,
+    algorithm: Algorithm,
+    n_threads: usize,
+    obs: &ObsScope,
+) -> Vec<BiasedRegion> {
+    let _span = obs.span("identify_in_parallel");
+    let masks = scoped_masks(hierarchy, params);
     let n_threads = if n_threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -211,34 +328,23 @@ pub fn identify_in_parallel(
     let mut per_thread: Vec<Vec<BiasedRegion>> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_threads)
-            .map(|_| {
+            .map(|worker| {
                 let next = &next;
                 let masks = &masks;
+                let obs = obs.clone();
                 scope.spawn(move || {
                     let mut found = Vec::new();
+                    let mut tally = ScanTally::default();
+                    let mut claims = 0u64;
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         let Some(&mask) = masks.get(i) else { break };
-                        let node = hierarchy.node(mask);
-                        for (&key, &counts) in &node.regions {
-                            if counts.total() <= params.min_size {
-                                continue;
-                            }
-                            let neighbor =
-                                neighbor_counts(hierarchy, node, key, counts, params, algorithm);
-                            let ratio = counts.imbalance();
-                            let neighbor_ratio = neighbor.imbalance();
-                            if (ratio - neighbor_ratio).abs() > params.tau_c {
-                                found.push(BiasedRegion {
-                                    pattern: hierarchy.pattern_of(mask, key),
-                                    mask,
-                                    key,
-                                    counts,
-                                    ratio,
-                                    neighbor_ratio,
-                                });
-                            }
-                        }
+                        claims += 1;
+                        scan_node(hierarchy, mask, params, algorithm, &mut tally, &mut found);
+                    }
+                    tally.flush(&obs);
+                    if obs.is_enabled() {
+                        obs.add(&format!("worker{worker}_claims"), claims);
                     }
                     found
                 })
@@ -250,11 +356,7 @@ pub fn identify_in_parallel(
             .collect();
     });
     let mut result: Vec<BiasedRegion> = per_thread.into_iter().flatten().collect();
-    result.sort_by(|a, b| {
-        b.level()
-            .cmp(&a.level())
-            .then_with(|| a.pattern.cmp(&b.pattern))
-    });
+    sort_regions(&mut result);
     result
 }
 
@@ -267,8 +369,35 @@ pub fn neighbor_counts(
     params: &IbsParams,
     algorithm: Algorithm,
 ) -> Counts {
+    neighbor_counts_tallied(
+        hierarchy,
+        node,
+        key,
+        own,
+        params,
+        algorithm,
+        &mut ScanTally::default(),
+    )
+}
+
+/// [`neighbor_counts`] plus tallying: counts one `lookup` per sibling /
+/// dominating-region / candidate fetch, making the paper's `(c−1)·d` vs
+/// `d` per-region claim (§III-B) directly observable, and records the
+/// (hierarchy-inconsistency-only) checked-correction fallback.
+fn neighbor_counts_tallied(
+    hierarchy: &Hierarchy,
+    node: &Node,
+    key: u128,
+    own: Counts,
+    params: &IbsParams,
+    algorithm: Algorithm,
+    tally: &mut ScanTally,
+) -> Counts {
     match (algorithm, params.neighborhood) {
-        (_, Neighborhood::OrderedRadius(t)) => ordered_neighbors(hierarchy, node, key, t),
+        (_, Neighborhood::OrderedRadius(t)) => {
+            tally.lookups += (node.regions.len() as u64).saturating_sub(1);
+            ordered_neighbors(hierarchy, node, key, t)
+        }
         (Algorithm::Naive, Neighborhood::Unit) => {
             // enumerate the (c−1)·d siblings that differ in one value
             let mut sum = Counts::default();
@@ -279,6 +408,7 @@ pub fn neighbor_counts(
                         continue;
                     }
                     sum.add(hierarchy.counts(node.mask, set_byte(key, slot, v)));
+                    tally.lookups += 1;
                 }
             }
             sum
@@ -291,6 +421,7 @@ pub fn neighbor_counts(
                     sum.add(c);
                 }
             }
+            tally.lookups += (node.regions.len() as u64).saturating_sub(1);
             sum
         }
         (Algorithm::Optimized, Neighborhood::Unit) => {
@@ -302,10 +433,32 @@ pub fn neighbor_counts(
                 let parent_key = drop_byte(key, slot);
                 sum.add(hierarchy.counts(parent_mask, parent_key));
             }
-            Counts::new(sum.pos - d * own.pos, sum.neg - d * own.neg)
+            tally.lookups += d;
+            // Every dominating region contains (key)'s rows, so on a
+            // consistent hierarchy the sum can never undershoot d·own;
+            // raw subtraction here used to panic in debug builds (and
+            // wrap in release) if a corrupted cache artifact broke that
+            // invariant. Degrade to a saturating estimate instead, and
+            // surface the inconsistency via the `neighbor_underflow`
+            // counter.
+            match sum.checked_correction(d, own) {
+                Some(corrected) => corrected,
+                None => {
+                    debug_assert!(
+                        false,
+                        "inconsistent hierarchy: Σ dominating {sum:?} < {d}·{own:?}"
+                    );
+                    tally.underflows += 1;
+                    sum.saturating_sub(Counts::new(
+                        d.saturating_mul(own.pos),
+                        d.saturating_mul(own.neg),
+                    ))
+                }
+            }
         }
         (Algorithm::Optimized, Neighborhood::Full) => {
             // the node's regions partition D, so the complement is totals − r
+            tally.lookups += 1;
             hierarchy.totals().saturating_sub(own)
         }
     }
@@ -344,9 +497,25 @@ fn ordered_neighbors(hierarchy: &Hierarchy, node: &Node, key: u128, t: f64) -> C
     sum
 }
 
-/// Convenience check of Definition 5 given both imbalance scores.
+/// Check of Definition 5 given both imbalance scores, with explicit
+/// semantics for the `-1` undefined sentinel:
+///
+/// * both defined — the usual `|ratio_r − ratio_rn| > τ_c`;
+/// * both undefined — not biased (region and neighborhood are equally
+///   one-class, there is no gap to speak of);
+/// * exactly one undefined — biased: a zero-negative region beside a
+///   mixed neighborhood (or vice versa) is the most extreme imbalance
+///   there is, regardless of `τ_c`.
+///
+/// The previous behavior fed the sentinel into the arithmetic gap, so a
+/// one-sided region was *missed* whenever `τ_c ≥ |ratio + 1|` and the
+/// both-undefined case hinged on a spurious `|−1 − (−1)| = 0`.
 pub fn is_biased(ratio_r: f64, ratio_rn: f64, tau_c: f64) -> bool {
-    (ratio_r - ratio_rn).abs() > tau_c
+    match (is_defined(ratio_r), is_defined(ratio_rn)) {
+        (true, true) => (ratio_r - ratio_rn).abs() > tau_c,
+        (false, false) => false,
+        _ => true,
+    }
 }
 
 /// The imbalance score of an arbitrary pattern's region in a dataset
@@ -571,8 +740,168 @@ mod tests {
     fn is_biased_matches_definition() {
         assert!(is_biased(2.2, 0.64, 0.3));
         assert!(!is_biased(0.7, 0.64, 0.3));
-        // sentinel scores still compare (paper semantics)
+        // one-sided sentinel is biased regardless of τ_c — the old
+        // arithmetic compare (|−1 − 0.5| = 1.5 ≤ 2.0) missed this
         assert!(is_biased(-1.0, 0.5, 0.3));
+        assert!(is_biased(-1.0, 0.5, 2.0));
+        assert!(is_biased(0.5, -1.0, 2.0));
+        // both undefined: no gap, never biased
+        assert!(!is_biased(-1.0, -1.0, 0.3));
+        assert!(!is_biased(-1.0, -1.0, 0.0));
+    }
+
+    /// A 3×3 grid where the (1,1) cell has *no* negative instances, so its
+    /// imbalance score is the `-1` sentinel.
+    fn planted_zero_negative() -> Dataset {
+        let schema = Schema::new(
+            vec![
+                Attribute::from_strs("a", &["0", "1", "2"]).protected(),
+                Attribute::from_strs("b", &["0", "1", "2"]).protected(),
+            ],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                let (pos, neg) = if a == 1 && b == 1 { (60, 0) } else { (50, 50) };
+                for _ in 0..pos {
+                    d.push_row(&[a, b], 1).unwrap();
+                }
+                for _ in 0..neg {
+                    d.push_row(&[a, b], 0).unwrap();
+                }
+            }
+        }
+        d
+    }
+
+    /// Regression (sentinel-ratio bug): the zero-negative cell's sentinel
+    /// score used to flow into `|ratio − neighbor| > τ_c`, so with
+    /// `τ_c = 2.5` the gap `|−1 − 1| = 2` fell under the threshold and the
+    /// most extreme region in the dataset was silently dropped. All three
+    /// drivers must now flag it.
+    #[test]
+    fn one_sided_sentinel_region_is_flagged() {
+        let d = planted_zero_negative();
+        let h = Hierarchy::build(&d);
+        let params = IbsParams {
+            tau_c: 2.5,
+            ..IbsParams::default()
+        };
+        for alg in [Algorithm::Naive, Algorithm::Optimized] {
+            let ibs = identify_in(&h, &params, alg);
+            let planted = ibs
+                .iter()
+                .find(|r| r.pattern.get(0) == Some(1) && r.pattern.get(1) == Some(1))
+                .unwrap_or_else(|| panic!("{alg:?} missed the zero-negative region"));
+            assert!(planted.one_sided());
+            assert_eq!(planted.ratio, -1.0);
+            assert_eq!(planted.gap(), f64::MAX);
+            assert_eq!(ibs, identify_in_parallel(&h, &params, alg, 3), "{alg:?}");
+        }
+    }
+
+    /// Regression (sentinel-ratio bug, flip side): a dataset with no
+    /// negative instances anywhere makes every score undefined; that is
+    /// "no gap", not bias, under every driver and neighborhood.
+    #[test]
+    fn all_undefined_scores_flag_nothing() {
+        let schema = Schema::new(
+            vec![
+                Attribute::from_strs("a", &["0", "1"]).protected(),
+                Attribute::from_strs("b", &["0", "1"]).protected(),
+            ],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        for a in 0..2u32 {
+            for b in 0..2u32 {
+                for _ in 0..40 {
+                    d.push_row(&[a, b], 1).unwrap();
+                }
+            }
+        }
+        let h = Hierarchy::build(&d);
+        for neighborhood in [Neighborhood::Unit, Neighborhood::Full] {
+            let params = IbsParams {
+                tau_c: 0.0,
+                min_size: 10,
+                neighborhood,
+                ..IbsParams::default()
+            };
+            for alg in [Algorithm::Naive, Algorithm::Optimized] {
+                assert!(
+                    identify_in(&h, &params, alg).is_empty(),
+                    "{alg:?}/{neighborhood:?}"
+                );
+                assert!(identify_in_parallel(&h, &params, alg, 2).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn obs_counters_track_the_scan() {
+        let d = planted();
+        let h = Hierarchy::build(&d);
+        let params = IbsParams {
+            min_size: 10,
+            ..IbsParams::default()
+        };
+        let rec = remedy_obs::Recorder::enabled();
+        let seq = identify_in_with(&h, &params, Algorithm::Optimized, &rec.scope("identify"));
+        let snap = rec.snapshot();
+        // 9 leaf regions + 3 + 3 level-1 regions
+        assert_eq!(snap.counter("identify", "regions_scanned"), Some(15));
+        assert_eq!(
+            snap.counter("identify", "regions_flagged"),
+            Some(seq.len() as u64)
+        );
+        // optimized-unit: d lookups per region = 9·2 + 6·1
+        assert_eq!(snap.counter("identify", "neighbor_lookups"), Some(24));
+        assert_eq!(snap.counter("identify", "neighbor_underflow"), None);
+        // per-level timing histograms exist for levels 1..=2
+        for level in 1..3 {
+            assert!(snap
+                .histogram("identify", &format!("level{level}_us"))
+                .is_some());
+        }
+
+        let rec_par = remedy_obs::Recorder::enabled();
+        let par = identify_in_parallel_with(
+            &h,
+            &params,
+            Algorithm::Optimized,
+            2,
+            &rec_par.scope("identify"),
+        );
+        assert_eq!(seq, par);
+        let snap_par = rec_par.snapshot();
+        assert_eq!(snap_par.counter("identify", "regions_scanned"), Some(15));
+        assert_eq!(snap_par.counter("identify", "neighbor_lookups"), Some(24));
+        let claims: u64 = (0..2)
+            .filter_map(|w| snap_par.counter("identify", &format!("worker{w}_claims")))
+            .sum();
+        assert_eq!(claims, 3); // one claim per node in scope
+    }
+
+    #[test]
+    fn min_size_skips_are_counted() {
+        let d = planted();
+        let h = Hierarchy::build(&d);
+        let params = IbsParams {
+            min_size: 10_000,
+            ..IbsParams::default()
+        };
+        let rec = remedy_obs::Recorder::enabled();
+        identify_in_with(&h, &params, Algorithm::Optimized, &rec.scope("identify"));
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("identify", "regions_scanned"), None);
+        assert_eq!(
+            snap.counter("identify", "regions_skipped_min_size"),
+            Some(15)
+        );
     }
 
     #[test]

@@ -43,9 +43,12 @@ pub mod score;
 pub use hash::{stable_hash, StableHasher};
 pub use hierarchy::Hierarchy;
 pub use hypothesis::{validate_hypothesis, validate_on, HypothesisValidation, IbsMark};
-pub use identify::{identify, identify_in_parallel, Algorithm, BiasedRegion, IbsParams};
+pub use identify::{
+    identify, identify_in_parallel, identify_in_parallel_with, identify_in_with, Algorithm,
+    BiasedRegion, IbsParams,
+};
 pub use iterative::{remedy_iterative, IterativeOutcome, IterativeParams};
 pub use neighborhood::Neighborhood;
-pub use remedy::{remedy, RemedyOutcome, RemedyParams, Technique};
+pub use remedy::{remedy, remedy_over_with, remedy_with, RemedyOutcome, RemedyParams, Technique};
 pub use scope::Scope;
 pub use score::imbalance;

@@ -19,6 +19,7 @@
 
 use crate::hash::FastMap;
 use crate::hierarchy::{drop_byte, get_byte};
+use crate::identify::is_biased;
 use crate::neighborhood::Neighborhood;
 use crate::scope::Scope;
 use crate::score::Counts;
@@ -26,6 +27,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use remedy_classifiers::{Model, NaiveBayes};
 use remedy_dataset::{Dataset, Pattern};
+use remedy_obs::Scope as ObsScope;
 
 /// The pre-processing technique applied to each biased region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -158,8 +160,28 @@ pub fn remedy(data: &Dataset, params: &RemedyParams) -> RemedyOutcome {
     remedy_over(data, &protected, params)
 }
 
+/// [`remedy`] with observability (see [`remedy_over_with`]).
+pub fn remedy_with(data: &Dataset, params: &RemedyParams, obs: &ObsScope) -> RemedyOutcome {
+    let protected = data.schema().protected_indices();
+    remedy_over_with(data, &protected, params, obs)
+}
+
 /// Remedies a dataset over an explicit protected-column set.
 pub fn remedy_over(data: &Dataset, protected: &[usize], params: &RemedyParams) -> RemedyOutcome {
+    remedy_over_with(data, protected, params, &ObsScope::disabled())
+}
+
+/// [`remedy_over`] with observability: per-node snapshot timings
+/// (`node_snapshot_us` histogram) plus `regions_updated`,
+/// `rows_duplicated`, `rows_removed`, and `rows_flipped` counters,
+/// batched into one flush per hierarchy node.
+pub fn remedy_over_with(
+    data: &Dataset,
+    protected: &[usize],
+    params: &RemedyParams,
+    obs: &ObsScope,
+) -> RemedyOutcome {
+    let _span = obs.span("remedy_over");
     let p = protected.len();
     assert!(p >= 1, "need at least one protected attribute");
     let mut d = data.clone();
@@ -181,12 +203,17 @@ pub fn remedy_over(data: &Dataset, protected: &[usize], params: &RemedyParams) -
         }
         // identification on the *current* dataset, restricted to this node;
         // one pass yields both counts and the row bucket of every region
+        let snapshot_timer = obs.timer();
         let (counts, rows_by_key) = node_snapshot(&d, protected, &attrs);
+        obs.observe_since("node_snapshot_us", snapshot_timer);
         let biased = biased_in_node(&counts, &attrs, params);
         // regions within a node are disjoint, so duplications (appended at
         // the end) and label flips can be applied immediately while
         // removals are batched per node to keep snapshot indices valid
         let mut pending_removals: Vec<usize> = Vec::new();
+        let len_before = d.len();
+        let updates_before = updates.len();
+        let mut flipped = 0u64;
         for (key, own, target) in biased {
             let pattern = pattern_of(protected, &attrs, key);
             let rows = rows_by_key.get(&key).map(Vec::as_slice).unwrap_or(&[]);
@@ -201,9 +228,16 @@ pub fn remedy_over(data: &Dataset, protected: &[usize], params: &RemedyParams) -
                 &mut rng,
                 &mut pending_removals,
             ) {
+                flipped += update.flipped;
                 updates.push(update);
             }
         }
+        obs.add_many(&[
+            ("regions_updated", (updates.len() - updates_before) as u64),
+            ("rows_duplicated", (d.len() - len_before) as u64),
+            ("rows_removed", pending_removals.len() as u64),
+            ("rows_flipped", flipped),
+        ]);
         if !pending_removals.is_empty() {
             d.remove_rows(&pending_removals);
         }
@@ -276,7 +310,22 @@ fn biased_in_node(
                             .unwrap_or_default(),
                     );
                 }
-                Counts::new(sum.pos - d_level * own.pos, sum.neg - d_level * own.neg)
+                // same underflow guard as the identify side: the parent
+                // projections are built from `counts` itself, so a shortfall
+                // can only mean corrupted state — degrade, don't wrap
+                match sum.checked_correction(d_level, own) {
+                    Some(corrected) => corrected,
+                    None => {
+                        debug_assert!(
+                            false,
+                            "inconsistent node snapshot: Σ parents {sum:?} < {d_level}·{own:?}"
+                        );
+                        sum.saturating_sub(Counts::new(
+                            d_level.saturating_mul(own.pos),
+                            d_level.saturating_mul(own.neg),
+                        ))
+                    }
+                }
             }
             Neighborhood::Full => totals.saturating_sub(own),
             Neighborhood::OrderedRadius(_) => {
@@ -288,7 +337,10 @@ fn biased_in_node(
         };
         let ratio = own.imbalance();
         let target = neighbor.imbalance();
-        if (ratio - target).abs() > params.tau_c {
+        // sentinel-aware Definition 5 — mirrors identify::is_biased, so a
+        // zero-negative region beside a mixed neighborhood is remedied even
+        // when τ_c exceeds the fake arithmetic gap |ratio + 1|
+        if is_biased(ratio, target, params.tau_c) {
             out.push((key, own, target));
         }
     }
@@ -757,6 +809,91 @@ mod tests {
         // paper: massaging flips 384 labels
         let u = update_for(Technique::Massaging);
         assert!((u.flipped as i64 - 384).abs() <= 4, "massaging: {u:?}");
+    }
+
+    /// Regression (sentinel-ratio bug, remedy side): a region with *no*
+    /// negatives has the undefined score, the most extreme imbalance
+    /// possible. The old arithmetic compare `|−1 − target| > τ_c` skipped
+    /// it whenever `τ_c ≥ |target + 1|`; it must be remedied regardless.
+    #[test]
+    fn zero_negative_region_is_remedied() {
+        let schema = Schema::new(
+            vec![
+                Attribute::from_strs("a", &["0", "1", "2"]).protected(),
+                Attribute::from_strs("b", &["0", "1", "2"]).protected(),
+            ],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                let (pos, neg) = if a == 1 && b == 1 { (60, 0) } else { (50, 50) };
+                for _ in 0..pos {
+                    d.push_row(&[a, b], 1).unwrap();
+                }
+                for _ in 0..neg {
+                    d.push_row(&[a, b], 0).unwrap();
+                }
+            }
+        }
+        let region = Pattern::from_terms([(0usize, 1u32), (1usize, 1u32)]);
+        assert_eq!(region_ratio(&d, &region), -1.0);
+        // τ_c = 2.5 swallows the fake gap |−1 − 1| = 2 that the old code
+        // computed for the leaf region
+        let params = RemedyParams {
+            technique: Technique::Massaging,
+            tau_c: 2.5,
+            scope: Scope::Leaf,
+            ..RemedyParams::default()
+        };
+        let outcome = remedy(&d, &params);
+        assert!(
+            outcome.updates.iter().any(|u| u.pattern == region),
+            "zero-negative region was skipped: {:?}",
+            outcome.updates
+        );
+        let after = region_ratio(&outcome.dataset, &region);
+        assert!(after >= 0.0, "ratio still undefined after remedy: {after}");
+        // no update ever targets the undefined sentinel
+        assert!(outcome.updates.iter().all(|u| u.target_ratio >= 0.0));
+    }
+
+    #[test]
+    fn obs_counters_track_row_mutations() {
+        let (d, _) = example_like();
+        for technique in Technique::ALL {
+            let params = RemedyParams {
+                technique,
+                tau_c: 0.3,
+                ..RemedyParams::default()
+            };
+            let rec = remedy_obs::Recorder::enabled();
+            let outcome = remedy_with(&d, &params, &rec.scope("remedy"));
+            // the recorder must not perturb the result
+            assert_eq!(outcome.dataset, remedy(&d, &params).dataset, "{technique}");
+            let snap = rec.snapshot();
+            let counter = |name| snap.counter("remedy", name).unwrap_or(0);
+            assert_eq!(counter("regions_updated"), outcome.updates.len() as u64);
+            let dup: i64 = outcome
+                .updates
+                .iter()
+                .map(|u| (u.pos_delta.max(0) + u.neg_delta.max(0)) - u.flipped as i64)
+                .sum();
+            let removed: i64 = outcome
+                .updates
+                .iter()
+                .map(|u| ((-u.pos_delta).max(0) + (-u.neg_delta).max(0)) - u.flipped as i64)
+                .sum();
+            let flipped: u64 = outcome.updates.iter().map(|u| u.flipped).sum();
+            assert_eq!(counter("rows_duplicated"), dup as u64, "{technique}");
+            assert_eq!(counter("rows_removed"), removed as u64, "{technique}");
+            assert_eq!(counter("rows_flipped"), flipped, "{technique}");
+            assert!(
+                snap.histogram("remedy", "node_snapshot_us").unwrap().count >= 1,
+                "{technique}"
+            );
+        }
     }
 
     #[test]

@@ -38,6 +38,17 @@ impl Counts {
     pub fn imbalance(&self) -> f64 {
         imbalance(self.pos, self.neg)
     }
+
+    /// The Algorithm 1 over-count correction `self − d·own`, or `None`
+    /// when the counts are inconsistent (a dominating-region sum smaller
+    /// than the `d`-fold over-count), instead of panicking on `u64`
+    /// underflow.
+    pub fn checked_correction(&self, d: u64, own: Counts) -> Option<Counts> {
+        Some(Counts {
+            pos: self.pos.checked_sub(d.checked_mul(own.pos)?)?,
+            neg: self.neg.checked_sub(d.checked_mul(own.neg)?)?,
+        })
+    }
 }
 
 /// Imbalance score `ratio_r = |r⁺| / |r⁻|` (Definition 3).
@@ -75,6 +86,35 @@ mod tests {
         assert!(!is_defined(imbalance(10, 0)));
         assert!(is_defined(imbalance(0, 10)));
         assert_eq!(imbalance(0, 10), 0.0);
+    }
+
+    /// Regression: the optimized-unit neighbor formula used raw `u64`
+    /// subtraction, which panics in debug (and wraps to garbage counts
+    /// under release without overflow checks) on an inconsistent
+    /// hierarchy. The checked correction reports the inconsistency
+    /// instead.
+    #[test]
+    fn checked_correction_catches_underflow() {
+        // consistent: Σ = (6, 4), d = 2, own = (3, 1) → (0, 2)
+        assert_eq!(
+            Counts::new(6, 4).checked_correction(2, Counts::new(3, 1)),
+            Some(Counts::new(0, 2))
+        );
+        // positive side underflows: 5 < 2·3
+        assert_eq!(
+            Counts::new(5, 5).checked_correction(2, Counts::new(3, 1)),
+            None
+        );
+        // negative side underflows: 1 < 2·1
+        assert_eq!(
+            Counts::new(9, 1).checked_correction(2, Counts::new(3, 1)),
+            None
+        );
+        // the d·own multiplication itself overflowing is also caught
+        assert_eq!(
+            Counts::new(u64::MAX, 0).checked_correction(u64::MAX, Counts::new(2, 0)),
+            None
+        );
     }
 
     #[test]

@@ -34,9 +34,24 @@ impl SplitRng {
     }
 
     /// Uniform integer in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method: the naive
+    /// `next_u64() % bound` over-represents the low residues whenever
+    /// `2⁶⁴ mod bound ≠ 0`, which skews shuffles (and therefore every
+    /// seeded split) toward low indices.
     pub fn below(&mut self, bound: usize) -> usize {
         assert!(bound > 0);
-        (self.next_u64() % bound as u64) as usize
+        let bound = bound as u64;
+        // reject draws from the short final interval so every residue maps
+        // to an equal number of raw values
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let wide = (x as u128) * (bound as u128);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as usize;
+            }
+        }
     }
 
     /// Uniform float in `[0, 1)`.
@@ -215,6 +230,43 @@ mod tests {
         for _ in 0..1000 {
             let u = rng.unit();
             assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    /// Regression (modulo bias): `below` must map the raw stream through
+    /// the multiply-shift `(x·bound) >> 64`, not `x % bound`. For small
+    /// bounds the rejection probability is ≈ `bound/2⁶⁴`, so a raw-stream
+    /// shadow RNG stays in lockstep across any practical draw count.
+    #[test]
+    fn below_uses_multiply_shift_not_modulo() {
+        let mut rng = SplitRng::new(123);
+        let mut shadow = SplitRng::new(123);
+        let bound = 1000usize;
+        let mut diverged = false;
+        for _ in 0..10_000 {
+            let got = rng.below(bound);
+            let x = shadow.next_u64();
+            let expected = ((x as u128 * bound as u128) >> 64) as usize;
+            assert_eq!(got, expected);
+            if got != (x % bound as u64) as usize {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "multiply-shift never disagreed with x % bound");
+    }
+
+    /// `below` stays in range and hits every residue for tiny bounds.
+    #[test]
+    fn below_is_in_range_and_exhaustive() {
+        let mut rng = SplitRng::new(7);
+        for bound in 1..=8usize {
+            let mut seen = vec![false; bound];
+            for _ in 0..500 {
+                let v = rng.below(bound);
+                assert!(v < bound);
+                seen[v] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "bound {bound} missed a residue");
         }
     }
 }

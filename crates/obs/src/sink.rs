@@ -1,0 +1,101 @@
+//! The JSONL event sink and the tiny JSON writer it uses.
+//!
+//! Events are one JSON object per line, written through a mutex-guarded
+//! `Write`. Every event carries a `"t"` tag (`span`, `counters`, `hist`)
+//! and times are microseconds since the recorder was created, so a trace
+//! is self-contained without wall-clock parsing.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+/// A line-oriented JSON event writer.
+pub(crate) struct TraceSink {
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TraceSink")
+    }
+}
+
+impl TraceSink {
+    pub fn new(writer: Box<dyn Write + Send>) -> TraceSink {
+        TraceSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Writes one pre-serialized JSON object as a line. I/O errors are
+    /// swallowed: tracing must never fail the traced computation.
+    pub fn write_line(&self, json: &str) {
+        debug_assert!(json.starts_with('{') && json.ends_with('}'));
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = w.write_all(json.as_bytes());
+            let _ = w.write_all(b"\n");
+        }
+    }
+
+    pub fn flush(&self) {
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A `Write` that appends into a shared buffer (for tests).
+    #[derive(Clone, Default)]
+    pub struct SharedBuf(pub Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn lines_are_newline_terminated() {
+        let buf = SharedBuf::default();
+        let sink = TraceSink::new(Box::new(buf.clone()));
+        sink.write_line("{\"t\":\"span\"}");
+        sink.write_line("{\"t\":\"counters\"}");
+        sink.flush();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text, "{\"t\":\"span\"}\n{\"t\":\"counters\"}\n");
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+}

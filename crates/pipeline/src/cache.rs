@@ -8,13 +8,18 @@
 //! chain through upstream hashes, changing one knob invalidates exactly
 //! the stages downstream of it.
 //!
-//! Writes go through a temp file + rename so concurrent branches that
+//! Writes go through a temp dir + rename so concurrent branches that
 //! race on the same key (e.g. two branches with identical remedy
-//! parameters) both land a complete artifact.
+//! parameters) both land a complete artifact. Each `store` call stages
+//! into its own uniquely-named temp dir — naming it by `(stage, key,
+//! pid)` alone let two threads of one process share a temp dir, and the
+//! winner's rename yanked it out from under the loser mid-write.
 
 use crate::error::PipelineError;
 use remedy_core::hash::StableHasher;
+use remedy_obs::Scope as ObsScope;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Name of the artifact payload inside a cache entry.
 const ARTIFACT_FILE: &str = "artifact";
@@ -37,10 +42,15 @@ impl CacheKey {
     }
 }
 
+/// Process-wide sequence making every staged temp dir name unique, even
+/// for same-key stores racing across threads.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
 /// An on-disk artifact store rooted at one directory.
 #[derive(Debug, Clone)]
 pub struct ArtifactCache {
     root: PathBuf,
+    obs: ObsScope,
 }
 
 impl ArtifactCache {
@@ -49,7 +59,17 @@ impl ArtifactCache {
         let root = root.into();
         std::fs::create_dir_all(&root)
             .map_err(|e| PipelineError(format!("cannot create cache dir: {e}")))?;
-        Ok(ArtifactCache { root })
+        Ok(ArtifactCache {
+            root,
+            obs: ObsScope::disabled(),
+        })
+    }
+
+    /// Attaches an observability scope recording `hits`, `misses`, and
+    /// `store_races` across every user of this cache handle.
+    pub fn with_obs(mut self, obs: ObsScope) -> ArtifactCache {
+        self.obs = obs;
+        self
     }
 
     /// The cache root directory.
@@ -63,7 +83,10 @@ impl ArtifactCache {
 
     /// Returns the cached artifact text for `(stage, key)`, if present.
     pub fn lookup(&self, stage: &str, key: CacheKey) -> Option<String> {
-        std::fs::read_to_string(self.entry_dir(stage, key).join(ARTIFACT_FILE)).ok()
+        let found = std::fs::read_to_string(self.entry_dir(stage, key).join(ARTIFACT_FILE)).ok();
+        self.obs
+            .add(if found.is_some() { "hits" } else { "misses" }, 1);
+        found
     }
 
     /// Stores an artifact with a one-line description; atomic per entry.
@@ -75,21 +98,36 @@ impl ArtifactCache {
         description: &str,
     ) -> Result<(), PipelineError> {
         let dir = self.entry_dir(stage, key);
-        let tmp = self
-            .root
-            .join(format!(".tmp-{stage}-{}-{}", key.hex(), std::process::id()));
-        std::fs::create_dir_all(&tmp)?;
-        std::fs::write(tmp.join(ARTIFACT_FILE), artifact)?;
-        std::fs::write(tmp.join(META_FILE), format!("{description}\n"))?;
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = self.root.join(format!(
+            ".tmp-{stage}-{}-{}-{seq}",
+            key.hex(),
+            std::process::id()
+        ));
+        let staged = (|| -> std::io::Result<()> {
+            std::fs::create_dir_all(&tmp)?;
+            std::fs::write(tmp.join(ARTIFACT_FILE), artifact)?;
+            std::fs::write(tmp.join(META_FILE), format!("{description}\n"))?;
+            Ok(())
+        })();
+        if let Err(e) = staged {
+            // don't leave a half-written temp dir behind
+            let _ = std::fs::remove_dir_all(&tmp);
+            return Err(PipelineError(format!("cannot stage cache entry: {e}")));
+        }
         match std::fs::rename(&tmp, &dir) {
             Ok(()) => Ok(()),
             Err(_) if dir.join(ARTIFACT_FILE).exists() => {
                 // a concurrent writer won the race; its artifact is
                 // identical by construction (same key = same inputs)
+                self.obs.add("store_races", 1);
                 let _ = std::fs::remove_dir_all(&tmp);
                 Ok(())
             }
-            Err(e) => Err(PipelineError(format!("cannot store cache entry: {e}"))),
+            Err(e) => {
+                let _ = std::fs::remove_dir_all(&tmp);
+                Err(PipelineError(format!("cannot store cache entry: {e}")))
+            }
         }
     }
 
@@ -147,5 +185,67 @@ mod tests {
         cache.store("train", key, "x", "").unwrap();
         assert_eq!(cache.lookup("train", key).as_deref(), Some("x"));
         assert_eq!(cache.len(), 1);
+    }
+
+    /// How many `.tmp-` staging dirs are left under the cache root.
+    fn stale_tmp_dirs(cache: &ArtifactCache) -> usize {
+        std::fs::read_dir(cache.root())
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .count()
+    }
+
+    /// Regression (same-process store race): temp dirs used to be named by
+    /// `(stage, key, pid)` only, so threads of one process racing on one
+    /// key shared a staging dir — the winner's rename yanked it mid-write
+    /// and the loser's `fs::write` failed with a spurious `PipelineError`.
+    /// Every store must now succeed, leaving one complete entry and no
+    /// stale temp dirs.
+    #[test]
+    fn concurrent_same_key_stores_all_succeed() {
+        let cache = temp_cache("race");
+        let key = CacheKey(0xFEED);
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let cache = &cache;
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        for _ in 0..50 {
+                            cache.store("identify", key, "artifact-body", "desc")?;
+                        }
+                        Ok::<(), PipelineError>(())
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap().unwrap();
+            }
+        });
+        assert_eq!(
+            cache.lookup("identify", key).as_deref(),
+            Some("artifact-body")
+        );
+        assert_eq!(cache.len(), 1);
+        assert_eq!(stale_tmp_dirs(&cache), 0, "staging dirs were leaked");
+    }
+
+    #[test]
+    fn obs_scope_counts_hits_misses_and_races() {
+        let rec = remedy_obs::Recorder::enabled();
+        let cache = temp_cache("obs").with_obs(rec.scope("cache"));
+        let key = CacheKey(3);
+        assert!(cache.lookup("load", key).is_none());
+        cache.store("load", key, "x", "").unwrap();
+        assert!(cache.lookup("load", key).is_some());
+        // benign rename race: the entry already exists
+        cache.store("load", key, "x", "").unwrap();
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("cache", "misses"), Some(1));
+        assert_eq!(snap.counter("cache", "hits"), Some(1));
+        assert_eq!(snap.counter("cache", "store_races"), Some(1));
     }
 }

@@ -28,6 +28,7 @@ use remedy_core::hash::stable_hash;
 use remedy_dataset::persist as data_persist;
 use remedy_dataset::Dataset;
 use remedy_fairness::MetricsSummary;
+use remedy_obs::{Recorder, Span};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -44,6 +45,10 @@ pub struct PipelineOptions {
     /// Recompute every stage even when a cached artifact exists (fresh
     /// artifacts still overwrite the cache).
     pub force: bool,
+    /// When set, stream a JSONL trace of spans / counters / histograms to
+    /// this path (and aggregate counters into the manifest). `None` keeps
+    /// the recorder disabled — hot paths stay within benchmark noise.
+    pub trace: Option<std::path::PathBuf>,
 }
 
 impl Default for PipelineOptions {
@@ -52,6 +57,7 @@ impl Default for PipelineOptions {
             cache_dir: ".remedy-cache".into(),
             threads: 0,
             force: false,
+            trace: None,
         }
     }
 }
@@ -65,12 +71,37 @@ struct BranchRun {
 
 /// Runs a plan end to end; returns the manifest describing what happened.
 pub fn run(plan: &Plan, opts: &PipelineOptions) -> Result<RunManifest, PipelineError> {
+    let recorder = match &opts.trace {
+        Some(path) => Recorder::to_path(path)
+            .map_err(|e| PipelineError(format!("cannot open trace {}: {e}", path.display())))?,
+        None => Recorder::disabled(),
+    };
+    let result = run_with(plan, opts, &recorder);
+    // emit the counter/histogram summary events and flush the JSONL sink
+    recorder.finish();
+    result
+}
+
+/// [`run`] against an explicit recorder (tests pass an in-memory one).
+pub fn run_with(
+    plan: &Plan,
+    opts: &PipelineOptions,
+    recorder: &Recorder,
+) -> Result<RunManifest, PipelineError> {
     let started = Instant::now();
-    let cache = ArtifactCache::open(opts.cache_dir.clone())?;
+    let run_span = recorder.scope("pipeline").span("run");
+    let cache =
+        ArtifactCache::open(opts.cache_dir.clone())?.with_obs(run_span.child_scope("cache"));
 
     // shared prefix: load → discretize → identify
-    let load = load_stage(plan, &cache, opts.force)?;
-    let discretized = discretize_stage(plan, &load, &cache, opts.force)?;
+    let load = load_stage(plan, &cache, opts.force, &run_span.child_scope("load"))?;
+    let discretized = discretize_stage(
+        plan,
+        &load,
+        &cache,
+        opts.force,
+        &run_span.child_scope("discretize"),
+    )?;
     let data = data_persist::dataset_from_text(&discretized.text)?;
     let (train_set, test_set) = split_dataset(plan, &data)?;
     let identify = identify_stage(
@@ -80,6 +111,7 @@ pub fn run(plan: &Plan, opts: &PipelineOptions) -> Result<RunManifest, PipelineE
         opts.threads,
         &cache,
         opts.force,
+        &run_span.child_scope("identify"),
     )?;
 
     // the unremedied training split doubles as the remedy "artifact" of
@@ -110,6 +142,7 @@ pub fn run(plan: &Plan, opts: &PipelineOptions) -> Result<RunManifest, PipelineE
                     &train_split_hash,
                     &cache,
                     opts.force,
+                    &run_span,
                 );
                 results.lock().unwrap().push((idx, result));
             });
@@ -159,8 +192,12 @@ fn run_branch(
     train_split_hash: &str,
     cache: &ArtifactCache,
     force: bool,
+    run_span: &Span,
 ) -> Result<BranchRun, PipelineError> {
     let mut records = Vec::with_capacity(3);
+    // scope labels are branch-qualified so concurrent branches with the
+    // same stage kind never merge their counters
+    let stage_scope = |stage: &str| run_span.child_scope(&format!("{}/{stage}", branch.name));
 
     // remedy (or pass the unremedied split through)
     let (train_input, train_input_hash) = match branch.technique {
@@ -175,6 +212,7 @@ fn run_branch(
                 train_set,
                 cache,
                 force,
+                &stage_scope("remedy"),
             )?;
             let hash = remedied.artifact_hash.clone();
             records.push(remedied.record.clone());
@@ -195,6 +233,7 @@ fn run_branch(
         &train_input_hash,
         cache,
         force,
+        &stage_scope("train"),
     )?;
     records.push(model.record.clone());
 
@@ -207,6 +246,7 @@ fn run_branch(
         test_set,
         cache,
         force,
+        &stage_scope("audit"),
     )?;
     records.push(audit.record.clone());
     let metrics = MetricsSummary::from_text(&audit.text)

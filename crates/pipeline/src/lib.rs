@@ -46,7 +46,7 @@ pub mod plan;
 pub mod stages;
 
 pub use cache::{ArtifactCache, CacheKey};
-pub use engine::{run, PipelineOptions};
+pub use engine::{run, run_with, PipelineOptions};
 pub use error::PipelineError;
 pub use manifest::{BranchOutcome, RunManifest, StageRecord};
 pub use plan::{BranchSpec, ModelFamily, Plan};

@@ -25,6 +25,9 @@ pub struct StageRecord {
     pub skipped: bool,
     /// Wall-clock time spent in this stage, milliseconds.
     pub wall_ms: f64,
+    /// Observability counters recorded under this stage's scope, sorted
+    /// by name. Empty when the run's recorder was disabled.
+    pub counters: Vec<(String, u64)>,
 }
 
 /// Outcome metrics of one branch.
@@ -94,7 +97,13 @@ impl RunManifest {
             ));
             out.push_str(&format!("\"cache_hit\": {}, ", s.cache_hit));
             out.push_str(&format!("\"skipped\": {}, ", s.skipped));
-            out.push_str(&format!("\"wall_ms\": {}", json_f64(s.wall_ms)));
+            out.push_str(&format!("\"wall_ms\": {}, ", json_f64(s.wall_ms)));
+            let counters: Vec<String> = s
+                .counters
+                .iter()
+                .map(|(name, value)| format!("{}: {value}", json_str(name)))
+                .collect();
+            out.push_str(&format!("\"counters\": {{{}}}", counters.join(", ")));
             out.push('}');
             if i + 1 < self.stages.len() {
                 out.push(',');
@@ -187,6 +196,7 @@ mod tests {
                     cache_hit: false,
                     skipped: false,
                     wall_ms: 1.0,
+                    counters: vec![("rows_loaded".into(), 1000)],
                 },
                 StageRecord {
                     stage: "remedy",
@@ -196,6 +206,7 @@ mod tests {
                     cache_hit: true,
                     skipped: false,
                     wall_ms: 0.1,
+                    counters: Vec::new(),
                 },
             ],
             branches: vec![BranchOutcome {
@@ -229,6 +240,8 @@ mod tests {
         assert!(json.contains("\"cache_hit\": true"));
         assert!(json.contains("\"branch\": null"));
         assert!(json.contains("\"fairness_index\": 0.125"));
+        assert!(json.contains("\"counters\": {\"rows_loaded\": 1000}"));
+        assert!(json.contains("\"counters\": {}"));
         // crude structural check: balanced braces and brackets
         let open = json.matches('{').count();
         let close = json.matches('}').count();

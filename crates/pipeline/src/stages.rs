@@ -21,13 +21,14 @@ use remedy_classifiers::{
 };
 use remedy_core::hash::{stable_hash, StableHasher};
 use remedy_core::{
-    identify_in_parallel, persist as ibs_persist, Algorithm, Hierarchy, RemedyParams,
+    identify_in_parallel_with, persist as ibs_persist, Algorithm, Hierarchy, RemedyParams,
 };
 use remedy_dataset::csv::{LoadOptions, RawTable};
 use remedy_dataset::persist as data_persist;
 use remedy_dataset::split::train_test_split;
 use remedy_dataset::{synth, Dataset};
 use remedy_fairness::{fairness_index, Explorer, FairnessIndexParams, MetricsSummary};
+use remedy_obs::Scope as ObsScope;
 use std::time::Instant;
 
 /// Magic header of exact dataset artifacts (used to recognize pass-through
@@ -46,7 +47,11 @@ pub struct StageOutput {
 }
 
 /// Executes one stage through the cache: replay on hit, compute + store on
-/// miss, record either way.
+/// miss, record either way. The stage runs under one span in `obs`, gets
+/// `cache_hits`/`cache_misses` counters, and its record carries every
+/// counter recorded under the stage's scope (including what the compute
+/// closure itself recorded).
+#[allow(clippy::too_many_arguments)]
 pub fn run_stage(
     cache: &ArtifactCache,
     stage: &'static str,
@@ -54,17 +59,21 @@ pub fn run_stage(
     key: CacheKey,
     force: bool,
     description: &str,
+    obs: &ObsScope,
     compute: impl FnOnce() -> Result<String, PipelineError>,
 ) -> Result<StageOutput, PipelineError> {
+    let _span = obs.span(stage);
     let start = Instant::now();
     if !force {
         if let Some(text) = cache.lookup(stage, key) {
-            return Ok(finish(stage, branch, key, true, text, start));
+            obs.add("cache_hits", 1);
+            return Ok(finish(stage, branch, key, true, text, start, obs));
         }
     }
+    obs.add("cache_misses", 1);
     let text = compute()?;
     cache.store(stage, key, &text, description)?;
-    Ok(finish(stage, branch, key, false, text, start))
+    Ok(finish(stage, branch, key, false, text, start, obs))
 }
 
 fn finish(
@@ -74,6 +83,7 @@ fn finish(
     cache_hit: bool,
     text: String,
     start: Instant,
+    obs: &ObsScope,
 ) -> StageOutput {
     let artifact_hash = format!("{:032x}", stable_hash(text.as_bytes()));
     StageOutput {
@@ -85,6 +95,7 @@ fn finish(
             cache_hit,
             skipped: false,
             wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            counters: obs.counters(),
         },
         artifact_hash,
         text,
@@ -106,6 +117,7 @@ pub fn load_stage(
     plan: &Plan,
     cache: &ArtifactCache,
     force: bool,
+    obs: &ObsScope,
 ) -> Result<StageOutput, PipelineError> {
     let mut h = StableHasher::new();
     h.write_str("load");
@@ -122,6 +134,7 @@ pub fn load_stage(
             key,
             force,
             &format!("load {source} rows={rows} seed={seed}"),
+            obs,
             move || {
                 let data = match (source.as_str(), rows) {
                     ("adult", 0) => synth::adult(seed),
@@ -148,6 +161,7 @@ pub fn load_stage(
             key,
             force,
             &format!("load {}", plan.source),
+            obs,
             move || Ok(text),
         )
     }
@@ -164,6 +178,7 @@ pub fn discretize_stage(
     load: &StageOutput,
     cache: &ArtifactCache,
     force: bool,
+    obs: &ObsScope,
 ) -> Result<StageOutput, PipelineError> {
     let mut h = StableHasher::new();
     h.write_str("discretize");
@@ -189,6 +204,7 @@ pub fn discretize_stage(
         key,
         force,
         &format!("discretize bins={bins}"),
+        obs,
         move || {
             if input.starts_with(DATASET_MAGIC) {
                 return Ok(input);
@@ -220,6 +236,7 @@ fn write_split(h: &mut StableHasher, plan: &Plan) {
 ///
 /// `threads` fans region scoring out over scoped worker threads; it is
 /// not part of the key because it cannot change the result.
+#[allow(clippy::too_many_arguments)]
 pub fn identify_stage(
     plan: &Plan,
     discretized: &StageOutput,
@@ -227,6 +244,7 @@ pub fn identify_stage(
     threads: usize,
     cache: &ArtifactCache,
     force: bool,
+    obs: &ObsScope,
 ) -> Result<StageOutput, PipelineError> {
     let mut h = StableHasher::new();
     h.write_str("identify");
@@ -235,6 +253,7 @@ pub fn identify_stage(
     plan.ibs.stable_hash_into(&mut h);
     let key = CacheKey::from_hasher(&h);
     let params = plan.ibs.clone();
+    let inner_obs = obs.clone();
     run_stage(
         cache,
         "identify",
@@ -242,6 +261,7 @@ pub fn identify_stage(
         key,
         force,
         &format!("identify tau={} k={}", params.tau_c, params.min_size),
+        obs,
         move || {
             let algorithm = if params.neighborhood.supports_optimized() {
                 Algorithm::Optimized
@@ -249,7 +269,8 @@ pub fn identify_stage(
                 Algorithm::Naive
             };
             let hierarchy = Hierarchy::build(train_set);
-            let regions = identify_in_parallel(&hierarchy, &params, algorithm, threads);
+            let regions =
+                identify_in_parallel_with(&hierarchy, &params, algorithm, threads, &inner_obs);
             Ok(ibs_persist::regions_to_text(&regions))
         },
     )
@@ -257,6 +278,7 @@ pub fn identify_stage(
 
 /// Remedy: rewrite the training split so biased regions match their
 /// neighborhood. One execution per branch with a technique.
+#[allow(clippy::too_many_arguments)]
 pub fn remedy_stage(
     plan: &Plan,
     branch: &str,
@@ -266,6 +288,7 @@ pub fn remedy_stage(
     train_set: &Dataset,
     cache: &ArtifactCache,
     force: bool,
+    obs: &ObsScope,
 ) -> Result<StageOutput, PipelineError> {
     let mut h = StableHasher::new();
     h.write_str("remedy");
@@ -278,6 +301,7 @@ pub fn remedy_stage(
     params.stable_hash_into(&mut h);
     let key = CacheKey::from_hasher(&h);
     let params = params.clone();
+    let inner_obs = obs.clone();
     run_stage(
         cache,
         "remedy",
@@ -285,8 +309,9 @@ pub fn remedy_stage(
         key,
         force,
         &format!("remedy {} tau={}", params.technique, params.tau_c),
+        obs,
         move || {
-            let outcome = remedy_core::remedy(train_set, &params);
+            let outcome = remedy_core::remedy_with(train_set, &params, &inner_obs);
             Ok(data_persist::dataset_to_text(&outcome.dataset))
         },
     )
@@ -303,10 +328,12 @@ pub fn skipped_remedy_record(branch: &str, train_split_hash: &str) -> StageRecor
         cache_hit: false,
         skipped: true,
         wall_ms: 0.0,
+        counters: Vec::new(),
     }
 }
 
 /// Train: fit the branch's model family on its training input.
+#[allow(clippy::too_many_arguments)]
 pub fn train_stage(
     plan: &Plan,
     branch: &str,
@@ -315,6 +342,7 @@ pub fn train_stage(
     train_input_hash: &str,
     cache: &ArtifactCache,
     force: bool,
+    obs: &ObsScope,
 ) -> Result<StageOutput, PipelineError> {
     let mut h = StableHasher::new();
     h.write_str("train");
@@ -330,6 +358,7 @@ pub fn train_stage(
         key,
         force,
         &format!("train {} seed={seed}", family.token()),
+        obs,
         move || {
             let data = data_persist::dataset_from_text(train_input)?;
             Ok(match family {
@@ -354,6 +383,7 @@ pub fn train_stage(
 }
 
 /// Audit: metrics of the branch's model on the held-out test split.
+#[allow(clippy::too_many_arguments)]
 pub fn audit_stage(
     plan: &Plan,
     branch: &str,
@@ -362,6 +392,7 @@ pub fn audit_stage(
     test_set: &Dataset,
     cache: &ArtifactCache,
     force: bool,
+    obs: &ObsScope,
 ) -> Result<StageOutput, PipelineError> {
     let mut h = StableHasher::new();
     h.write_str("audit");
@@ -381,6 +412,7 @@ pub fn audit_stage(
         key,
         force,
         &format!("audit {} tau_d={tau_d}", stat.name()),
+        obs,
         move || {
             let model = model_persist::from_text(&model_text)
                 .map_err(|e| PipelineError(format!("cannot load model artifact: {e}")))?;

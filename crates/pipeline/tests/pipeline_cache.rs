@@ -34,6 +34,7 @@ fn opts(cache: &std::path::Path) -> PipelineOptions {
         cache_dir: cache.to_path_buf(),
         threads: 2,
         force: false,
+        trace: None,
     }
 }
 

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Full verification gate: release build, the whole test suite, and
-# formatting. Run before sending a PR.
+# Full verification gate: release build, the whole test suite, lints,
+# and formatting. Run before sending a PR.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q --workspace
+cargo clippy --workspace -- -D warnings
 cargo fmt --check
 echo "verify: OK"
