@@ -10,10 +10,10 @@ fn bench_techniques(c: &mut Criterion) {
     group.sample_size(10);
     let data = synth::compas(42);
     for technique in Technique::ALL {
-        let params = RemedyParams {
-            technique,
-            ..RemedyParams::default()
-        };
+        let params = RemedyParams::builder()
+            .technique(technique)
+            .build()
+            .unwrap();
         group.bench_with_input(
             BenchmarkId::from_parameter(technique.label()),
             &params,
@@ -28,10 +28,7 @@ fn bench_scopes(c: &mut Criterion) {
     group.sample_size(10);
     let data = synth::compas(42);
     for scope in [Scope::Lattice, Scope::Leaf, Scope::Top] {
-        let params = RemedyParams {
-            scope,
-            ..RemedyParams::default()
-        };
+        let params = RemedyParams::builder().scope(scope).build().unwrap();
         group.bench_with_input(
             BenchmarkId::from_parameter(scope.name()),
             &params,

@@ -65,10 +65,10 @@ fn statistical_parity() {
 
         let remedied = remedy(
             &train_set,
-            &RemedyParams {
-                tau_c: spec.default_tau_c(),
-                ..RemedyParams::default()
-            },
+            &RemedyParams::builder()
+                .tau_c(spec.default_tau_c())
+                .build()
+                .unwrap(),
         )
         .dataset;
         let model = dt(&remedied);

@@ -40,11 +40,11 @@ fn main() {
     };
 
     // IBS on the training data: τ_c = 0.1, T = 1 (§V-B1)
-    let params = IbsParams {
-        tau_c: 0.1,
-        min_size: 30,
-        ..IbsParams::default()
-    };
+    let params = IbsParams::builder()
+        .tau_c(0.1)
+        .min_size(30)
+        .build()
+        .unwrap();
     let ibs =
         remedy_core::identify::identify_over(&train_set, &columns, &params, Algorithm::Optimized);
     println!(

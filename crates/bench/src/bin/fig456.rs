@@ -75,12 +75,12 @@ fn main() {
         &["technique", "model", "FI(FPR)", "FI(FNR)", "accuracy"],
     );
     for technique in Technique::ALL {
-        let remedy = RemedyParams {
-            technique,
-            tau_c,
-            scope: Scope::Lattice,
-            ..RemedyParams::default()
-        };
+        let remedy = RemedyParams::builder()
+            .technique(technique)
+            .tau_c(tau_c)
+            .scope(Scope::Lattice)
+            .build()
+            .unwrap();
         for kind in ModelKind::ALL {
             let eval = run_pipeline(
                 &train_set,
@@ -106,12 +106,14 @@ fn main() {
 fn scope_config(name: &str, scope: Scope, tau_c: f64) -> (String, Option<RemedyParams>) {
     (
         name.to_string(),
-        Some(RemedyParams {
-            technique: Technique::PreferentialSampling,
-            tau_c,
-            scope,
-            ..RemedyParams::default()
-        }),
+        Some(
+            RemedyParams::builder()
+                .technique(Technique::PreferentialSampling)
+                .tau_c(tau_c)
+                .scope(scope)
+                .build()
+                .unwrap(),
+        ),
     )
 }
 

@@ -51,11 +51,11 @@ fn main() {
         ]);
         for i in 1..=9 {
             let tau_c = i as f64 / 10.0;
-            let params = RemedyParams {
-                technique: Technique::PreferentialSampling,
-                tau_c,
-                ..RemedyParams::default()
-            };
+            let params = RemedyParams::builder()
+                .technique(Technique::PreferentialSampling)
+                .tau_c(tau_c)
+                .build()
+                .unwrap();
             let outcome = remedy_core::remedy(&train_set, &params);
             let eval = run_pipeline(
                 &train_set,

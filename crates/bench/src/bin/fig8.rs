@@ -6,10 +6,12 @@
 //! ```
 //!
 //! Compares `T = 1` (unit neighborhood) against `T = |X|` (the complement
-//! of each region within its node) on the ProPublica and Adult stand-ins,
-//! decision tree, preferential sampling. The paper's shape: both settings
-//! mitigate unfairness; `T = |X|` tends to win on few protected attributes
-//! (ProPublica, |X| = 3) while `T = 1` wins as |X| grows (Adult, |X| = 6).
+//! of each region within its node) and an ordered-radius ball (`T = 1.5`
+//! under the ordered distance of §IV) on the ProPublica and Adult
+//! stand-ins, decision tree, preferential sampling. The paper's shape:
+//! every setting mitigates unfairness; `T = |X|` tends to win on few
+//! protected attributes (ProPublica, |X| = 3) while `T = 1` wins as |X|
+//! grows (Adult, |X| = 6).
 
 use remedy_bench::datasets::{load, DatasetSpec};
 use remedy_bench::eval::{paper_split, run_pipeline, PipelineConfig};
@@ -26,17 +28,21 @@ fn main() {
     for spec in [DatasetSpec::Compas, DatasetSpec::Adult] {
         let data = load(spec, seed);
         let (train_set, test_set) = paper_split(&data, seed);
-        let configs: [(String, Option<Neighborhood>); 3] = [
+        let ordered = Neighborhood::OrderedRadius(1.5);
+        let configs: [(String, Option<Neighborhood>); 4] = [
             ("orig".to_string(), None),
             (Neighborhood::Unit.name(), Some(Neighborhood::Unit)),
             (Neighborhood::Full.name(), Some(Neighborhood::Full)),
+            (ordered.name(), Some(ordered)),
         ];
         for (name, neighborhood) in configs {
-            let remedy = neighborhood.map(|n| RemedyParams {
-                technique: Technique::PreferentialSampling,
-                tau_c: spec.default_tau_c(),
-                neighborhood: n,
-                ..RemedyParams::default()
+            let remedy = neighborhood.map(|n| {
+                RemedyParams::builder()
+                    .technique(Technique::PreferentialSampling)
+                    .tau_c(spec.default_tau_c())
+                    .neighborhood(n)
+                    .build()
+                    .unwrap()
             });
             let eval = run_pipeline(
                 &train_set,

@@ -92,10 +92,10 @@ fn sweep_attrs() {
         let cols = protected_cols(&data, k);
         let mut cells = vec![k.to_string()];
         for technique in techniques {
-            let params = RemedyParams {
-                technique,
-                ..RemedyParams::default()
-            };
+            let params = RemedyParams::builder()
+                .technique(technique)
+                .build()
+                .unwrap();
             let (_, secs) = time_it(|| remedy_over(&data, &cols, &params));
             cells.push(format!("{secs:.3}"));
         }
@@ -142,10 +142,10 @@ fn sweep_size() {
 
         let mut cells = vec![n.to_string()];
         for technique in techniques {
-            let rp = RemedyParams {
-                technique,
-                ..RemedyParams::default()
-            };
+            let rp = RemedyParams::builder()
+                .technique(technique)
+                .build()
+                .unwrap();
             let (_, secs) = time_it(|| remedy_over(&data, &cols, &rp));
             cells.push(format!("{secs:.3}"));
         }

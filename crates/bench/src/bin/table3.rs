@@ -55,11 +55,11 @@ fn main() {
     let (remedied, secs) = time_it(|| {
         remedy(
             &train_set,
-            &RemedyParams {
-                technique: Technique::PreferentialSampling,
-                tau_c: 0.1,
-                ..RemedyParams::default()
-            },
+            &RemedyParams::builder()
+                .technique(Technique::PreferentialSampling)
+                .tau_c(0.1)
+                .build()
+                .unwrap(),
         )
         .dataset
     });

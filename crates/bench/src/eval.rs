@@ -85,11 +85,13 @@ mod tests {
             &test_set,
             &PipelineConfig {
                 model: ModelKind::DecisionTree,
-                remedy: Some(RemedyParams {
-                    technique: Technique::PreferentialSampling,
-                    tau_c: 0.1,
-                    ..RemedyParams::default()
-                }),
+                remedy: Some(
+                    RemedyParams::builder()
+                        .technique(Technique::PreferentialSampling)
+                        .tau_c(0.1)
+                        .build()
+                        .unwrap(),
+                ),
                 seed: 7,
             },
         );

@@ -31,6 +31,7 @@ COMMANDS:
     remedy     rewrite a dataset so biased regions match their neighborhood
     audit      train a model and report unfair subgroups
     pipeline   run a declarative plan as a cached, parallel stage DAG
+    cache      manage the pipeline artifact cache (gc)
     report     write a full Markdown fairness audit
     train      train a model (optionally on remedied data) and save it
     describe   profile a dataset (value frequencies, label associations)
@@ -49,6 +50,7 @@ pub fn run(command: &str, raw: Vec<String>) -> Result<(), CliError> {
         "remedy" => cmd_remedy(raw),
         "audit" => cmd_audit(raw),
         "pipeline" => cmd_pipeline(raw),
+        "cache" => cmd_cache(raw),
         "report" => cmd_report(raw),
         "train" => cmd_train(raw),
         "describe" => cmd_describe(raw),
@@ -90,12 +92,13 @@ fn load_input(args: &Args) -> Result<Dataset, CliError> {
 }
 
 fn ibs_params(args: &Args) -> Result<IbsParams, CliError> {
-    Ok(IbsParams {
-        tau_c: args.get_parsed("tau", 0.1)?,
-        min_size: args.get_parsed("min-size", 30u64)?,
-        neighborhood: parse_neighborhood(args)?,
-        scope: parse_scope(args)?,
-    })
+    IbsParams::builder()
+        .tau_c(args.get_parsed("tau", 0.1)?)
+        .min_size(args.get_parsed("min-size", 30u64)?)
+        .neighborhood(parse_neighborhood(args)?)
+        .scope(parse_scope(args)?)
+        .build()
+        .map_err(|e| CliError(e.to_string()))
 }
 
 fn parse_neighborhood(args: &Args) -> Result<Neighborhood, CliError> {
@@ -141,7 +144,7 @@ fn cmd_identify(raw: Vec<String>) -> Result<(), CliError> {
     if args.flag("help") || args.positional_count() == 0 {
         println!(
             "remedy identify <csv|adult|compas|law> [--label Y --protected a,b] \
-             [--tau 0.1] [--min-size 30] [--neighborhood unit|full] \
+             [--tau 0.1] [--min-size 30] [--neighborhood unit|full|<radius>] \
              [--scope lattice|leaf|top] [--top 20] [--threads N] \
              [--trace trace.jsonl]"
         );
@@ -201,7 +204,7 @@ fn cmd_remedy(raw: Vec<String>) -> Result<(), CliError> {
         println!(
             "remedy remedy <csv|adult|compas|law> --out fixed.csv \
              [--label Y --protected a,b] [--technique ps|us|dp|massage] \
-             [--tau 0.1] [--min-size 30] [--neighborhood unit|full] \
+             [--tau 0.1] [--min-size 30] [--neighborhood unit|full|<radius>] \
              [--scope lattice|leaf|top] [--seed 42]"
         );
         return Ok(());
@@ -219,14 +222,15 @@ fn cmd_remedy(raw: Vec<String>) -> Result<(), CliError> {
     args.check_known(&known)?;
     let data = load_input(&args)?;
     let out_path = args.require("out")?.to_string();
-    let params = RemedyParams {
-        technique: parse_technique(&args)?,
-        tau_c: args.get_parsed("tau", 0.1)?,
-        min_size: args.get_parsed("min-size", 30u64)?,
-        neighborhood: parse_neighborhood(&args)?,
-        scope: parse_scope(&args)?,
-        seed: args.get_parsed("seed", 42u64)?,
-    };
+    let params = RemedyParams::builder()
+        .technique(parse_technique(&args)?)
+        .tau_c(args.get_parsed("tau", 0.1)?)
+        .min_size(args.get_parsed("min-size", 30u64)?)
+        .neighborhood(parse_neighborhood(&args)?)
+        .scope(parse_scope(&args)?)
+        .seed(args.get_parsed("seed", 42u64)?)
+        .build()
+        .map_err(|e| CliError(e.to_string()))?;
     let outcome = remedy_data(&data, &params);
     csv::write_path(&outcome.dataset, &out_path).map_err(|e| CliError(e.to_string()))?;
     println!(
@@ -267,12 +271,12 @@ fn cmd_audit(raw: Vec<String>) -> Result<(), CliError> {
     let (mut train_set, test_set) =
         train_test_split(&data, 0.7, seed).map_err(|e| CliError(e.to_string()))?;
     if args.flag("remedied") {
-        let params = RemedyParams {
-            technique: parse_technique(&args)?,
-            tau_c: args.get_parsed("tau", 0.1)?,
-            seed,
-            ..RemedyParams::default()
-        };
+        let params = RemedyParams::builder()
+            .technique(parse_technique(&args)?)
+            .tau_c(args.get_parsed("tau", 0.1)?)
+            .seed(seed)
+            .build()
+            .map_err(|e| CliError(e.to_string()))?;
         train_set = remedy_data(&train_set, &params).dataset;
     }
     let model_kind = match args.get("model").unwrap_or("dt") {
@@ -393,6 +397,82 @@ fn cmd_pipeline(raw: Vec<String>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parses a human byte size: a plain number, or one with a `k`/`m`/`g`
+/// suffix (powers of 1024).
+fn parse_bytes(text: &str) -> Result<u64, CliError> {
+    let lower = text.to_ascii_lowercase();
+    let (digits, multiplier) = match lower.strip_suffix(['k', 'm', 'g']) {
+        Some(d) if lower.ends_with('k') => (d, 1024u64),
+        Some(d) if lower.ends_with('m') => (d, 1024 * 1024),
+        Some(d) => (d, 1024 * 1024 * 1024),
+        None => (lower.as_str(), 1),
+    };
+    digits
+        .trim()
+        .parse::<u64>()
+        .map(|n| n * multiplier)
+        .map_err(|_| {
+            CliError(format!(
+                "--max-bytes: `{text}` is not a byte size (e.g. 500m)"
+            ))
+        })
+}
+
+fn cmd_cache(raw: Vec<String>) -> Result<(), CliError> {
+    let args = Args::parse(raw)?;
+    let action = args.positional(0);
+    if args.flag("help") || action.is_none() {
+        println!(
+            "remedy cache gc [--cache .remedy-cache] [--max-bytes 500m] \
+             [--max-age-secs 604800] [--trace trace.jsonl]\n\n\
+             Deletes orphaned staging dirs, entries unused for longer than\n\
+             --max-age-secs, and (oldest-replay first) enough entries to fit\n\
+             the --max-bytes budget."
+        );
+        return Ok(());
+    }
+    if action != Some("gc") {
+        return Err(CliError(format!(
+            "cache: unknown action `{}` (expected `gc`)",
+            action.unwrap()
+        )));
+    }
+    args.check_known(&["cache", "max-bytes", "max-age-secs", "trace", "help"])?;
+    let recorder = match args.get("trace") {
+        Some(path) => remedy_obs::Recorder::to_path(path)
+            .map_err(|e| CliError(format!("cannot open trace {path}: {e}")))?,
+        None => remedy_obs::Recorder::disabled(),
+    };
+    let cache = remedy_pipeline::ArtifactCache::open(args.get("cache").unwrap_or(".remedy-cache"))
+        .map_err(|e| CliError(e.to_string()))?
+        .with_obs(recorder.scope("cache"));
+    let policy = remedy_pipeline::GcPolicy {
+        max_bytes: args.get("max-bytes").map(parse_bytes).transpose()?,
+        max_age: args
+            .get("max-age-secs")
+            .map(|s| {
+                s.parse::<u64>()
+                    .map(std::time::Duration::from_secs)
+                    .map_err(|_| CliError(format!("--max-age-secs: `{s}` is not a number")))
+            })
+            .transpose()?,
+    };
+    let stats = cache.gc(&policy).map_err(|e| CliError(e.to_string()))?;
+    recorder.finish();
+    println!(
+        "swept {}: removed {} of {} entries ({} bytes) and {} staging dirs; \
+         {} entries ({} bytes) live",
+        cache.root().display(),
+        stats.entries_removed,
+        stats.entries_scanned,
+        stats.bytes_removed,
+        stats.tmp_dirs_removed,
+        stats.live_entries,
+        stats.live_bytes
+    );
+    Ok(())
+}
+
 fn cmd_report(raw: Vec<String>) -> Result<(), CliError> {
     let args = Args::parse(raw)?;
     if args.flag("help") || args.positional_count() == 0 {
@@ -452,12 +532,12 @@ fn cmd_train(raw: Vec<String>) -> Result<(), CliError> {
     let mut data = load_input(&args)?;
     let seed = args.get_parsed("seed", 42u64)?;
     if args.flag("remedied") {
-        let params = RemedyParams {
-            technique: parse_technique(&args)?,
-            tau_c: args.get_parsed("tau", 0.1)?,
-            seed,
-            ..RemedyParams::default()
-        };
+        let params = RemedyParams::builder()
+            .technique(parse_technique(&args)?)
+            .tau_c(args.get_parsed("tau", 0.1)?)
+            .seed(seed)
+            .build()
+            .map_err(|e| CliError(e.to_string()))?;
         data = remedy_data(&data, &params).dataset;
     }
     let out = args.require("out")?;
@@ -530,10 +610,10 @@ fn cmd_hypothesis(raw: Vec<String>) -> Result<(), CliError> {
         "fnr" => Statistic::Fnr,
         other => return Err(CliError(format!("--stat: `{other}` is not fpr|fnr"))),
     };
-    let params = IbsParams {
-        tau_c: args.get_parsed("tau", 0.1)?,
-        ..IbsParams::default()
-    };
+    let params = IbsParams::builder()
+        .tau_c(args.get_parsed("tau", 0.1)?)
+        .build()
+        .map_err(|e| CliError(e.to_string()))?;
     let model = train(kind, &train_set, seed);
     let predictions = model.predict(&test_set);
     let validation = validate_on_columns(
@@ -748,6 +828,54 @@ mod tests {
             vec![plan.join("nope").to_string_lossy().into_owned()]
         )
         .is_err());
+    }
+
+    #[test]
+    fn cache_gc_sweeps_a_pipeline_cache() {
+        let dir = std::env::temp_dir().join("remedy_cli_cache_gc");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan = dir.join("plan.txt");
+        std::fs::write(
+            &plan,
+            "dataset compas\nrows 600\nseed 7\nbranch base technique=none model=dt\n",
+        )
+        .unwrap();
+        let cache = dir.join("cache");
+        run(
+            "pipeline",
+            vec![
+                plan.to_string_lossy().into_owned(),
+                "--cache".into(),
+                cache.to_string_lossy().into_owned(),
+            ],
+        )
+        .unwrap();
+        assert!(std::fs::read_dir(&cache).unwrap().count() > 0);
+        run(
+            "cache",
+            vec![
+                "gc".into(),
+                "--cache".into(),
+                cache.to_string_lossy().into_owned(),
+                "--max-bytes".into(),
+                "0".into(),
+            ],
+        )
+        .unwrap();
+        let remaining = std::fs::read_dir(&cache)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.path().is_dir())
+            .count();
+        assert_eq!(remaining, 0, "gc --max-bytes 0 must empty the cache");
+        // bad action and bad sizes are clean errors
+        assert!(run("cache", vec!["prune".into()]).is_err());
+        assert!(parse_bytes("12x").is_err());
+        assert_eq!(parse_bytes("2k").unwrap(), 2048);
+        assert_eq!(parse_bytes("3m").unwrap(), 3 * 1024 * 1024);
+        assert_eq!(parse_bytes("1g").unwrap(), 1024 * 1024 * 1024);
+        assert_eq!(parse_bytes("77").unwrap(), 77);
     }
 
     #[test]

@@ -16,8 +16,10 @@
 //! work from `(c−1)·d·T` to `d·T`, which §V-B5 (and our Fig 9a bench)
 //! shows is a substantial constant-factor win.
 
-use crate::hierarchy::{drop_byte, get_byte, set_byte, Hierarchy, Node};
+use crate::hierarchy::{Hierarchy, Node};
+use crate::neighbor_model::{NeighborModel, NeighborTally};
 use crate::neighborhood::Neighborhood;
+use crate::params::{IbsParamsBuilder, ParamError};
 use crate::scope::Scope;
 use crate::score::{imbalance, is_defined, Counts};
 use remedy_dataset::{Dataset, Pattern};
@@ -33,7 +35,12 @@ pub enum Algorithm {
 }
 
 /// Parameters of IBS identification (Problem 1).
+///
+/// `#[non_exhaustive]`: downstream crates construct this through
+/// [`IbsParams::default`] or the validated [`IbsParams::builder`]; the
+/// fields stay `pub` for reading and targeted mutation.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct IbsParams {
     /// Imbalance threshold `τ_c` (Definition 5).
     pub tau_c: f64,
@@ -58,6 +65,17 @@ impl Default for IbsParams {
 }
 
 impl IbsParams {
+    /// A validated builder starting from [`IbsParams::default`].
+    pub fn builder() -> IbsParamsBuilder {
+        IbsParamsBuilder::default()
+    }
+
+    /// Checks the parameter domain (see [`crate::params`]); called by the
+    /// builder and by consumers that mutate fields in place.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        crate::params::validate_common(self.tau_c, self.min_size, self.neighborhood)
+    }
+
     /// Feeds every field into `h` with an unambiguous encoding (floats by
     /// bit pattern, enums by discriminant tag). Two parameter sets produce
     /// the same digest iff they are equal, which is what lets pipeline
@@ -231,8 +249,7 @@ struct ScanTally {
     scanned: u64,
     skipped_min_size: u64,
     flagged: u64,
-    lookups: u64,
-    underflows: u64,
+    neighbors: NeighborTally,
 }
 
 impl ScanTally {
@@ -241,8 +258,8 @@ impl ScanTally {
             ("regions_scanned", self.scanned),
             ("regions_skipped_min_size", self.skipped_min_size),
             ("regions_flagged", self.flagged),
-            ("neighbor_lookups", self.lookups),
-            ("neighbor_underflow", self.underflows),
+            ("neighbor_lookups", self.neighbors.lookups),
+            ("neighbor_underflow", self.neighbors.underflows),
         ]);
     }
 }
@@ -259,14 +276,16 @@ fn scan_node(
     result: &mut Vec<BiasedRegion>,
 ) {
     let node = hierarchy.node(mask);
+    // one model per node: sibling projections / totals / distance table
+    // are built once, then every region queries through the same seam
+    let model = NeighborModel::for_node(hierarchy, node, params.neighborhood, algorithm);
     for (&key, &counts) in &node.regions {
         if counts.total() <= params.min_size {
             tally.skipped_min_size += 1;
             continue;
         }
         tally.scanned += 1;
-        let neighbor =
-            neighbor_counts_tallied(hierarchy, node, key, counts, params, algorithm, tally);
+        let neighbor = model.neighbor_counts(key, counts, &mut tally.neighbors);
         let ratio = counts.imbalance();
         let neighbor_ratio = neighbor.imbalance();
         if is_biased(ratio, neighbor_ratio, params.tau_c) {
@@ -360,7 +379,10 @@ pub fn identify_in_parallel_with(
     result
 }
 
-/// Counts of the neighboring region of `(node, key)`.
+/// Counts of the neighboring region of `(node, key)`; convenience
+/// wrapper that builds a throwaway [`NeighborModel`] for one query.
+/// Callers scoring many regions of the same node should build the model
+/// once via [`NeighborModel::for_node`] instead.
 pub fn neighbor_counts(
     hierarchy: &Hierarchy,
     node: &Node,
@@ -369,132 +391,11 @@ pub fn neighbor_counts(
     params: &IbsParams,
     algorithm: Algorithm,
 ) -> Counts {
-    neighbor_counts_tallied(
-        hierarchy,
-        node,
+    NeighborModel::for_node(hierarchy, node, params.neighborhood, algorithm).neighbor_counts(
         key,
         own,
-        params,
-        algorithm,
-        &mut ScanTally::default(),
+        &mut NeighborTally::default(),
     )
-}
-
-/// [`neighbor_counts`] plus tallying: counts one `lookup` per sibling /
-/// dominating-region / candidate fetch, making the paper's `(c−1)·d` vs
-/// `d` per-region claim (§III-B) directly observable, and records the
-/// (hierarchy-inconsistency-only) checked-correction fallback.
-fn neighbor_counts_tallied(
-    hierarchy: &Hierarchy,
-    node: &Node,
-    key: u128,
-    own: Counts,
-    params: &IbsParams,
-    algorithm: Algorithm,
-    tally: &mut ScanTally,
-) -> Counts {
-    match (algorithm, params.neighborhood) {
-        (_, Neighborhood::OrderedRadius(t)) => {
-            tally.lookups += (node.regions.len() as u64).saturating_sub(1);
-            ordered_neighbors(hierarchy, node, key, t)
-        }
-        (Algorithm::Naive, Neighborhood::Unit) => {
-            // enumerate the (c−1)·d siblings that differ in one value
-            let mut sum = Counts::default();
-            for (slot, &j) in node.attrs.iter().enumerate() {
-                let code = get_byte(key, slot);
-                for v in 0..hierarchy.cardinality(j) {
-                    if v == code {
-                        continue;
-                    }
-                    sum.add(hierarchy.counts(node.mask, set_byte(key, slot, v)));
-                    tally.lookups += 1;
-                }
-            }
-            sum
-        }
-        (Algorithm::Naive, Neighborhood::Full) => {
-            // enumerate every other region in the node
-            let mut sum = Counts::default();
-            for (&k, &c) in &node.regions {
-                if k != key {
-                    sum.add(c);
-                }
-            }
-            tally.lookups += (node.regions.len() as u64).saturating_sub(1);
-            sum
-        }
-        (Algorithm::Optimized, Neighborhood::Unit) => {
-            // Σ_{R_d} counts − |R_d| × own (Algorithm 1, line 10)
-            let d = node.level() as u64;
-            let mut sum = Counts::default();
-            for slot in 0..node.attrs.len() {
-                let parent_mask = node.mask & !(1 << node.attrs[slot]);
-                let parent_key = drop_byte(key, slot);
-                sum.add(hierarchy.counts(parent_mask, parent_key));
-            }
-            tally.lookups += d;
-            // Every dominating region contains (key)'s rows, so on a
-            // consistent hierarchy the sum can never undershoot d·own;
-            // raw subtraction here used to panic in debug builds (and
-            // wrap in release) if a corrupted cache artifact broke that
-            // invariant. Degrade to a saturating estimate instead, and
-            // surface the inconsistency via the `neighbor_underflow`
-            // counter.
-            match sum.checked_correction(d, own) {
-                Some(corrected) => corrected,
-                None => {
-                    debug_assert!(
-                        false,
-                        "inconsistent hierarchy: Σ dominating {sum:?} < {d}·{own:?}"
-                    );
-                    tally.underflows += 1;
-                    sum.saturating_sub(Counts::new(
-                        d.saturating_mul(own.pos),
-                        d.saturating_mul(own.neg),
-                    ))
-                }
-            }
-        }
-        (Algorithm::Optimized, Neighborhood::Full) => {
-            // the node's regions partition D, so the complement is totals − r
-            tally.lookups += 1;
-            hierarchy.totals().saturating_sub(own)
-        }
-    }
-}
-
-/// Neighbors under the refined (ordered-aware) distance metric: all
-/// same-node regions within Euclidean distance `t`, where ordered
-/// attributes contribute their code gap and unordered ones 0/1.
-fn ordered_neighbors(hierarchy: &Hierarchy, node: &Node, key: u128, t: f64) -> Counts {
-    let mut sum = Counts::default();
-    let t2 = t * t;
-    for (&other, &c) in &node.regions {
-        if other == key {
-            continue;
-        }
-        let mut dist2 = 0.0;
-        for (slot, &j) in node.attrs.iter().enumerate() {
-            let a = get_byte(key, slot);
-            let b = get_byte(other, slot);
-            let d = if hierarchy.is_ordered(j) {
-                (f64::from(a) - f64::from(b)).abs()
-            } else if a == b {
-                0.0
-            } else {
-                1.0
-            };
-            dist2 += d * d;
-            if dist2 > t2 {
-                break;
-            }
-        }
-        if dist2 <= t2 {
-            sum.add(c);
-        }
-    }
-    sum
 }
 
 /// Check of Definition 5 given both imbalance scores, with explicit

@@ -13,7 +13,7 @@
 //! recorded so convergence can be inspected (and is asserted to be
 //! monotone-ish in tests).
 
-use crate::identify::{identify_over, Algorithm, IbsParams};
+use crate::identify::{identify_over, Algorithm};
 use crate::remedy::{remedy_over, RegionUpdate, RemedyParams};
 use remedy_dataset::Dataset;
 
@@ -75,12 +75,7 @@ pub fn remedy_iterative_over(
     protected: &[usize],
     params: &IterativeParams,
 ) -> IterativeOutcome {
-    let ibs_params = IbsParams {
-        tau_c: params.remedy.tau_c,
-        min_size: params.remedy.min_size,
-        neighborhood: params.remedy.neighborhood,
-        scope: params.remedy.scope,
-    };
+    let ibs_params = params.remedy.ibs_params();
     let mut current = data.clone();
     let mut ibs_trace = Vec::with_capacity(params.max_rounds + 1);
     let mut updates = Vec::new();

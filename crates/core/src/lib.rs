@@ -34,7 +34,9 @@ pub mod hierarchy;
 pub mod hypothesis;
 pub mod identify;
 pub mod iterative;
+pub mod neighbor_model;
 pub mod neighborhood;
+pub mod params;
 pub mod persist;
 pub mod remedy;
 pub mod scope;
@@ -48,7 +50,9 @@ pub use identify::{
     BiasedRegion, IbsParams,
 };
 pub use iterative::{remedy_iterative, IterativeOutcome, IterativeParams};
+pub use neighbor_model::{NeighborModel, NeighborTally};
 pub use neighborhood::Neighborhood;
+pub use params::{IbsParamsBuilder, ParamError, RemedyParamsBuilder};
 pub use remedy::{remedy, remedy_over_with, remedy_with, RemedyOutcome, RemedyParams, Technique};
 pub use scope::Scope;
 pub use score::imbalance;

@@ -23,23 +23,14 @@ pub enum Neighborhood {
     Full,
     /// Distance-`T` ball under the refined metric where
     /// [`ordered`](remedy_dataset::Attribute::is_ordered) attributes
-    /// contribute `|code_a − code_b|` and unordered ones `0/1`. Requires
-    /// explicit enumeration, so only the naïve algorithm supports it.
+    /// contribute `|code_a − code_b|` and unordered ones `0/1`. Both
+    /// identification algorithms and the remedy evaluate it through the
+    /// shared per-node enumeration in
+    /// [`NeighborModel`](crate::neighbor_model::NeighborModel).
     OrderedRadius(f64),
 }
 
 impl Neighborhood {
-    /// Whether the optimized dominating-region formula applies. The
-    /// `R_d`-based computation of Algorithm 1 is exact for [`Unit`]
-    /// (Example 7 proves the over-counting correction) and trivial for
-    /// [`Full`]; the refined metric needs per-neighbor distances.
-    ///
-    /// [`Unit`]: Neighborhood::Unit
-    /// [`Full`]: Neighborhood::Full
-    pub fn supports_optimized(self) -> bool {
-        !matches!(self, Neighborhood::OrderedRadius(_))
-    }
-
     /// Display name used in figures.
     pub fn name(self) -> String {
         match self {
@@ -53,13 +44,6 @@ impl Neighborhood {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn optimized_support() {
-        assert!(Neighborhood::Unit.supports_optimized());
-        assert!(Neighborhood::Full.supports_optimized());
-        assert!(!Neighborhood::OrderedRadius(1.5).supports_optimized());
-    }
 
     #[test]
     fn names() {

@@ -18,9 +18,11 @@
 //! snapshot.
 
 use crate::hash::FastMap;
-use crate::hierarchy::{drop_byte, get_byte};
-use crate::identify::is_biased;
+use crate::hierarchy::get_byte;
+use crate::identify::{is_biased, IbsParams};
+use crate::neighbor_model::{NeighborModel, NeighborTally};
 use crate::neighborhood::Neighborhood;
+use crate::params::{ParamError, RemedyParamsBuilder};
 use crate::scope::Scope;
 use crate::score::Counts;
 use rand::rngs::StdRng;
@@ -74,7 +76,12 @@ impl std::fmt::Display for Technique {
 }
 
 /// Parameters of the remedy pipeline (Problem 2).
+///
+/// `#[non_exhaustive]`: downstream crates construct this through
+/// [`RemedyParams::default`] or the validated [`RemedyParams::builder`];
+/// the fields stay `pub` for reading and targeted mutation.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct RemedyParams {
     /// Pre-processing technique.
     pub technique: Technique,
@@ -104,18 +111,36 @@ impl Default for RemedyParams {
 }
 
 impl RemedyParams {
+    /// A validated builder starting from [`RemedyParams::default`].
+    pub fn builder() -> RemedyParamsBuilder {
+        RemedyParamsBuilder::default()
+    }
+
+    /// Checks the parameter domain (see [`crate::params`]); called by the
+    /// builder and by consumers that mutate fields in place.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        crate::params::validate_common(self.tau_c, self.min_size, self.neighborhood)
+    }
+
+    /// The identification parameters the remedy's per-node re-identify
+    /// runs under — the shared fields, verbatim. Auditing the remedied
+    /// dataset with these params asks exactly the question the remedy
+    /// answered.
+    pub fn ibs_params(&self) -> IbsParams {
+        IbsParams {
+            tau_c: self.tau_c,
+            min_size: self.min_size,
+            neighborhood: self.neighborhood,
+            scope: self.scope,
+        }
+    }
+
     /// Feeds every field into `h` with an unambiguous encoding, mirroring
     /// [`IbsParams::stable_hash_into`](crate::identify::IbsParams::stable_hash_into).
     pub fn stable_hash_into(&self, h: &mut crate::hash::StableHasher) {
         h.write_str("remedy-params");
         h.write_str(self.technique.label());
-        let ibs = crate::identify::IbsParams {
-            tau_c: self.tau_c,
-            min_size: self.min_size,
-            neighborhood: self.neighborhood,
-            scope: self.scope,
-        };
-        ibs.stable_hash_into(h);
+        self.ibs_params().stable_hash_into(h);
         h.write_u64(self.seed);
     }
 
@@ -184,6 +209,12 @@ pub fn remedy_over_with(
     let _span = obs.span("remedy_over");
     let p = protected.len();
     assert!(p >= 1, "need at least one protected attribute");
+    // which protected columns are ordered, by protected position — the
+    // ordered-radius metric needs per-slot flags for every node
+    let ordered_protected: Vec<bool> = protected
+        .iter()
+        .map(|&col| data.schema().attribute(col).is_ordered())
+        .collect();
     let mut d = data.clone();
     let ranker = params
         .technique
@@ -206,7 +237,8 @@ pub fn remedy_over_with(
         let snapshot_timer = obs.timer();
         let (counts, rows_by_key) = node_snapshot(&d, protected, &attrs);
         obs.observe_since("node_snapshot_us", snapshot_timer);
-        let biased = biased_in_node(&counts, &attrs, params);
+        let ordered: Vec<bool> = attrs.iter().map(|&j| ordered_protected[j]).collect();
+        let (biased, neighbor_tally) = biased_in_node(&counts, &ordered, params);
         // regions within a node are disjoint, so duplications (appended at
         // the end) and label flips can be applied immediately while
         // removals are batched per node to keep snapshot indices valid
@@ -237,6 +269,8 @@ pub fn remedy_over_with(
             ("rows_duplicated", (d.len() - len_before) as u64),
             ("rows_removed", pending_removals.len() as u64),
             ("rows_flipped", flipped),
+            ("neighbor_lookups", neighbor_tally.lookups),
+            ("neighbor_underflow", neighbor_tally.underflows),
         ]);
         if !pending_removals.is_empty() {
             d.remove_rows(&pending_removals);
@@ -273,68 +307,25 @@ fn node_snapshot(
     (counts, rows)
 }
 
-/// Biased regions of a single node snapshot: `(key, counts, ratio_rn)`.
+/// Biased regions of a single node snapshot: `(key, counts, ratio_rn)`,
+/// plus the neighbor-lookup tally. `ordered[slot]` flags which of the
+/// node's attribute slots are ordered. All three neighborhoods — Unit,
+/// Full, and the ordered-radius ball — dispatch through the same
+/// [`NeighborModel`] seam the identification drivers use, so remedy
+/// targets agree with what a re-identify under the same params reports.
 fn biased_in_node(
     counts: &FastMap<u128, Counts>,
-    attrs: &[usize],
+    ordered: &[bool],
     params: &RemedyParams,
-) -> Vec<(u128, Counts, f64)> {
-    let d_level = attrs.len() as u64;
-    // parent projections for the optimized neighbor formula
-    let mut parents: Vec<FastMap<u128, Counts>> = Vec::with_capacity(attrs.len());
-    for slot in 0..attrs.len() {
-        let mut m: FastMap<u128, Counts> = FastMap::default();
-        for (&key, &c) in counts {
-            m.entry(drop_byte(key, slot)).or_default().add(c);
-        }
-        parents.push(m);
-    }
-    let mut totals = Counts::default();
-    for c in counts.values() {
-        totals.add(*c);
-    }
-
+) -> (Vec<(u128, Counts, f64)>, NeighborTally) {
+    let model = NeighborModel::for_snapshot(counts, ordered, params.neighborhood);
+    let mut tally = NeighborTally::default();
     let mut out = Vec::new();
     for (&key, &own) in counts {
         if own.total() <= params.min_size {
             continue;
         }
-        let neighbor = match params.neighborhood {
-            Neighborhood::Unit => {
-                let mut sum = Counts::default();
-                for (slot, parent) in parents.iter().enumerate() {
-                    sum.add(
-                        parent
-                            .get(&drop_byte(key, slot))
-                            .copied()
-                            .unwrap_or_default(),
-                    );
-                }
-                // same underflow guard as the identify side: the parent
-                // projections are built from `counts` itself, so a shortfall
-                // can only mean corrupted state — degrade, don't wrap
-                match sum.checked_correction(d_level, own) {
-                    Some(corrected) => corrected,
-                    None => {
-                        debug_assert!(
-                            false,
-                            "inconsistent node snapshot: Σ parents {sum:?} < {d_level}·{own:?}"
-                        );
-                        sum.saturating_sub(Counts::new(
-                            d_level.saturating_mul(own.pos),
-                            d_level.saturating_mul(own.neg),
-                        ))
-                    }
-                }
-            }
-            Neighborhood::Full => totals.saturating_sub(own),
-            Neighborhood::OrderedRadius(_) => {
-                // per-pair distances need the schema; the remedy loop uses
-                // the basic unit-distance setting, matching the paper's
-                // experiments
-                unimplemented!("remedy supports Unit and Full neighborhoods")
-            }
-        };
+        let neighbor = model.neighbor_counts(key, own, &mut tally);
         let ratio = own.imbalance();
         let target = neighbor.imbalance();
         // sentinel-aware Definition 5 — mirrors identify::is_biased, so a
@@ -346,7 +337,7 @@ fn biased_in_node(
     }
     // deterministic processing order
     out.sort_by_key(|&(key, _, _)| key);
-    out
+    (out, tally)
 }
 
 fn pattern_of(protected: &[usize], attrs: &[usize], key: u128) -> Pattern {
@@ -894,6 +885,78 @@ mod tests {
                 "{technique}"
             );
         }
+    }
+
+    /// One ordered protected attribute with five buckets; bucket 2 is
+    /// heavily positive (ratio 9.0), the rest balanced. With `τ_c = 2`
+    /// only the planted bucket starts biased under the radius-1 ball: its
+    /// neighborhood (buckets 1 and 3) sits at ratio 1.0, while the
+    /// balanced buckets' gaps stay under the threshold.
+    fn ordered_planted() -> Dataset {
+        let schema = Schema::new(
+            vec![Attribute::from_strs("age", &["0", "1", "2", "3", "4"])
+                .protected()
+                .ordered()],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        for age in 0..5u32 {
+            let (pos, neg) = if age == 2 { (90, 10) } else { (50, 50) };
+            for _ in 0..pos {
+                d.push_row(&[age], 1).unwrap();
+            }
+            for _ in 0..neg {
+                d.push_row(&[age], 0).unwrap();
+            }
+        }
+        d
+    }
+
+    /// The ordered-radius neighborhood used to `unimplemented!` on the
+    /// remedy side; it now runs through the same [`NeighborModel`] seam as
+    /// identification and must shrink the ordered-metric IBS.
+    #[test]
+    fn ordered_radius_remedy_shrinks_ordered_ibs() {
+        let d = ordered_planted();
+        let ibs_params = IbsParams::builder()
+            .tau_c(2.0)
+            .neighborhood(Neighborhood::OrderedRadius(1.0))
+            .build()
+            .unwrap();
+        let before = identify(&d, &ibs_params, Algorithm::Optimized).len();
+        assert!(before > 0, "fixture must start biased");
+        for technique in Technique::ALL {
+            let params = RemedyParams {
+                technique,
+                tau_c: 2.0,
+                neighborhood: Neighborhood::OrderedRadius(1.0),
+                ..RemedyParams::default()
+            };
+            let outcome = remedy(&d, &params);
+            assert!(!outcome.updates.is_empty(), "{technique} made no updates");
+            assert!(outcome.updates.iter().all(|u| u.target_ratio >= 0.0));
+            let after = identify(&outcome.dataset, &ibs_params, Algorithm::Optimized).len();
+            assert!(
+                after < before,
+                "{technique}: ordered IBS should shrink, {before} → {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn remedy_obs_counts_neighbor_lookups() {
+        let d = ordered_planted();
+        let params = RemedyParams {
+            tau_c: 2.0,
+            neighborhood: Neighborhood::OrderedRadius(1.0),
+            ..RemedyParams::default()
+        };
+        let rec = remedy_obs::Recorder::enabled();
+        remedy_with(&d, &params, &rec.scope("remedy"));
+        let snap = rec.snapshot();
+        assert!(snap.counter("remedy", "neighbor_lookups").unwrap_or(0) > 0);
+        assert_eq!(snap.counter("remedy", "neighbor_underflow"), None);
     }
 
     #[test]

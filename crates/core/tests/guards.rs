@@ -1,7 +1,9 @@
 //! Guard-rail tests: documented panics and boundary conditions of the core
 //! crate.
 
-use remedy_core::{identify, remedy, Algorithm, Hierarchy, IbsParams, Neighborhood, RemedyParams};
+use remedy_core::{
+    identify, remedy, Algorithm, Hierarchy, IbsParams, Neighborhood, ParamError, RemedyParams,
+};
 use remedy_dataset::{Attribute, Dataset, Schema};
 
 fn one_attr_dataset() -> Dataset {
@@ -37,21 +39,48 @@ fn hierarchy_caps_protected_arity() {
     let _ = Hierarchy::build(&d);
 }
 
+/// The remedy used to `unimplemented!` on the refined metric; it now runs
+/// through the same `NeighborModel` seam as identification, so an
+/// ordered-radius remedy over an *unordered* schema (every value one unit
+/// apart) must simply complete.
 #[test]
-#[should_panic(expected = "Unit and Full neighborhoods")]
-fn remedy_rejects_ordered_radius() {
-    // identification supports the refined metric; the remedy loop
-    // documents that it does not (the paper's experiments never use it)
+fn remedy_accepts_ordered_radius() {
     let d = one_attr_dataset();
-    let _ = remedy(
-        &d,
-        &RemedyParams {
-            neighborhood: Neighborhood::OrderedRadius(1.0),
-            tau_c: 0.0,
-            min_size: 1,
-            ..RemedyParams::default()
-        },
+    let params = RemedyParams::builder()
+        .neighborhood(Neighborhood::OrderedRadius(1.0))
+        .tau_c(0.0)
+        .min_size(1)
+        .build()
+        .unwrap();
+    let outcome = remedy(&d, &params);
+    assert!(outcome.updates.iter().all(|u| u.target_ratio >= 0.0));
+}
+
+/// Builder validation is the public constructor's contract: the error
+/// values must be observable (and readable) outside the crate.
+#[test]
+fn builders_reject_out_of_domain_parameters() {
+    assert_eq!(
+        IbsParams::builder().min_size(0).build().unwrap_err(),
+        ParamError::MinSize
     );
+    assert!(matches!(
+        IbsParams::builder().tau_c(-0.5).build().unwrap_err(),
+        ParamError::Tau(_)
+    ));
+    assert!(matches!(
+        RemedyParams::builder()
+            .neighborhood(Neighborhood::OrderedRadius(-2.0))
+            .build()
+            .unwrap_err(),
+        ParamError::Radius(_)
+    ));
+    let msg = RemedyParams::builder()
+        .neighborhood(Neighborhood::OrderedRadius(f64::NAN))
+        .build()
+        .unwrap_err()
+        .to_string();
+    assert!(msg.contains("radius"), "unhelpful error: {msg}");
 }
 
 #[test]
@@ -59,12 +88,12 @@ fn single_protected_attribute_works() {
     // |X| = 1: the lattice is one node; Unit and Full coincide there
     let d = one_attr_dataset();
     for neighborhood in [Neighborhood::Unit, Neighborhood::Full] {
-        let params = IbsParams {
-            tau_c: 0.01,
-            min_size: 10,
-            neighborhood,
-            ..IbsParams::default()
-        };
+        let params = IbsParams::builder()
+            .tau_c(0.01)
+            .min_size(10)
+            .neighborhood(neighborhood)
+            .build()
+            .unwrap();
         let naive = identify(&d, &params, Algorithm::Naive);
         let optimized = identify(&d, &params, Algorithm::Optimized);
         assert_eq!(naive, optimized);
@@ -90,15 +119,10 @@ fn empty_and_tiny_datasets_are_safe() {
 }
 
 #[test]
-fn min_size_zero_examines_every_region() {
+fn min_size_one_examines_every_multi_row_region() {
+    // k = 1 is the smallest valid floor (k = 0 is rejected by the builder)
     let d = one_attr_dataset();
-    let params = IbsParams {
-        tau_c: 0.0,
-        min_size: 0,
-        ..IbsParams::default()
-    };
-    // with τ_c = 0 and balanced-vs-unbalanced halves, at least one region
-    // must trip the threshold unless the halves are exactly equal
+    let params = IbsParams::builder().tau_c(0.0).min_size(1).build().unwrap();
     let ibs = identify(&d, &params, Algorithm::Optimized);
     let h = Hierarchy::build(&d);
     assert!(ibs.len() <= h.region_count());

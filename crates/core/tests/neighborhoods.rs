@@ -8,18 +8,15 @@ use remedy_dataset::{synth, Attribute, Dataset, Schema};
 #[test]
 fn full_neighborhood_remedy_works_end_to_end() {
     let data = synth::compas_n(4_000, 21);
-    let params = RemedyParams {
-        technique: Technique::PreferentialSampling,
-        neighborhood: Neighborhood::Full,
-        ..RemedyParams::default()
-    };
+    let params = RemedyParams::builder()
+        .technique(Technique::PreferentialSampling)
+        .neighborhood(Neighborhood::Full)
+        .build()
+        .unwrap();
     let outcome = remedy(&data, &params);
     assert!(!outcome.updates.is_empty());
     // the full-neighborhood IBS should shrink
-    let ibs_params = IbsParams {
-        neighborhood: Neighborhood::Full,
-        ..IbsParams::default()
-    };
+    let ibs_params = params.ibs_params();
     let before = identify(&data, &ibs_params, Algorithm::Optimized).len();
     let after = identify(&outcome.dataset, &ibs_params, Algorithm::Optimized).len();
     assert!(after < before, "full-T remedy: {before} → {after}");
@@ -29,14 +26,11 @@ fn full_neighborhood_remedy_works_end_to_end() {
 fn unit_and_full_neighborhoods_find_different_sets() {
     let data = synth::compas_n(4_000, 22);
     let unit = identify(&data, &IbsParams::default(), Algorithm::Optimized);
-    let full = identify(
-        &data,
-        &IbsParams {
-            neighborhood: Neighborhood::Full,
-            ..IbsParams::default()
-        },
-        Algorithm::Optimized,
-    );
+    let full_params = IbsParams::builder()
+        .neighborhood(Neighborhood::Full)
+        .build()
+        .unwrap();
+    let full = identify(&data, &full_params, Algorithm::Optimized);
     assert!(!unit.is_empty() && !full.is_empty());
     // the two notions usually disagree somewhere; at minimum the
     // neighbor ratios differ for some shared region
@@ -77,16 +71,67 @@ fn ordered_radius_identification_end_to_end() {
         }
     }
     for radius in [1.0, 4.0] {
-        let params = IbsParams {
-            tau_c: 0.5,
-            min_size: 30,
-            neighborhood: Neighborhood::OrderedRadius(radius),
-            ..IbsParams::default()
-        };
+        let params = IbsParams::builder()
+            .tau_c(0.5)
+            .min_size(30)
+            .neighborhood(Neighborhood::OrderedRadius(radius))
+            .build()
+            .unwrap();
         let ibs = identify(&d, &params, Algorithm::Naive);
         assert!(
             ibs.iter().any(|r| r.pattern.get(0) == Some(0)),
             "radius {radius}: bucket 0 must be flagged, got {ibs:?}"
+        );
+        // the refined metric enumerates through the shared NeighborModel,
+        // so the algorithm choice cannot matter
+        assert_eq!(ibs, identify(&d, &params, Algorithm::Optimized));
+    }
+}
+
+/// The Fig. 8 ablation's missing half: remedy under the *same*
+/// ordered-radius neighborhood used to audit. Re-identifying the remedied
+/// dataset with identical `OrderedRadius(T)` params must yield a strictly
+/// smaller (here: empty) IBS.
+#[test]
+fn ordered_radius_remedy_end_to_end() {
+    let schema = Schema::new(
+        vec![Attribute::from_strs("age", &["0", "1", "2", "3", "4"])
+            .protected()
+            .ordered()],
+        "y",
+    )
+    .into_shared();
+    let mut d = Dataset::new(schema);
+    for (bucket, pos, neg) in [
+        (0u32, 110, 10),
+        (1, 60, 60),
+        (2, 60, 60),
+        (3, 60, 60),
+        (4, 60, 60),
+    ] {
+        for _ in 0..pos {
+            d.push_row(&[bucket], 1).unwrap();
+        }
+        for _ in 0..neg {
+            d.push_row(&[bucket], 0).unwrap();
+        }
+    }
+    for technique in Technique::ALL {
+        let params = RemedyParams::builder()
+            .technique(technique)
+            .tau_c(2.0)
+            .neighborhood(Neighborhood::OrderedRadius(1.0))
+            .build()
+            .unwrap();
+        let ibs_params = params.ibs_params();
+        let before = identify(&d, &ibs_params, Algorithm::Optimized).len();
+        assert!(before > 0, "fixture must start biased");
+        let outcome = remedy(&d, &params);
+        assert!(!outcome.updates.is_empty(), "{technique} made no updates");
+        let after = identify(&outcome.dataset, &ibs_params, Algorithm::Optimized).len();
+        assert!(
+            after < before,
+            "{technique}: ordered-radius IBS must shrink, {before} → {after}"
         );
     }
 }

@@ -1,11 +1,14 @@
 //! Seeded property-style tests: random small datasets — including cells
-//! with zero negatives or zero positives, the sentinel-ratio edge — must
-//! satisfy the core invariants on every draw:
+//! with zero negatives or zero positives, the sentinel-ratio edge, and
+//! randomly ordered attributes — must satisfy the core invariants on
+//! every draw:
 //!
 //! * identification agrees across Naive, Optimized, and parallel drivers
-//!   for both Unit and Full neighborhoods;
+//!   for Unit, Full, and OrderedRadius neighborhoods;
 //! * remedy never emits an update whose `target_ratio` is negative (the
-//!   −1 "undefined" sentinel must never leak into a target).
+//!   −1 "undefined" sentinel must never leak into a target);
+//! * ordered-radius remedy targets equal the ordered-neighbors ratios the
+//!   identification side computes for the same regions.
 //!
 //! Each case is driven by the vendored seeded RNG, so failures reproduce
 //! exactly from the printed seed.
@@ -13,12 +16,13 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use remedy_core::{
-    identify, identify_in_parallel, remedy, Algorithm, Hierarchy, IbsParams, Neighborhood,
-    RemedyParams, Scope, Technique,
+    identify, identify_in_parallel, remedy, Algorithm, Hierarchy, IbsParams, NeighborModel,
+    NeighborTally, Neighborhood, RemedyParams, Scope, Technique,
 };
 use remedy_dataset::{Attribute, Dataset, Schema};
 
-/// A random dataset over 2–3 protected attributes with 2–3 values each.
+/// A random dataset over 2–3 protected attributes with 2–3 values each;
+/// each attribute is independently marked ordered with probability ½.
 /// Roughly a quarter of the leaf cells are forced all-positive and another
 /// quarter all-negative, so undefined imbalance ratios appear both in
 /// regions and in their neighborhoods.
@@ -31,7 +35,12 @@ fn random_dataset(rng: &mut StdRng) -> Dataset {
         .map(|(i, &c)| {
             let values: Vec<String> = (0..c).map(|v| v.to_string()).collect();
             let refs: Vec<&str> = values.iter().map(String::as_str).collect();
-            Attribute::from_strs(&format!("a{i}"), &refs).protected()
+            let attr = Attribute::from_strs(&format!("a{i}"), &refs).protected();
+            if rng.gen_bool(0.5) {
+                attr.ordered()
+            } else {
+                attr
+            }
         })
         .collect();
     let mut data = Dataset::new(Schema::new(attrs, "y").into_shared());
@@ -60,19 +69,30 @@ fn random_dataset(rng: &mut StdRng) -> Dataset {
     data
 }
 
+/// The three neighborhood shapes under test, with a random radius for the
+/// ordered ball.
+fn neighborhoods(rng: &mut StdRng) -> [Neighborhood; 3] {
+    [
+        Neighborhood::Unit,
+        Neighborhood::Full,
+        Neighborhood::OrderedRadius(rng.gen_range(0.5f64..2.5)),
+    ]
+}
+
 #[test]
 fn identification_agrees_across_algorithms_and_drivers() {
     for seed in 0..25u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let data = random_dataset(&mut rng);
         let hierarchy = Hierarchy::build(&data);
-        for neighborhood in [Neighborhood::Unit, Neighborhood::Full] {
-            let params = IbsParams {
-                tau_c: rng.gen_range(0.05f64..0.5),
-                min_size: rng.gen_range(0u64..=10),
-                neighborhood,
-                scope: Scope::Lattice,
-            };
+        for neighborhood in neighborhoods(&mut rng) {
+            let params = IbsParams::builder()
+                .tau_c(rng.gen_range(0.05f64..0.5))
+                .min_size(rng.gen_range(1u64..=10))
+                .neighborhood(neighborhood)
+                .scope(Scope::Lattice)
+                .build()
+                .unwrap();
             let naive = identify(&data, &params, Algorithm::Naive);
             let optimized = identify(&data, &params, Algorithm::Optimized);
             let parallel = identify_in_parallel(&hierarchy, &params, Algorithm::Optimized, 3);
@@ -99,33 +119,89 @@ fn remedy_targets_are_never_negative() {
     for seed in 0..25u64 {
         let mut rng = StdRng::seed_from_u64(1_000 + seed);
         let data = random_dataset(&mut rng);
-        let technique = techniques[rng.gen_range(0usize..techniques.len())];
-        let params = RemedyParams {
-            technique,
-            tau_c: rng.gen_range(0.05f64..0.5),
-            min_size: rng.gen_range(0u64..=10),
-            seed,
-            ..RemedyParams::default()
-        };
-        let outcome = remedy(&data, &params);
-        for update in &outcome.updates {
-            assert!(
-                update.target_ratio >= 0.0,
-                "seed {seed}, {technique:?}: sentinel target leaked into \
-                 {:?} (target_ratio = {})",
-                update.pattern,
-                update.target_ratio
+        for neighborhood in neighborhoods(&mut rng) {
+            let technique = techniques[rng.gen_range(0usize..techniques.len())];
+            let params = RemedyParams::builder()
+                .technique(technique)
+                .tau_c(rng.gen_range(0.05f64..0.5))
+                .min_size(rng.gen_range(1u64..=10))
+                .neighborhood(neighborhood)
+                .seed(seed)
+                .build()
+                .unwrap();
+            let outcome = remedy(&data, &params);
+            for update in &outcome.updates {
+                assert!(
+                    update.target_ratio >= 0.0,
+                    "seed {seed}, {technique:?}, {neighborhood:?}: sentinel target leaked \
+                     into {:?} (target_ratio = {})",
+                    update.pattern,
+                    update.target_ratio
+                );
+            }
+            // the remedied dataset is still well-formed for another pass
+            let ibs = params.ibs_params();
+            let again = identify(&outcome.dataset, &ibs, Algorithm::Optimized);
+            let naive = identify(&outcome.dataset, &ibs, Algorithm::Naive);
+            assert_eq!(
+                again, naive,
+                "seed {seed}, {neighborhood:?}: post-remedy drivers disagree"
             );
         }
-        // the remedied dataset is still well-formed for another pass
-        let ibs = IbsParams {
-            tau_c: params.tau_c,
-            min_size: params.min_size,
-            neighborhood: params.neighborhood,
-            scope: params.scope,
-        };
-        let again = identify(&outcome.dataset, &ibs, Algorithm::Optimized);
-        let naive = identify(&outcome.dataset, &ibs, Algorithm::Naive);
-        assert_eq!(again, naive, "seed {seed}: post-remedy drivers disagree");
+    }
+}
+
+/// Ordered-radius remedy targets must equal the `ordered_neighbors` ratios
+/// the identification side computes for the same regions. With
+/// `Scope::Leaf` the remedy's one node snapshot is exactly the original
+/// dataset, so the equality is bit-for-bit, not approximate.
+#[test]
+fn ordered_remedy_targets_equal_ordered_neighbor_ratios() {
+    for seed in 0..25u64 {
+        let mut rng = StdRng::seed_from_u64(2_000 + seed);
+        let data = random_dataset(&mut rng);
+        let radius = rng.gen_range(0.5f64..2.5);
+        let params = RemedyParams::builder()
+            .technique(Technique::Massaging)
+            .tau_c(rng.gen_range(0.05f64..0.5))
+            .min_size(rng.gen_range(1u64..=10))
+            .neighborhood(Neighborhood::OrderedRadius(radius))
+            .scope(Scope::Leaf)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let outcome = remedy(&data, &params);
+
+        let hierarchy = Hierarchy::build(&data);
+        let leaf_mask = (1u32 << hierarchy.arity()) - 1;
+        let leaf = hierarchy.node(leaf_mask);
+        let model = NeighborModel::for_node(
+            &hierarchy,
+            leaf,
+            Neighborhood::OrderedRadius(radius),
+            Algorithm::Optimized,
+        );
+        assert!(
+            outcome.updates.iter().all(|u| u.target_ratio >= 0.0),
+            "seed {seed}: negative target"
+        );
+        for update in &outcome.updates {
+            let (mask, key) = hierarchy
+                .pack(&update.pattern)
+                .expect("update pattern must pack into the hierarchy");
+            assert_eq!(
+                mask, leaf_mask,
+                "seed {seed}: non-leaf update under Scope::Leaf"
+            );
+            let own = hierarchy.counts(mask, key);
+            let expected = model
+                .neighbor_counts(key, own, &mut NeighborTally::default())
+                .imbalance();
+            assert_eq!(
+                update.target_ratio, expected,
+                "seed {seed}: remedy target diverged from ordered_neighbors ratio for {:?}",
+                update.pattern
+            );
+        }
     }
 }

@@ -20,11 +20,16 @@ use remedy_core::hash::StableHasher;
 use remedy_obs::Scope as ObsScope;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, SystemTime};
 
 /// Name of the artifact payload inside a cache entry.
 const ARTIFACT_FILE: &str = "artifact";
 /// Name of the human-readable description inside a cache entry.
 const META_FILE: &str = "meta";
+/// Name of the last-replayed marker inside a cache entry; its mtime is
+/// refreshed on every cache hit so GC can evict least-recently-used
+/// entries first.
+const USED_FILE: &str = "used";
 
 /// A 128-bit cache key, printed as 32 hex digits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,8 +87,16 @@ impl ArtifactCache {
     }
 
     /// Returns the cached artifact text for `(stage, key)`, if present.
+    ///
+    /// A hit refreshes the entry's `used` marker so [`ArtifactCache::gc`]
+    /// can order evictions by last replay rather than creation time.
     pub fn lookup(&self, stage: &str, key: CacheKey) -> Option<String> {
-        let found = std::fs::read_to_string(self.entry_dir(stage, key).join(ARTIFACT_FILE)).ok();
+        let dir = self.entry_dir(stage, key);
+        let found = std::fs::read_to_string(dir.join(ARTIFACT_FILE)).ok();
+        if found.is_some() {
+            // best-effort: a read-only cache still serves hits
+            let _ = std::fs::write(dir.join(USED_FILE), b"");
+        }
         self.obs
             .add(if found.is_some() { "hits" } else { "misses" }, 1);
         found
@@ -147,6 +160,140 @@ impl ArtifactCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Sweeps the cache according to `policy`.
+    ///
+    /// Three passes, all best-effort per entry:
+    ///
+    /// 1. orphaned `.tmp-*` staging dirs (crashed or interrupted stores)
+    ///    are always deleted;
+    /// 2. entries whose last use is older than `max_age` are deleted;
+    /// 3. if the surviving entries still exceed `max_bytes`, the
+    ///    least-recently-replayed ones are deleted oldest-first until the
+    ///    budget holds.
+    ///
+    /// "Last use" is the newest of the entry's `used` marker (touched on
+    /// every [`ArtifactCache::lookup`] hit) and its artifact file, so an
+    /// entry that was stored but never replayed still has a timestamp.
+    /// Counters (`gc.entries_removed`, `gc.bytes_removed`, …) land on the
+    /// cache's observability scope.
+    pub fn gc(&self, policy: &GcPolicy) -> Result<GcStats, PipelineError> {
+        let now = SystemTime::now();
+        let mut stats = GcStats::default();
+        // (dir, last_used, bytes) for every live entry
+        let mut live: Vec<(PathBuf, SystemTime, u64)> = Vec::new();
+
+        let entries = std::fs::read_dir(&self.root)
+            .map_err(|e| PipelineError(format!("cannot read cache dir: {e}")))?;
+        for entry in entries.filter_map(Result::ok) {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if !path.is_dir() {
+                continue;
+            }
+            if name.starts_with(".tmp-") {
+                if std::fs::remove_dir_all(&path).is_ok() {
+                    stats.tmp_dirs_removed += 1;
+                }
+                continue;
+            }
+            stats.entries_scanned += 1;
+            let bytes = dir_bytes(&path);
+            let last_used = entry_last_used(&path);
+            let expired = match (policy.max_age, now.duration_since(last_used)) {
+                (Some(max_age), Ok(age)) => age > max_age,
+                _ => false,
+            };
+            if expired && std::fs::remove_dir_all(&path).is_ok() {
+                stats.entries_removed += 1;
+                stats.bytes_removed += bytes;
+                continue;
+            }
+            live.push((path, last_used, bytes));
+        }
+
+        // size sweep: evict least-recently-used first until under budget
+        if let Some(max_bytes) = policy.max_bytes {
+            let mut total: u64 = live.iter().map(|(_, _, b)| b).sum();
+            live.sort_by_key(|&(_, used, _)| used);
+            let mut idx = 0;
+            while total > max_bytes && idx < live.len() {
+                let (path, _, bytes) = &live[idx];
+                if std::fs::remove_dir_all(path).is_ok() {
+                    stats.entries_removed += 1;
+                    stats.bytes_removed += bytes;
+                    total -= bytes;
+                    live[idx].2 = 0; // mark evicted for the live tally
+                }
+                idx += 1;
+            }
+            live.retain(|(_, _, b)| *b > 0);
+        }
+
+        stats.live_entries = live.len() as u64;
+        stats.live_bytes = live.iter().map(|(_, _, b)| b).sum();
+        self.obs.add_many(&[
+            ("gc.entries_scanned", stats.entries_scanned),
+            ("gc.entries_removed", stats.entries_removed),
+            ("gc.bytes_removed", stats.bytes_removed),
+            ("gc.tmp_dirs_removed", stats.tmp_dirs_removed),
+        ]);
+        Ok(stats)
+    }
+}
+
+/// Limits for [`ArtifactCache::gc`]; a `None` bound disables that sweep.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GcPolicy {
+    /// Byte budget for the cache after the sweep; least-recently-replayed
+    /// entries are evicted until the live set fits.
+    pub max_bytes: Option<u64>,
+    /// Entries whose last use is older than this are evicted regardless
+    /// of the byte budget.
+    pub max_age: Option<Duration>,
+}
+
+/// What one [`ArtifactCache::gc`] sweep scanned and removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Cache entries examined (excluding `.tmp-*` staging dirs).
+    pub entries_scanned: u64,
+    /// Cache entries deleted by the age or size sweep.
+    pub entries_removed: u64,
+    /// Bytes reclaimed from deleted entries.
+    pub bytes_removed: u64,
+    /// Orphaned `.tmp-*` staging dirs deleted.
+    pub tmp_dirs_removed: u64,
+    /// Entries surviving the sweep.
+    pub live_entries: u64,
+    /// Total bytes of the surviving entries.
+    pub live_bytes: u64,
+}
+
+/// Total size of the files directly inside an entry dir.
+fn dir_bytes(dir: &Path) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .filter_map(|e| e.metadata().ok())
+                .filter(|m| m.is_file())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+/// The newest of the `used` marker's and the artifact's mtimes; epoch if
+/// neither is readable (such an entry sorts oldest and is evicted first).
+fn entry_last_used(dir: &Path) -> SystemTime {
+    [USED_FILE, ARTIFACT_FILE]
+        .iter()
+        .filter_map(|f| std::fs::metadata(dir.join(f)).ok())
+        .filter_map(|m| m.modified().ok())
+        .max()
+        .unwrap_or(SystemTime::UNIX_EPOCH)
 }
 
 #[cfg(test)]
@@ -231,6 +378,93 @@ mod tests {
         );
         assert_eq!(cache.len(), 1);
         assert_eq!(stale_tmp_dirs(&cache), 0, "staging dirs were leaked");
+    }
+
+    #[test]
+    fn gc_with_zero_budget_removes_everything() {
+        let cache = temp_cache("gc_zero");
+        cache.store("load", CacheKey(1), "aaaa", "").unwrap();
+        cache.store("train", CacheKey(2), "bbbb", "").unwrap();
+        let stats = cache
+            .gc(&GcPolicy {
+                max_bytes: Some(0),
+                max_age: None,
+            })
+            .unwrap();
+        assert_eq!(stats.entries_scanned, 2);
+        assert_eq!(stats.entries_removed, 2);
+        assert!(stats.bytes_removed > 0);
+        assert_eq!(stats.live_entries, 0);
+        assert_eq!(stats.live_bytes, 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn gc_sweeps_orphaned_tmp_dirs_even_with_no_policy() {
+        let cache = temp_cache("gc_tmp");
+        cache.store("load", CacheKey(1), "x", "").unwrap();
+        std::fs::create_dir_all(cache.root().join(".tmp-load-dead-1234-0")).unwrap();
+        let stats = cache.gc(&GcPolicy::default()).unwrap();
+        assert_eq!(stats.tmp_dirs_removed, 1);
+        assert_eq!(stats.entries_removed, 0);
+        assert_eq!(stats.live_entries, 1);
+        assert_eq!(cache.lookup("load", CacheKey(1)).as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn gc_evicts_least_recently_replayed_first() {
+        let cache = temp_cache("gc_lru");
+        cache.store("load", CacheKey(1), "old entry", "").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        cache.store("load", CacheKey(2), "new entry", "").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // replaying the *older* entry must protect it from the sweep
+        assert!(cache.lookup("load", CacheKey(1)).is_some());
+        let total = dir_bytes(&cache.entry_dir("load", CacheKey(1)))
+            + dir_bytes(&cache.entry_dir("load", CacheKey(2)));
+        let stats = cache
+            .gc(&GcPolicy {
+                max_bytes: Some(total - 1), // force exactly one eviction
+                max_age: None,
+            })
+            .unwrap();
+        assert_eq!(stats.entries_removed, 1);
+        assert!(cache.lookup("load", CacheKey(1)).is_some());
+        assert!(cache.lookup("load", CacheKey(2)).is_none());
+    }
+
+    #[test]
+    fn gc_age_sweep_expires_stale_entries() {
+        let cache = temp_cache("gc_age");
+        cache.store("load", CacheKey(1), "x", "").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let stats = cache
+            .gc(&GcPolicy {
+                max_bytes: None,
+                max_age: Some(std::time::Duration::from_millis(1)),
+            })
+            .unwrap();
+        assert_eq!(stats.entries_removed, 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn gc_reports_counters_on_the_obs_scope() {
+        let rec = remedy_obs::Recorder::enabled();
+        let cache = temp_cache("gc_obs").with_obs(rec.scope("cache"));
+        cache.store("load", CacheKey(1), "x", "").unwrap();
+        std::fs::create_dir_all(cache.root().join(".tmp-load-dead-1-0")).unwrap();
+        cache
+            .gc(&GcPolicy {
+                max_bytes: Some(0),
+                max_age: None,
+            })
+            .unwrap();
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("cache", "gc.entries_scanned"), Some(1));
+        assert_eq!(snap.counter("cache", "gc.entries_removed"), Some(1));
+        assert_eq!(snap.counter("cache", "gc.tmp_dirs_removed"), Some(1));
+        assert!(snap.counter("cache", "gc.bytes_removed").unwrap() > 0);
     }
 
     #[test]

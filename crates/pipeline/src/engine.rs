@@ -201,8 +201,8 @@ fn run_branch(
 
     // remedy (or pass the unremedied split through)
     let (train_input, train_input_hash) = match branch.technique {
-        Some(technique) => {
-            let params = plan.remedy_params(technique);
+        Some(_) => {
+            let params = plan.remedy_params(branch)?;
             let remedied = remedy_stage(
                 plan,
                 &branch.name,

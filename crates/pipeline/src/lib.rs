@@ -45,7 +45,7 @@ pub mod manifest;
 pub mod plan;
 pub mod stages;
 
-pub use cache::{ArtifactCache, CacheKey};
+pub use cache::{ArtifactCache, CacheKey, GcPolicy, GcStats};
 pub use engine::{run, run_with, PipelineOptions};
 pub use error::PipelineError;
 pub use manifest::{BranchOutcome, RunManifest, StageRecord};

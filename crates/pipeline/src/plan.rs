@@ -74,6 +74,10 @@ pub struct BranchSpec {
     pub technique: Option<Technique>,
     /// Downstream model family.
     pub model: ModelFamily,
+    /// Per-branch remedy neighborhood override (`neighborhood=`); `None`
+    /// inherits the plan's shared setting. This is what lets one plan run
+    /// the Fig. 8 Unit-vs-OrderedRadius ablation as a branch fan-out.
+    pub neighborhood: Option<Neighborhood>,
 }
 
 /// A parsed pipeline plan.
@@ -174,22 +178,43 @@ impl Plan {
         Plan::parse(&text)
     }
 
-    /// The remedy parameters a branch runs with (identification settings
-    /// come from the shared plan; the seed is the master seed).
-    pub fn remedy_params(&self, technique: Technique) -> RemedyParams {
-        RemedyParams {
-            technique,
-            tau_c: self.ibs.tau_c,
-            min_size: self.ibs.min_size,
-            neighborhood: self.ibs.neighborhood,
-            scope: self.ibs.scope,
-            seed: self.seed,
-        }
+    /// The remedy parameters a branch runs with: identification settings
+    /// come from the shared plan, the neighborhood honors the branch's
+    /// override, and the seed is the master seed. Errors on a branch
+    /// without a technique, or on parameters outside the builder's domain.
+    pub fn remedy_params(&self, branch: &BranchSpec) -> Result<RemedyParams, PipelineError> {
+        let technique = branch.technique.ok_or_else(|| {
+            PipelineError(format!("branch `{}` has no remedy technique", branch.name))
+        })?;
+        RemedyParams::builder()
+            .technique(technique)
+            .tau_c(self.ibs.tau_c)
+            .min_size(self.ibs.min_size)
+            .neighborhood(branch.neighborhood.unwrap_or(self.ibs.neighborhood))
+            .scope(self.ibs.scope)
+            .seed(self.seed)
+            .build()
+            .map_err(|e| PipelineError(format!("branch `{}`: {e}", branch.name)))
     }
 
     fn validate(&self) -> Result<(), PipelineError> {
         if self.source.is_empty() {
             return Err(PipelineError("plan needs a `dataset` line".into()));
+        }
+        // the parser mutates `ibs` field-by-field, so the builder's domain
+        // checks are re-run here over the shared params and every branch
+        // neighborhood override
+        self.ibs
+            .validate()
+            .map_err(|e| PipelineError(format!("plan ibs params: {e}")))?;
+        for b in &self.branches {
+            if let Some(n) = b.neighborhood {
+                let mut probe = self.ibs.clone();
+                probe.neighborhood = n;
+                probe
+                    .validate()
+                    .map_err(|e| PipelineError(format!("branch `{}`: {e}", b.name)))?;
+            }
         }
         if self.branches.is_empty() {
             return Err(PipelineError(
@@ -273,6 +298,7 @@ fn parse_branch(idx: usize, value: &str) -> Result<BranchSpec, PipelineError> {
         .to_string();
     let mut technique = None;
     let mut model = None;
+    let mut neighborhood = None;
     for field in fields {
         let (k, v) = field
             .split_once('=')
@@ -294,6 +320,7 @@ fn parse_branch(idx: usize, value: &str) -> Result<BranchSpec, PipelineError> {
                 })
             }
             "model" => model = Some(ModelFamily::parse(v).map_err(|e| at(idx, e.0))?),
+            "neighborhood" => neighborhood = Some(parse_neighborhood(idx, v)?),
             other => return Err(at(idx, format!("unknown branch option `{other}`"))),
         }
     }
@@ -302,6 +329,7 @@ fn parse_branch(idx: usize, value: &str) -> Result<BranchSpec, PipelineError> {
         technique: technique
             .ok_or_else(|| at(idx, "branch needs technique=none|ps|us|dp|massage".into()))?,
         model: model.ok_or_else(|| at(idx, "branch needs model=dt|rf|lg|nb".into()))?,
+        neighborhood,
     })
 }
 
@@ -358,9 +386,53 @@ branch ps technique=ps model=dt
     #[test]
     fn remedy_params_inherit_shared_settings() {
         let plan = Plan::parse(PLAN).unwrap();
-        let params = plan.remedy_params(Technique::Undersampling);
+        let params = plan.remedy_params(&plan.branches[1]).unwrap();
         assert_eq!(params.tau_c, 0.15);
         assert_eq!(params.seed, 7);
-        assert_eq!(params.technique, Technique::Undersampling);
+        assert_eq!(params.technique, Technique::PreferentialSampling);
+        assert_eq!(params.neighborhood, Neighborhood::Unit);
+        // the technique-less baseline has no remedy params
+        assert!(plan.remedy_params(&plan.branches[0]).is_err());
+    }
+
+    #[test]
+    fn branch_neighborhood_overrides_shared_setting() {
+        let plan = Plan::parse(
+            "dataset compas\n\
+             neighborhood unit\n\
+             branch unit technique=ps model=dt\n\
+             branch ordered technique=ps model=dt neighborhood=1.5\n\
+             branch full technique=ps model=dt neighborhood=full\n",
+        )
+        .unwrap();
+        assert_eq!(plan.branches[0].neighborhood, None);
+        assert_eq!(
+            plan.branches[1].neighborhood,
+            Some(Neighborhood::OrderedRadius(1.5))
+        );
+        assert_eq!(plan.branches[2].neighborhood, Some(Neighborhood::Full));
+        let unit = plan.remedy_params(&plan.branches[0]).unwrap();
+        let ordered = plan.remedy_params(&plan.branches[1]).unwrap();
+        assert_eq!(unit.neighborhood, Neighborhood::Unit);
+        assert_eq!(ordered.neighborhood, Neighborhood::OrderedRadius(1.5));
+        // distinct neighborhoods must produce distinct remedy cache keys
+        assert_ne!(unit.stable_hash(), ordered.stable_hash());
+    }
+
+    #[test]
+    fn out_of_domain_params_are_rejected_at_parse_time() {
+        // zero radius fails the builder's domain check
+        assert!(
+            Plan::parse("dataset compas\nbranch a technique=ps model=dt neighborhood=0.0\n")
+                .is_err()
+        );
+        assert!(
+            Plan::parse("dataset compas\nneighborhood -1.5\nbranch a technique=ps model=dt\n")
+                .is_err()
+        );
+        assert!(Plan::parse("dataset compas\ntau -0.2\nbranch a technique=ps model=dt\n").is_err());
+        assert!(
+            Plan::parse("dataset compas\nmin-size 0\nbranch a technique=ps model=dt\n").is_err()
+        );
     }
 }

@@ -263,11 +263,9 @@ pub fn identify_stage(
         &format!("identify tau={} k={}", params.tau_c, params.min_size),
         obs,
         move || {
-            let algorithm = if params.neighborhood.supports_optimized() {
-                Algorithm::Optimized
-            } else {
-                Algorithm::Naive
-            };
+            // the NeighborModel dispatches OrderedRadius to enumeration
+            // internally, so Optimized is always the right entry point
+            let algorithm = Algorithm::Optimized;
             let hierarchy = Hierarchy::build(train_set);
             let regions =
                 identify_in_parallel_with(&hierarchy, &params, algorithm, threads, &inner_obs);

@@ -99,13 +99,13 @@ fn metrics_match_manual_computation() {
     let (train_set, test_set) = train_test_split(&data, 0.7, 9).unwrap();
     let remedied = remedy_core::remedy(
         &train_set,
-        &RemedyParams {
-            technique: Technique::PreferentialSampling,
-            tau_c: 0.1,
-            min_size: 30,
-            seed: 9,
-            ..RemedyParams::default()
-        },
+        &RemedyParams::builder()
+            .technique(Technique::PreferentialSampling)
+            .tau_c(0.1)
+            .min_size(30)
+            .seed(9)
+            .build()
+            .unwrap(),
     )
     .dataset;
     let model = DecisionTree::fit(&remedied, &DecisionTreeParams::default());
@@ -155,6 +155,53 @@ fn forced_reruns_are_byte_identical() {
     assert_eq!(a.branches, b.branches);
 }
 
+/// The Fig. 8 ablation shape: one plan fans out a baseline, a Unit-T
+/// remedy, and an OrderedRadius-T remedy branch. The ordered branch
+/// must get its own remedy cache key (different artifact allowed), and a
+/// warm re-run must replay every stage — including the ordered remedy —
+/// from cache.
+#[test]
+fn unit_vs_ordered_radius_ablation_fans_out_and_replays() {
+    let cache = fresh_cache("ablation");
+    let plan = Plan::parse(
+        "dataset compas\n\
+         rows 1000\n\
+         seed 9\n\
+         split 0.7\n\
+         tau 0.1\n\
+         min-size 30\n\
+         branch base technique=none model=dt\n\
+         branch unit-ps technique=ps model=dt\n\
+         branch ordered-ps technique=ps model=dt neighborhood=1.5\n",
+    )
+    .unwrap();
+
+    let first = run(&plan, &opts(&cache)).unwrap();
+    for stage in &first.stages {
+        assert!(!stage.cache_hit, "cold run hit cache: {stage:?}");
+    }
+    let unit = first.stage("remedy", Some("unit-ps")).unwrap();
+    let ordered = first.stage("remedy", Some("ordered-ps")).unwrap();
+    assert!(!unit.skipped && !ordered.skipped);
+    assert_ne!(
+        unit.key, ordered.key,
+        "branch neighborhood override must change the remedy cache key"
+    );
+    assert!(first.branch("base").is_some());
+    assert!(first.branch("unit-ps").is_some());
+    assert!(first.branch("ordered-ps").is_some());
+
+    // warm re-run: everything (including the ordered remedy) replays
+    let second = run(&plan, &opts(&cache)).unwrap();
+    for stage in &second.stages {
+        assert_eq!(
+            stage.cache_hit, !stage.skipped,
+            "warm ablation re-run should hit: {stage:?}"
+        );
+    }
+    assert_eq!(first.branches, second.branches);
+}
+
 /// The manifest serializes and reports what ran.
 #[test]
 fn manifest_json_written() {
@@ -176,7 +223,7 @@ fn manifest_json_written() {
 #[test]
 fn stable_hash_injective_over_param_grid() {
     let taus = [0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.5, 1.0];
-    let sizes = [0u64, 1, 10, 30, 50, 100];
+    let sizes = [1u64, 2, 10, 30, 50, 100];
     let neighborhoods = [
         Neighborhood::Unit,
         Neighborhood::Full,
@@ -191,12 +238,13 @@ fn stable_hash_injective_over_param_grid() {
         for &min_size in &sizes {
             for &neighborhood in &neighborhoods {
                 for &scope in &scopes {
-                    let params = IbsParams {
-                        tau_c,
-                        min_size,
-                        neighborhood,
-                        scope,
-                    };
+                    let params = IbsParams::builder()
+                        .tau_c(tau_c)
+                        .min_size(min_size)
+                        .neighborhood(neighborhood)
+                        .scope(scope)
+                        .build()
+                        .unwrap();
                     assert!(seen.insert(params.stable_hash()), "collision at {params:?}");
                     count += 1;
                 }
@@ -211,12 +259,12 @@ fn stable_hash_injective_over_param_grid() {
     for &tau_c in &taus[..3] {
         for technique in Technique::ALL {
             for seed in [0u64, 1, 0x5EED] {
-                let params = RemedyParams {
-                    technique,
-                    tau_c,
-                    seed,
-                    ..RemedyParams::default()
-                };
+                let params = RemedyParams::builder()
+                    .technique(technique)
+                    .tau_c(tau_c)
+                    .seed(seed)
+                    .build()
+                    .unwrap();
                 assert!(seen.insert(params.stable_hash()), "collision at {params:?}");
             }
         }

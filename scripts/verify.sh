@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Full verification gate: release build, the whole test suite, lints,
-# and formatting. Run before sending a PR.
+# formatting, doc warnings, and the ordered-radius ablation plan (cold
+# run, then a warm run that must replay from cache). Run before sending
+# a PR.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -8,4 +10,21 @@ cargo build --release
 cargo test -q --workspace
 cargo clippy --workspace -- -D warnings
 cargo fmt --check
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+# the Fig. 8 ordered ablation must run end to end, and a second run must
+# be served entirely from the artifact cache
+cache="$(mktemp -d)"
+trap 'rm -rf "$cache"' EXIT
+target/release/remedy pipeline examples/plans/ordered_ablation.plan \
+    --cache "$cache" >/dev/null
+warm="$(target/release/remedy pipeline examples/plans/ordered_ablation.plan \
+    --cache "$cache")"
+if printf '%s\n' "$warm" | grep -q '^computed'; then
+    echo "verify: FAIL — warm ablation re-run recomputed a stage:" >&2
+    printf '%s\n' "$warm" >&2
+    exit 1
+fi
+target/release/remedy cache gc --cache "$cache" --max-bytes 0 >/dev/null
+
 echo "verify: OK"

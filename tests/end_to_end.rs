@@ -53,10 +53,10 @@ fn all_techniques_produce_valid_datasets() {
     for technique in Technique::ALL {
         let outcome = remedy_data(
             &data,
-            &RemedyParams {
-                technique,
-                ..RemedyParams::default()
-            },
+            &RemedyParams::builder()
+                .technique(technique)
+                .build()
+                .unwrap(),
         );
         let d = &outcome.dataset;
         assert!(!d.is_empty(), "{technique}: dataset empty");
@@ -87,10 +87,7 @@ fn identification_algorithms_agree_end_to_end() {
         ("adult", synth::adult_n(3_000, 1)),
     ] {
         for scope in [Scope::Lattice, Scope::Leaf, Scope::Top] {
-            let params = IbsParams {
-                scope,
-                ..IbsParams::default()
-            };
+            let params = IbsParams::builder().scope(scope).build().unwrap();
             let naive = identify(&data, &params, Algorithm::Naive);
             let optimized = identify(&data, &params, Algorithm::Optimized);
             assert_eq!(naive, optimized, "{name}/{scope:?}");
@@ -106,10 +103,7 @@ fn lattice_scope_subsumes_leaf_and_top() {
     let count = |scope| {
         identify(
             &data,
-            &IbsParams {
-                scope,
-                ..IbsParams::default()
-            },
+            &IbsParams::builder().scope(scope).build().unwrap(),
             Algorithm::Optimized,
         )
         .len()

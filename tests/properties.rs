@@ -48,22 +48,28 @@ fn arb_pattern(rng: &mut SplitRng) -> Pattern {
 }
 
 /// The optimized Algorithm 1 computes exactly what the naïve algorithm
-/// computes, for both neighborhood settings and every scope.
+/// computes, for every neighborhood setting and every scope.
 #[test]
 fn naive_equals_optimized() {
     for case in 0..CASES {
         let mut rng = SplitRng::new(case + 1);
         let data = arb_dataset(&mut rng);
         let tau = rng.unit();
-        let k = rng.below(40) as u64;
-        for neighborhood in [Neighborhood::Unit, Neighborhood::Full] {
+        let k = 1 + rng.below(39) as u64;
+        let radius = 0.5 + 2.0 * rng.unit();
+        for neighborhood in [
+            Neighborhood::Unit,
+            Neighborhood::Full,
+            Neighborhood::OrderedRadius(radius),
+        ] {
             for scope in [Scope::Lattice, Scope::Leaf, Scope::Top] {
-                let params = IbsParams {
-                    tau_c: tau,
-                    min_size: k,
-                    neighborhood,
-                    scope,
-                };
+                let params = IbsParams::builder()
+                    .tau_c(tau)
+                    .min_size(k)
+                    .neighborhood(neighborhood)
+                    .scope(scope)
+                    .build()
+                    .unwrap();
                 let naive = identify(&data, &params, Algorithm::Naive);
                 let optimized = identify(&data, &params, Algorithm::Optimized);
                 assert_eq!(naive, optimized, "case {case}");
@@ -123,14 +129,14 @@ fn remedy_moves_ratios_toward_target() {
     for case in 0..CASES {
         let mut rng = SplitRng::new(case + 300);
         let data = arb_dataset(&mut rng);
-        let params = RemedyParams {
-            technique: Technique::Massaging,
-            tau_c: 0.2,
-            min_size: 10,
-            scope: Scope::Leaf,
-            seed: case,
-            ..RemedyParams::default()
-        };
+        let params = RemedyParams::builder()
+            .technique(Technique::Massaging)
+            .tau_c(0.2)
+            .min_size(10)
+            .scope(Scope::Leaf)
+            .seed(case)
+            .build()
+            .unwrap();
         let outcome = remedy_data(&data, &params);
         for update in &outcome.updates {
             let (pos, neg) = outcome.dataset.class_counts(&update.pattern);
@@ -162,35 +168,20 @@ fn technique_size_invariants() {
     for case in 0..CASES {
         let mut rng = SplitRng::new(case + 400);
         let data = arb_dataset(&mut rng);
-        let base = RemedyParams {
-            min_size: 10,
-            tau_c: 0.1,
-            seed: case,
-            ..RemedyParams::default()
+        let with_technique = |technique| {
+            RemedyParams::builder()
+                .technique(technique)
+                .min_size(10)
+                .tau_c(0.1)
+                .seed(case)
+                .build()
+                .unwrap()
         };
-        let over = remedy_data(
-            &data,
-            &RemedyParams {
-                technique: Technique::Oversampling,
-                ..base.clone()
-            },
-        );
+        let over = remedy_data(&data, &with_technique(Technique::Oversampling));
         assert!(over.dataset.len() >= data.len(), "case {case}");
-        let under = remedy_data(
-            &data,
-            &RemedyParams {
-                technique: Technique::Undersampling,
-                ..base.clone()
-            },
-        );
+        let under = remedy_data(&data, &with_technique(Technique::Undersampling));
         assert!(under.dataset.len() <= data.len(), "case {case}");
-        let massage = remedy_data(
-            &data,
-            &RemedyParams {
-                technique: Technique::Massaging,
-                ..base
-            },
-        );
+        let massage = remedy_data(&data, &with_technique(Technique::Massaging));
         assert_eq!(massage.dataset.len(), data.len(), "case {case}");
     }
 }
