@@ -20,9 +20,8 @@ fn bench_pipeline(c: &mut Criterion) {
 
     let cold = PipelineOptions {
         cache_dir: cache_dir.clone(),
-        threads: 0,
         force: true, // recompute every stage, ignore stored artifacts
-        trace: None,
+        ..PipelineOptions::default()
     };
     group.bench_function("cold_run", |b| {
         b.iter(|| run(std::hint::black_box(&plan), &cold).unwrap())
@@ -30,9 +29,7 @@ fn bench_pipeline(c: &mut Criterion) {
 
     let warm = PipelineOptions {
         cache_dir: cache_dir.clone(),
-        threads: 0,
-        force: false,
-        trace: None,
+        ..PipelineOptions::default()
     };
     run(&plan, &warm).unwrap(); // prime the cache
     group.bench_function("warm_run", |b| {

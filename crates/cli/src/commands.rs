@@ -334,7 +334,13 @@ fn cmd_pipeline(raw: Vec<String>) -> Result<(), CliError> {
     if args.flag("help") || args.positional_count() == 0 {
         println!(
             "remedy pipeline <plan-file> [--cache .remedy-cache] [--threads N] \
-             [--out run.json] [--trace trace.jsonl] [--force]\n\n\
+             [--out run.json] [--trace trace.jsonl] [--force] \
+             [--retries N] [--retry-base-ms MS] [--resume run.json]\n\n\
+             --retries/--retry-base-ms retry transient cache I/O with seeded,\n\
+             jittered exponential backoff. --resume validates a prior run's\n\
+             manifest and replays its completed stages from the cache,\n\
+             re-executing only unfinished ones. With --out, the manifest is\n\
+             flushed incrementally so a killed run can always be resumed.\n\n\
              Plan files are line-oriented `key value` pairs plus one line per\n\
              branch, e.g.:\n\n    \
              dataset compas\n    \
@@ -346,7 +352,17 @@ fn cmd_pipeline(raw: Vec<String>) -> Result<(), CliError> {
         );
         return Ok(());
     }
-    args.check_known(&["cache", "threads", "out", "trace", "force", "help"])?;
+    args.check_known(&[
+        "cache",
+        "threads",
+        "out",
+        "trace",
+        "force",
+        "retries",
+        "retry-base-ms",
+        "resume",
+        "help",
+    ])?;
     let plan_path = args.positional(0).unwrap();
     let plan = remedy_pipeline::Plan::from_path(plan_path).map_err(|e| CliError(e.to_string()))?;
     let options = remedy_pipeline::PipelineOptions {
@@ -354,6 +370,15 @@ fn cmd_pipeline(raw: Vec<String>) -> Result<(), CliError> {
         threads: args.get_parsed("threads", 0usize)?,
         force: args.flag("force"),
         trace: args.get("trace").map(Into::into),
+        // the plan's master seed also seeds the backoff jitter, so two
+        // runs of one plan sleep the same deterministic schedule
+        retry: remedy_pipeline::RetryPolicy::new(
+            args.get_parsed("retries", 0u32)?,
+            args.get_parsed("retry-base-ms", 50u64)?,
+            plan.seed,
+        ),
+        manifest_out: args.get("out").map(Into::into),
+        resume: args.get("resume").map(Into::into),
     };
     let manifest = remedy_pipeline::run(&plan, &options).map_err(|e| CliError(e.to_string()))?;
     for stage in &manifest.stages {
@@ -388,11 +413,26 @@ fn cmd_pipeline(raw: Vec<String>) -> Result<(), CliError> {
             branch.metrics.unfair_subgroups
         );
     }
+    for failure in &manifest.failures {
+        println!(
+            "{}: FAILED [{}] {}",
+            failure.name,
+            failure.kind.name(),
+            failure.error
+        );
+    }
     if let Some(out) = args.get("out") {
-        manifest
-            .write_path(out)
-            .map_err(|e| CliError(e.to_string()))?;
+        // the engine already flushed the manifest there incrementally and
+        // wrote the final one atomically
         println!("\nwrote manifest to {out}");
+    }
+    if manifest.status != remedy_pipeline::RunStatus::Ok {
+        return Err(CliError(format!(
+            "run status `{}`: {} of {} branches failed",
+            manifest.status.name(),
+            manifest.failures.len(),
+            manifest.failures.len() + manifest.branches.len()
+        )));
     }
     Ok(())
 }

@@ -153,6 +153,17 @@ impl Recorder {
         }
     }
 
+    /// How many trace events failed to write (0 without a sink). Event
+    /// write errors never fail the traced computation, but they are
+    /// counted here and folded into the final summary as the `trace`
+    /// scope's `write_errors` counter.
+    pub fn trace_write_errors(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.sink.as_ref())
+            .map_or(0, TraceSink::write_errors)
+    }
+
     /// Emits the aggregated counters and histograms as JSONL summary
     /// events (one `counters` event per scope, one `hist` event per
     /// histogram) and flushes the sink. Call once at the end of a run.
@@ -160,6 +171,10 @@ impl Recorder {
         let Some(inner) = &self.inner else { return };
         if inner.sink.is_none() {
             return;
+        }
+        let dropped = self.trace_write_errors();
+        if dropped > 0 {
+            self.scope("trace").add("write_errors", dropped);
         }
         let snapshot = self.snapshot();
         let mut by_scope: BTreeMap<&str, Vec<(&str, u64)>> = BTreeMap::new();
@@ -504,6 +519,41 @@ mod tests {
         let hist = lines.iter().find(|l| l.contains("\"t\":\"hist\"")).unwrap();
         assert!(hist.contains("\"name\":\"level2_us\""));
         assert!(hist.contains("\"count\":1"));
+    }
+
+    /// A writer that fails after its first N successful writes — the
+    /// trace header lands, later events hit a "full disk".
+    struct FailAfter {
+        ok_writes: usize,
+    }
+
+    impl Write for FailAfter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.ok_writes == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "disk full",
+                ));
+            }
+            self.ok_writes -= 1;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn trace_write_errors_are_counted_and_summarized() {
+        let rec = Recorder::with_sink(Box::new(FailAfter { ok_writes: 1 }));
+        assert_eq!(rec.trace_write_errors(), 0, "header write succeeded");
+        let scope = rec.scope("identify");
+        drop(scope.span("lost event"));
+        drop(scope.span("another lost event"));
+        assert_eq!(rec.trace_write_errors(), 2);
+        rec.finish();
+        // the tally survives as an ordinary counter in the snapshot
+        assert_eq!(rec.snapshot().counter("trace", "write_errors"), Some(2));
     }
 
     #[test]

@@ -2,11 +2,11 @@
 //!
 //! Every stage's inputs — upstream artifact hashes plus its own parameters
 //! — are folded into a 128-bit [`StableHasher`] key. The key names a
-//! directory under the cache root holding the stage's output (`artifact`)
-//! and a one-line human-readable description (`meta`). A stage whose key
-//! directory exists is a cache hit and is not re-executed; because keys
-//! chain through upstream hashes, changing one knob invalidates exactly
-//! the stages downstream of it.
+//! directory under the cache root holding the stage's output (`artifact`),
+//! its FNV-1a/128 content hash (`hash`), and a one-line human-readable
+//! description (`meta`). A stage whose key directory exists is a cache hit
+//! and is not re-executed; because keys chain through upstream hashes,
+//! changing one knob invalidates exactly the stages downstream of it.
 //!
 //! Writes go through a temp dir + rename so concurrent branches that
 //! race on the same key (e.g. two branches with identical remedy
@@ -14,9 +14,23 @@
 //! into its own uniquely-named temp dir — naming it by `(stage, key,
 //! pid)` alone let two threads of one process share a temp dir, and the
 //! winner's rename yanked it out from under the loser mid-write.
+//!
+//! ## Integrity and fault tolerance
+//!
+//! Every replay re-hashes the artifact and compares it against the
+//! stored `hash` file. A mismatch (bit rot, a torn write, a truncated
+//! entry) moves the entry into `quarantine/` under the cache root —
+//! preserved for post-mortems, never replayed, never garbage-collected —
+//! bumps the `corrupt.*` counters, and reports a miss so the stage is
+//! transparently recomputed. Transient I/O in the store and replay paths
+//! is retried under the cache's [`RetryPolicy`]; replay errors that
+//! survive the retries degrade to a miss (recompute) rather than failing
+//! the run, while store errors propagate to the owning stage.
 
 use crate::error::PipelineError;
-use remedy_core::hash::StableHasher;
+use crate::failpoint;
+use crate::retry::RetryPolicy;
+use remedy_core::hash::{stable_hash, StableHasher};
 use remedy_obs::Scope as ObsScope;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -24,12 +38,18 @@ use std::time::{Duration, SystemTime};
 
 /// Name of the artifact payload inside a cache entry.
 const ARTIFACT_FILE: &str = "artifact";
+/// Name of the artifact's stored FNV-1a/128 content hash (32 hex digits),
+/// verified on every replay.
+const HASH_FILE: &str = "hash";
 /// Name of the human-readable description inside a cache entry.
 const META_FILE: &str = "meta";
 /// Name of the last-replayed marker inside a cache entry; its mtime is
 /// refreshed on every cache hit so GC can evict least-recently-used
 /// entries first.
 const USED_FILE: &str = "used";
+/// Directory under the cache root where corrupt entries are preserved.
+/// Never replayed, never swept by [`ArtifactCache::gc`].
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// A 128-bit cache key, printed as 32 hex digits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +76,7 @@ static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 pub struct ArtifactCache {
     root: PathBuf,
     obs: ObsScope,
+    retry: RetryPolicy,
 }
 
 impl ArtifactCache {
@@ -63,17 +84,26 @@ impl ArtifactCache {
     pub fn open(root: impl Into<PathBuf>) -> Result<ArtifactCache, PipelineError> {
         let root = root.into();
         std::fs::create_dir_all(&root)
-            .map_err(|e| PipelineError(format!("cannot create cache dir: {e}")))?;
+            .map_err(|e| PipelineError::fatal(format!("cannot create cache dir: {e}")))?;
         Ok(ArtifactCache {
             root,
             obs: ObsScope::disabled(),
+            retry: RetryPolicy::none(),
         })
     }
 
-    /// Attaches an observability scope recording `hits`, `misses`, and
-    /// `store_races` across every user of this cache handle.
+    /// Attaches an observability scope recording `hits`, `misses`,
+    /// `store_races`, `corrupt.*`, and `retry.*` across every user of
+    /// this cache handle.
     pub fn with_obs(mut self, obs: ObsScope) -> ArtifactCache {
         self.obs = obs;
+        self
+    }
+
+    /// Sets the retry policy applied to transient I/O in the store and
+    /// replay paths.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> ArtifactCache {
+        self.retry = retry;
         self
     }
 
@@ -82,17 +112,48 @@ impl ArtifactCache {
         &self.root
     }
 
+    /// The quarantine directory (corrupt entries land here).
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.root.join(QUARANTINE_DIR)
+    }
+
     fn entry_dir(&self, stage: &str, key: CacheKey) -> PathBuf {
         self.root.join(format!("{stage}-{}", key.hex()))
     }
 
-    /// Returns the cached artifact text for `(stage, key)`, if present.
+    /// Returns the cached artifact text for `(stage, key)`, if present
+    /// and intact.
     ///
     /// A hit refreshes the entry's `used` marker so [`ArtifactCache::gc`]
-    /// can order evictions by last replay rather than creation time.
+    /// can order evictions by last replay rather than creation time. An
+    /// entry whose content hash no longer matches is quarantined and
+    /// reported as a miss; replay I/O errors that survive the retry
+    /// policy also degrade to a miss so the stage recomputes.
     pub fn lookup(&self, stage: &str, key: CacheKey) -> Option<String> {
         let dir = self.entry_dir(stage, key);
-        let found = std::fs::read_to_string(dir.join(ARTIFACT_FILE)).ok();
+        let read = self.retry.run("cache.replay", &self.obs, || {
+            failpoint::check("stage.replay", stage)?;
+            match std::fs::read_to_string(dir.join(ARTIFACT_FILE)) {
+                Ok(text) => Ok(Some(text)),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+                Err(e) => Err(PipelineError::from(e)),
+            }
+        });
+        let found = match read {
+            Ok(Some(text)) => {
+                if self.verify(&dir, stage, &text) {
+                    Some(text)
+                } else {
+                    None
+                }
+            }
+            Ok(None) => None,
+            Err(_) => {
+                // a broken replay is a miss, not a failed run
+                self.obs.add("replay.errors", 1);
+                None
+            }
+        };
         if found.is_some() {
             // best-effort: a read-only cache still serves hits
             let _ = std::fs::write(dir.join(USED_FILE), b"");
@@ -102,8 +163,55 @@ impl ArtifactCache {
         found
     }
 
+    /// Re-checks an entry's stored content hash; on mismatch (or a
+    /// missing/unreadable hash file) quarantines the entry and returns
+    /// `false`.
+    fn verify(&self, dir: &Path, stage: &str, text: &str) -> bool {
+        let stored = std::fs::read_to_string(dir.join(HASH_FILE));
+        let actual = format!("{:032x}", stable_hash(text.as_bytes()));
+        if stored.is_ok_and(|s| s.trim() == actual) {
+            return true;
+        }
+        self.obs.add("corrupt.detected", 1);
+        self.quarantine(dir, stage);
+        false
+    }
+
+    /// Moves a corrupt entry into `quarantine/` (falling back to deletion
+    /// if the move fails): either way it will never be replayed again.
+    fn quarantine(&self, dir: &Path, stage: &str) {
+        let qdir = self.quarantine_dir();
+        let _ = std::fs::create_dir_all(&qdir);
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| stage.to_string());
+        match std::fs::rename(dir, qdir.join(format!("{name}-{seq}"))) {
+            Ok(()) => self.obs.add("corrupt.quarantined", 1),
+            Err(_) => {
+                let _ = std::fs::remove_dir_all(dir);
+                self.obs.add("corrupt.dropped", 1);
+            }
+        }
+    }
+
     /// Stores an artifact with a one-line description; atomic per entry.
+    /// Transient I/O failures are retried under the cache's policy.
     pub fn store(
+        &self,
+        stage: &str,
+        key: CacheKey,
+        artifact: &str,
+        description: &str,
+    ) -> Result<(), PipelineError> {
+        self.retry.run("cache.store", &self.obs, || {
+            failpoint::check("stage.store", stage)?;
+            self.store_once(stage, key, artifact, description)
+        })
+    }
+
+    fn store_once(
         &self,
         stage: &str,
         key: CacheKey,
@@ -120,13 +228,19 @@ impl ArtifactCache {
         let staged = (|| -> std::io::Result<()> {
             std::fs::create_dir_all(&tmp)?;
             std::fs::write(tmp.join(ARTIFACT_FILE), artifact)?;
+            std::fs::write(
+                tmp.join(HASH_FILE),
+                format!("{:032x}\n", stable_hash(artifact.as_bytes())),
+            )?;
             std::fs::write(tmp.join(META_FILE), format!("{description}\n"))?;
             Ok(())
         })();
         if let Err(e) = staged {
             // don't leave a half-written temp dir behind
             let _ = std::fs::remove_dir_all(&tmp);
-            return Err(PipelineError(format!("cannot stage cache entry: {e}")));
+            return Err(
+                PipelineError::from(e).map_message(|m| format!("cannot stage cache entry: {m}"))
+            );
         }
         match std::fs::rename(&tmp, &dir) {
             Ok(()) => Ok(()),
@@ -139,18 +253,24 @@ impl ArtifactCache {
             }
             Err(e) => {
                 let _ = std::fs::remove_dir_all(&tmp);
-                Err(PipelineError(format!("cannot store cache entry: {e}")))
+                Err(PipelineError::from(e)
+                    .map_message(|m| format!("cannot store cache entry: {m}")))
             }
         }
     }
 
-    /// Number of entries currently in the cache (for tests and stats).
+    /// Number of entries currently in the cache (for tests and stats);
+    /// staging dirs and the quarantine are not entries.
     pub fn len(&self) -> usize {
         std::fs::read_dir(&self.root)
             .map(|entries| {
                 entries
                     .filter_map(Result::ok)
-                    .filter(|e| !e.file_name().to_string_lossy().starts_with(".tmp-"))
+                    .filter(|e| {
+                        let name = e.file_name();
+                        let name = name.to_string_lossy();
+                        !name.starts_with(".tmp-") && name != QUARANTINE_DIR
+                    })
                     .count()
             })
             .unwrap_or(0)
@@ -161,7 +281,20 @@ impl ArtifactCache {
         self.len() == 0
     }
 
-    /// Sweeps the cache according to `policy`.
+    /// Number of quarantined entries.
+    pub fn quarantined(&self) -> usize {
+        std::fs::read_dir(self.quarantine_dir())
+            .map(|entries| entries.filter_map(Result::ok).count())
+            .unwrap_or(0)
+    }
+
+    /// Sweeps the cache according to `policy`; see [`ArtifactCache::gc_at`].
+    pub fn gc(&self, policy: &GcPolicy) -> Result<GcStats, PipelineError> {
+        self.gc_at(policy, SystemTime::now())
+    }
+
+    /// Sweeps the cache according to `policy`, treating `sweep_start` as
+    /// the moment the sweep began.
     ///
     /// Three passes, all best-effort per entry:
     ///
@@ -175,21 +308,38 @@ impl ArtifactCache {
     /// "Last use" is the newest of the entry's `used` marker (touched on
     /// every [`ArtifactCache::lookup`] hit) and its artifact file, so an
     /// entry that was stored but never replayed still has a timestamp.
+    ///
+    /// Two classes of entry are never touched: anything inside
+    /// `quarantine/`, and any entry used *after* `sweep_start` (the
+    /// marker is re-read immediately before deletion) — so a concurrent
+    /// run replaying an artifact cannot have it swept out from under it.
     /// Counters (`gc.entries_removed`, `gc.bytes_removed`, …) land on the
     /// cache's observability scope.
-    pub fn gc(&self, policy: &GcPolicy) -> Result<GcStats, PipelineError> {
-        let now = SystemTime::now();
+    pub fn gc_at(
+        &self,
+        policy: &GcPolicy,
+        sweep_start: SystemTime,
+    ) -> Result<GcStats, PipelineError> {
         let mut stats = GcStats::default();
         // (dir, last_used, bytes) for every live entry
         let mut live: Vec<(PathBuf, SystemTime, u64)> = Vec::new();
 
+        // deletes an entry unless its `used` marker moved past the sweep
+        // start since it was scanned (a concurrent replay claimed it)
+        let remove_unless_in_flight = |path: &Path| -> bool {
+            if entry_last_used(path) > sweep_start {
+                return false;
+            }
+            std::fs::remove_dir_all(path).is_ok()
+        };
+
         let entries = std::fs::read_dir(&self.root)
-            .map_err(|e| PipelineError(format!("cannot read cache dir: {e}")))?;
+            .map_err(|e| PipelineError::fatal(format!("cannot read cache dir: {e}")))?;
         for entry in entries.filter_map(Result::ok) {
             let path = entry.path();
             let name = entry.file_name();
             let name = name.to_string_lossy();
-            if !path.is_dir() {
+            if !path.is_dir() || name == QUARANTINE_DIR {
                 continue;
             }
             if name.starts_with(".tmp-") {
@@ -201,11 +351,17 @@ impl ArtifactCache {
             stats.entries_scanned += 1;
             let bytes = dir_bytes(&path);
             let last_used = entry_last_used(&path);
-            let expired = match (policy.max_age, now.duration_since(last_used)) {
+            if last_used > sweep_start {
+                // in flight: a replay touched it after the sweep began
+                stats.entries_in_flight += 1;
+                live.push((path, last_used, bytes));
+                continue;
+            }
+            let expired = match (policy.max_age, sweep_start.duration_since(last_used)) {
                 (Some(max_age), Ok(age)) => age > max_age,
                 _ => false,
             };
-            if expired && std::fs::remove_dir_all(&path).is_ok() {
+            if expired && remove_unless_in_flight(&path) {
                 stats.entries_removed += 1;
                 stats.bytes_removed += bytes;
                 continue;
@@ -219,8 +375,8 @@ impl ArtifactCache {
             live.sort_by_key(|&(_, used, _)| used);
             let mut idx = 0;
             while total > max_bytes && idx < live.len() {
-                let (path, _, bytes) = &live[idx];
-                if std::fs::remove_dir_all(path).is_ok() {
+                let (path, used, bytes) = &live[idx];
+                if *used <= sweep_start && remove_unless_in_flight(path) {
                     stats.entries_removed += 1;
                     stats.bytes_removed += bytes;
                     total -= bytes;
@@ -236,6 +392,7 @@ impl ArtifactCache {
         self.obs.add_many(&[
             ("gc.entries_scanned", stats.entries_scanned),
             ("gc.entries_removed", stats.entries_removed),
+            ("gc.entries_in_flight", stats.entries_in_flight),
             ("gc.bytes_removed", stats.bytes_removed),
             ("gc.tmp_dirs_removed", stats.tmp_dirs_removed),
         ]);
@@ -257,10 +414,14 @@ pub struct GcPolicy {
 /// What one [`ArtifactCache::gc`] sweep scanned and removed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GcStats {
-    /// Cache entries examined (excluding `.tmp-*` staging dirs).
+    /// Cache entries examined (excluding `.tmp-*` staging dirs and the
+    /// quarantine).
     pub entries_scanned: u64,
     /// Cache entries deleted by the age or size sweep.
     pub entries_removed: u64,
+    /// Entries protected from the sweep because a concurrent run replayed
+    /// them after the sweep started.
+    pub entries_in_flight: u64,
     /// Bytes reclaimed from deleted entries.
     pub bytes_removed: u64,
     /// Orphaned `.tmp-*` staging dirs deleted.
@@ -332,6 +493,49 @@ mod tests {
         cache.store("train", key, "x", "").unwrap();
         assert_eq!(cache.lookup("train", key).as_deref(), Some("x"));
         assert_eq!(cache.len(), 1);
+    }
+
+    /// Corrupting an artifact must quarantine the entry (preserved for
+    /// inspection), count it, and report a miss so the stage recomputes.
+    #[test]
+    fn corrupt_artifact_is_quarantined_and_missed() {
+        let rec = remedy_obs::Recorder::enabled();
+        let cache = temp_cache("corrupt").with_obs(rec.scope("cache"));
+        let key = CacheKey(0xBAD);
+        cache.store("identify", key, "intact artifact", "").unwrap();
+
+        // flip one byte of the stored artifact
+        let path = cache.entry_dir("identify", key).join(ARTIFACT_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        assert_eq!(cache.lookup("identify", key), None, "corrupt entry served");
+        assert_eq!(cache.len(), 0, "corrupt entry still counted as live");
+        assert_eq!(cache.quarantined(), 1);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("cache", "corrupt.detected"), Some(1));
+        assert_eq!(snap.counter("cache", "corrupt.quarantined"), Some(1));
+        assert_eq!(snap.counter("cache", "misses"), Some(1));
+
+        // a fresh store of the same key works and replays cleanly
+        cache.store("identify", key, "intact artifact", "").unwrap();
+        assert_eq!(
+            cache.lookup("identify", key).as_deref(),
+            Some("intact artifact")
+        );
+    }
+
+    /// A truncated entry (missing `hash` file — e.g. written by a crashed
+    /// process or an older cache layout) is treated as corrupt.
+    #[test]
+    fn missing_hash_file_is_corrupt() {
+        let cache = temp_cache("nohash");
+        let key = CacheKey(5);
+        cache.store("train", key, "x", "").unwrap();
+        std::fs::remove_file(cache.entry_dir("train", key).join(HASH_FILE)).unwrap();
+        assert_eq!(cache.lookup("train", key), None);
+        assert_eq!(cache.quarantined(), 1);
     }
 
     /// How many `.tmp-` staging dirs are left under the cache root.
@@ -448,12 +652,62 @@ mod tests {
         assert!(cache.is_empty());
     }
 
+    /// Regression (gc vs. in-flight runs): an entry whose `used` marker is
+    /// newer than the sweep start is being replayed by a concurrent run
+    /// right now — both the age sweep and the byte-budget sweep must skip
+    /// it, no matter how aggressive the policy.
+    #[test]
+    fn gc_skips_entries_replayed_after_sweep_start() {
+        let cache = temp_cache("gc_inflight");
+        cache
+            .store("load", CacheKey(1), "replaying right now", "")
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let sweep_start = SystemTime::now() - Duration::from_secs(3600);
+        // the lookup (concurrent run) touches `used` *after* sweep_start
+        assert!(cache.lookup("load", CacheKey(1)).is_some());
+        let stats = cache
+            .gc_at(
+                &GcPolicy {
+                    max_bytes: Some(0),
+                    max_age: Some(Duration::from_nanos(1)),
+                },
+                sweep_start,
+            )
+            .unwrap();
+        assert_eq!(stats.entries_removed, 0, "swept an in-flight entry");
+        assert_eq!(stats.entries_in_flight, 1);
+        assert_eq!(stats.live_entries, 1);
+        assert!(cache.lookup("load", CacheKey(1)).is_some());
+    }
+
+    /// Quarantined entries are evidence, not cache: gc never touches them.
+    #[test]
+    fn gc_never_touches_the_quarantine() {
+        let cache = temp_cache("gc_quarantine");
+        let key = CacheKey(9);
+        cache.store("audit", key, "soon corrupt", "").unwrap();
+        std::fs::write(cache.entry_dir("audit", key).join(ARTIFACT_FILE), "flip").unwrap();
+        assert_eq!(cache.lookup("audit", key), None);
+        assert_eq!(cache.quarantined(), 1);
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let stats = cache
+            .gc(&GcPolicy {
+                max_bytes: Some(0),
+                max_age: Some(Duration::from_nanos(1)),
+            })
+            .unwrap();
+        assert_eq!(stats.entries_scanned, 0, "quarantine was scanned");
+        assert_eq!(cache.quarantined(), 1, "quarantine was swept");
+    }
+
     #[test]
     fn gc_reports_counters_on_the_obs_scope() {
         let rec = remedy_obs::Recorder::enabled();
         let cache = temp_cache("gc_obs").with_obs(rec.scope("cache"));
         cache.store("load", CacheKey(1), "x", "").unwrap();
         std::fs::create_dir_all(cache.root().join(".tmp-load-dead-1-0")).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
         cache
             .gc(&GcPolicy {
                 max_bytes: Some(0),

@@ -15,11 +15,27 @@
 //! remedy → train → audit chain sequentially; results are stitched back
 //! into plan order so manifests are deterministic regardless of thread
 //! interleaving.
+//!
+//! ## Failure containment
+//!
+//! A failing (or panicking) branch does not abort the run: the worker
+//! catches the failure at the branch boundary, sibling branches keep
+//! going, and the branch shows up under `failures` in the manifest with
+//! its [`ErrorKind`](crate::ErrorKind) — the run's status becomes
+//! `partial` (or `failed` if no branch survived). Only shared-prefix
+//! errors, which leave nothing to salvage, abort the run.
+//!
+//! When [`PipelineOptions::manifest_out`] is set, the manifest is
+//! re-written atomically after the shared prefix and after every branch
+//! with `status: "running"` — so a killed run always leaves a readable
+//! snapshot, and `--resume` (which replays completed stages from the
+//! content-addressed cache) can pick up from it.
 
 use crate::cache::ArtifactCache;
-use crate::error::PipelineError;
-use crate::manifest::{BranchOutcome, RunManifest, StageRecord};
+use crate::error::{panic_message, PipelineError};
+use crate::manifest::{BranchFailure, BranchOutcome, RunManifest, RunStatus, StageRecord};
 use crate::plan::{BranchSpec, Plan};
+use crate::retry::RetryPolicy;
 use crate::stages::{
     audit_stage, discretize_stage, identify_stage, load_stage, remedy_stage, skipped_remedy_record,
     split_dataset, train_stage, StageOutput,
@@ -28,7 +44,8 @@ use remedy_core::hash::stable_hash;
 use remedy_dataset::persist as data_persist;
 use remedy_dataset::Dataset;
 use remedy_fairness::MetricsSummary;
-use remedy_obs::{Recorder, Span};
+use remedy_obs::{Recorder, Scope as ObsScope, Span};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -49,6 +66,17 @@ pub struct PipelineOptions {
     /// this path (and aggregate counters into the manifest). `None` keeps
     /// the recorder disabled — hot paths stay within benchmark noise.
     pub trace: Option<std::path::PathBuf>,
+    /// Retry policy for transient I/O in the cache store/replay paths.
+    pub retry: RetryPolicy,
+    /// When set, the manifest is flushed here incrementally (atomic
+    /// rewrite after the shared prefix and after every branch), so a
+    /// killed run leaves a well-formed `status: "running"` snapshot.
+    pub manifest_out: Option<std::path::PathBuf>,
+    /// A prior run's manifest to resume from: it is validated against
+    /// the plan (same dataset and seed) before any work starts, then
+    /// completed stages replay from the cache and only unfinished ones
+    /// re-execute.
+    pub resume: Option<std::path::PathBuf>,
 }
 
 impl Default for PipelineOptions {
@@ -58,6 +86,9 @@ impl Default for PipelineOptions {
             threads: 0,
             force: false,
             trace: None,
+            retry: RetryPolicy::none(),
+            manifest_out: None,
+            resume: None,
         }
     }
 }
@@ -70,10 +101,16 @@ struct BranchRun {
 }
 
 /// Runs a plan end to end; returns the manifest describing what happened.
+///
+/// Branch-level failures do not produce an `Err`: they are reported in
+/// the manifest's `failures` with `status` `partial` or `failed`. Only
+/// errors that stop the whole run (unreadable plan inputs, shared-prefix
+/// failures, an invalid resume manifest) surface as `Err`.
 pub fn run(plan: &Plan, opts: &PipelineOptions) -> Result<RunManifest, PipelineError> {
     let recorder = match &opts.trace {
-        Some(path) => Recorder::to_path(path)
-            .map_err(|e| PipelineError(format!("cannot open trace {}: {e}", path.display())))?,
+        Some(path) => Recorder::to_path(path).map_err(|e| {
+            PipelineError::fatal(format!("cannot open trace {}: {e}", path.display()))
+        })?,
         None => Recorder::disabled(),
     };
     let result = run_with(plan, opts, &recorder);
@@ -90,8 +127,12 @@ pub fn run_with(
 ) -> Result<RunManifest, PipelineError> {
     let started = Instant::now();
     let run_span = recorder.scope("pipeline").span("run");
-    let cache =
-        ArtifactCache::open(opts.cache_dir.clone())?.with_obs(run_span.child_scope("cache"));
+    if let Some(prior) = &opts.resume {
+        resume_preflight(plan, prior, &run_span.child_scope("resume"))?;
+    }
+    let cache = ArtifactCache::open(opts.cache_dir.clone())?
+        .with_obs(run_span.child_scope("cache"))
+        .with_retry(opts.retry);
 
     // shared prefix: load → discretize → identify
     let load = load_stage(plan, &cache, opts.force, &run_span.child_scope("load"))?;
@@ -119,6 +160,56 @@ pub fn run_with(
     let train_split_text = data_persist::dataset_to_text(&train_set);
     let train_split_hash = format!("{:032x}", stable_hash(train_split_text.as_bytes()));
 
+    // assembles a manifest from whatever branch results exist so far;
+    // also the kill-safe snapshot written between branches
+    let manifest_obs = run_span.child_scope("manifest");
+    let assemble = |runs: &[(usize, Result<BranchRun, PipelineError>)], status: RunStatus| {
+        let mut ordered: Vec<&(usize, Result<BranchRun, PipelineError>)> = runs.iter().collect();
+        ordered.sort_by_key(|(idx, _)| *idx);
+        let mut stages = vec![
+            load.record.clone(),
+            discretized.record.clone(),
+            identify.record.clone(),
+        ];
+        let mut branches = Vec::new();
+        let mut failures = Vec::new();
+        for (idx, result) in ordered {
+            match result {
+                Ok(run) => {
+                    stages.extend(run.records.iter().cloned());
+                    branches.push(run.outcome.clone());
+                }
+                Err(e) => failures.push(BranchFailure {
+                    name: plan.branches[*idx].name.clone(),
+                    kind: e.kind(),
+                    error: e.to_string(),
+                }),
+            }
+        }
+        RunManifest {
+            dataset: plan.source.clone(),
+            seed: plan.seed,
+            threads: opts.threads,
+            status,
+            total_ms: started.elapsed().as_secs_f64() * 1e3,
+            stages,
+            branches,
+            failures,
+        }
+    };
+    let flush_snapshot = |runs: &[(usize, Result<BranchRun, PipelineError>)]| {
+        let Some(path) = &opts.manifest_out else {
+            return;
+        };
+        // best-effort: a failed snapshot never fails the run, the final
+        // write will surface persistent problems
+        match assemble(runs, RunStatus::Running).write_path(path) {
+            Ok(()) => manifest_obs.add("flushes", 1),
+            Err(_) => manifest_obs.add("flush_errors", 1),
+        }
+    };
+    flush_snapshot(&[]);
+
     // branch fan-out
     let n_workers = effective_workers(opts.threads, plan.branches.len());
     let next = AtomicUsize::new(0);
@@ -131,41 +222,80 @@ pub fn run_with(
                 let Some(branch) = plan.branches.get(idx) else {
                     break;
                 };
-                let result = run_branch(
-                    plan,
-                    branch,
-                    &discretized,
-                    &identify,
-                    &train_set,
-                    &test_set,
-                    &train_split_text,
-                    &train_split_hash,
-                    &cache,
-                    opts.force,
-                    &run_span,
-                );
-                results.lock().unwrap().push((idx, result));
+                // the branch boundary is the containment line: a panic
+                // (or error) here fails this branch, not the run
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    run_branch(
+                        plan,
+                        branch,
+                        &discretized,
+                        &identify,
+                        &train_set,
+                        &test_set,
+                        &train_split_text,
+                        &train_split_hash,
+                        &cache,
+                        opts.force,
+                        &run_span,
+                    )
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(PipelineError::stage_panic(panic_message(payload.as_ref())))
+                })
+                .map_err(|e| e.in_branch(&branch.name));
+                let guard = &mut *results.lock().unwrap();
+                guard.push((idx, result));
+                flush_snapshot(guard);
             });
         }
     });
 
-    let mut runs = results.into_inner().unwrap();
-    runs.sort_by_key(|(idx, _)| *idx);
-    let mut stages = vec![load.record, discretized.record, identify.record];
-    let mut branches = Vec::with_capacity(runs.len());
-    for (_, result) in runs {
-        let run = result?;
-        stages.extend(run.records);
-        branches.push(run.outcome);
+    let runs = results.into_inner().unwrap();
+    let failed = runs.iter().filter(|(_, r)| r.is_err()).count();
+    let status = match (failed, runs.len() - failed) {
+        (0, _) => RunStatus::Ok,
+        (_, 0) => RunStatus::Failed,
+        _ => RunStatus::Partial,
+    };
+    let manifest = assemble(&runs, status);
+    if let Some(path) = &opts.manifest_out {
+        manifest.write_path(path).map_err(|e| {
+            PipelineError::fatal(format!("cannot write manifest {}: {e}", path.display()))
+        })?;
     }
-    Ok(RunManifest {
-        dataset: plan.source.clone(),
-        seed: plan.seed,
-        threads: opts.threads,
-        total_ms: started.elapsed().as_secs_f64() * 1e3,
-        stages,
-        branches,
-    })
+    Ok(manifest)
+}
+
+/// Validates a prior run's manifest before resuming: it must parse (a
+/// damaged manifest is a [`CorruptArtifact`](crate::ErrorKind) error, not
+/// a panic) and describe the same dataset and seed as the plan being run.
+/// Resume then *is* the normal run — completed stages replay from the
+/// content-addressed cache, unfinished ones execute.
+fn resume_preflight(
+    plan: &Plan,
+    prior: &std::path::Path,
+    obs: &ObsScope,
+) -> Result<(), PipelineError> {
+    let manifest = RunManifest::from_path(prior)?;
+    if manifest.dataset != plan.source || manifest.seed != plan.seed {
+        return Err(PipelineError::invalid_plan(format!(
+            "cannot resume {}: it records dataset `{}` seed {}, but the plan runs dataset `{}` seed {}",
+            prior.display(),
+            manifest.dataset,
+            manifest.seed,
+            plan.source,
+            plan.seed
+        )));
+    }
+    obs.add_many(&[
+        ("prior_stages", manifest.stages.len() as u64),
+        ("prior_branches", manifest.branches.len() as u64),
+        (
+            "prior_incomplete",
+            u64::from(manifest.status != RunStatus::Ok),
+        ),
+    ]);
+    Ok(())
 }
 
 /// Worker count: bounded by the branch count, `0` means all cores.
@@ -250,7 +380,7 @@ fn run_branch(
     )?;
     records.push(audit.record.clone());
     let metrics = MetricsSummary::from_text(&audit.text)
-        .map_err(|e| PipelineError(format!("bad metrics artifact: {e}")))?;
+        .map_err(|e| PipelineError::corrupt(format!("bad metrics artifact: {e}")))?;
 
     Ok(BranchRun {
         records,

@@ -1,12 +1,162 @@
-//! The pipeline's single error type.
+//! The pipeline's structured error type.
+//!
+//! Every failure carries an [`ErrorKind`] so callers can decide *policy*
+//! from *classification*: transient faults are retried by
+//! [`crate::retry::RetryPolicy`], corrupt artifacts are quarantined and
+//! recomputed, invalid plans abort before any work starts, and stage
+//! panics are contained to their branch. Errors also carry the stage and
+//! branch they occurred in, so a failed branch in a wide fan-out is
+//! attributable without grepping logs.
+
+/// Failure classification; drives retry, quarantine, and containment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// A fault that may succeed if retried (interrupted/timed-out I/O,
+    /// injected fail-point errors). The only kind the retry loop replays.
+    Transient,
+    /// A permanent failure: retrying cannot help.
+    Fatal,
+    /// A stored artifact failed its integrity check or could not be
+    /// decoded; the entry is quarantined and the stage recomputed.
+    CorruptArtifact,
+    /// The plan (or a resume manifest) is malformed or inconsistent;
+    /// nothing was executed.
+    InvalidPlan,
+    /// A stage panicked; the panic was caught at the branch boundary.
+    StagePanic,
+}
+
+impl ErrorKind {
+    /// The manifest/JSON token for this kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Transient => "transient",
+            ErrorKind::Fatal => "fatal",
+            ErrorKind::CorruptArtifact => "corrupt-artifact",
+            ErrorKind::InvalidPlan => "invalid-plan",
+            ErrorKind::StagePanic => "stage-panic",
+        }
+    }
+
+    /// Parses a manifest/JSON token back into a kind.
+    pub fn parse(token: &str) -> Option<ErrorKind> {
+        Some(match token {
+            "transient" => ErrorKind::Transient,
+            "fatal" => ErrorKind::Fatal,
+            "corrupt-artifact" => ErrorKind::CorruptArtifact,
+            "invalid-plan" => ErrorKind::InvalidPlan,
+            "stage-panic" => ErrorKind::StagePanic,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Anything that can go wrong while parsing a plan or running it.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PipelineError(pub String);
+pub struct PipelineError {
+    kind: ErrorKind,
+    message: String,
+    stage: Option<String>,
+    branch: Option<String>,
+}
+
+impl PipelineError {
+    /// An error of the given kind with no stage/branch context yet.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> PipelineError {
+        PipelineError {
+            kind,
+            message: message.into(),
+            stage: None,
+            branch: None,
+        }
+    }
+
+    /// A [`ErrorKind::Fatal`] error.
+    pub fn fatal(message: impl Into<String>) -> PipelineError {
+        PipelineError::new(ErrorKind::Fatal, message)
+    }
+
+    /// A [`ErrorKind::Transient`] error (eligible for retry).
+    pub fn transient(message: impl Into<String>) -> PipelineError {
+        PipelineError::new(ErrorKind::Transient, message)
+    }
+
+    /// A [`ErrorKind::CorruptArtifact`] error.
+    pub fn corrupt(message: impl Into<String>) -> PipelineError {
+        PipelineError::new(ErrorKind::CorruptArtifact, message)
+    }
+
+    /// An [`ErrorKind::InvalidPlan`] error.
+    pub fn invalid_plan(message: impl Into<String>) -> PipelineError {
+        PipelineError::new(ErrorKind::InvalidPlan, message)
+    }
+
+    /// A [`ErrorKind::StagePanic`] error built from a caught panic payload.
+    pub fn stage_panic(message: impl Into<String>) -> PipelineError {
+        PipelineError::new(ErrorKind::StagePanic, message)
+    }
+
+    /// The failure classification.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// Whether a retry could plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        self.kind == ErrorKind::Transient
+    }
+
+    /// The bare message, without stage/branch context.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The stage this error occurred in, if attributed.
+    pub fn stage(&self) -> Option<&str> {
+        self.stage.as_deref()
+    }
+
+    /// The branch this error occurred in, if attributed.
+    pub fn branch(&self) -> Option<&str> {
+        self.branch.as_deref()
+    }
+
+    /// Attributes the error to a stage (first attribution wins, so the
+    /// innermost frame that knows the stage sets it).
+    pub fn in_stage(mut self, stage: &str) -> PipelineError {
+        self.stage.get_or_insert_with(|| stage.to_string());
+        self
+    }
+
+    /// Attributes the error to a branch (first attribution wins).
+    pub fn in_branch(mut self, branch: &str) -> PipelineError {
+        self.branch.get_or_insert_with(|| branch.to_string());
+        self
+    }
+
+    /// Rewrites the message, keeping the kind and any stage/branch
+    /// context (e.g. to prefix what operation the I/O error broke).
+    pub fn map_message(mut self, f: impl FnOnce(&str) -> String) -> PipelineError {
+        self.message = f(&self.message);
+        self
+    }
+}
 
 impl std::fmt::Display for PipelineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)?;
+        match (&self.stage, &self.branch) {
+            (Some(stage), Some(branch)) => write!(f, " (stage {stage}, branch {branch})"),
+            (Some(stage), None) => write!(f, " (stage {stage})"),
+            (None, Some(branch)) => write!(f, " (branch {branch})"),
+            (None, None) => Ok(()),
+        }
     }
 }
 
@@ -14,12 +164,89 @@ impl std::error::Error for PipelineError {}
 
 impl From<remedy_dataset::DatasetError> for PipelineError {
     fn from(e: remedy_dataset::DatasetError) -> Self {
-        PipelineError(e.to_string())
+        PipelineError::fatal(e.to_string())
     }
 }
 
 impl From<std::io::Error> for PipelineError {
     fn from(e: std::io::Error) -> Self {
-        PipelineError(format!("io error: {e}"))
+        let kind = match e.kind() {
+            std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::WouldBlock => ErrorKind::Transient,
+            _ => ErrorKind::Fatal,
+        };
+        PipelineError::new(kind, format!("io error: {e}"))
+    }
+}
+
+/// Renders a `catch_unwind` payload as a one-line message.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked (non-string payload)".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_message_plus_context() {
+        let bare = PipelineError::fatal("cannot read plan");
+        assert_eq!(bare.to_string(), "cannot read plan");
+        let attributed = PipelineError::transient("io error: timed out")
+            .in_stage("remedy")
+            .in_branch("ps");
+        assert_eq!(
+            attributed.to_string(),
+            "io error: timed out (stage remedy, branch ps)"
+        );
+        assert!(attributed.is_transient());
+        assert_eq!(attributed.stage(), Some("remedy"));
+        assert_eq!(attributed.branch(), Some("ps"));
+    }
+
+    #[test]
+    fn first_attribution_wins() {
+        let e = PipelineError::fatal("x")
+            .in_stage("train")
+            .in_stage("audit");
+        assert_eq!(e.stage(), Some("train"));
+    }
+
+    #[test]
+    fn io_errors_classify_by_kind() {
+        let timeout: PipelineError =
+            std::io::Error::new(std::io::ErrorKind::TimedOut, "slow disk").into();
+        assert_eq!(timeout.kind(), ErrorKind::Transient);
+        let missing: PipelineError =
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert_eq!(missing.kind(), ErrorKind::Fatal);
+        assert!(missing.to_string().starts_with("io error:"));
+    }
+
+    #[test]
+    fn kind_tokens_round_trip() {
+        for kind in [
+            ErrorKind::Transient,
+            ErrorKind::Fatal,
+            ErrorKind::CorruptArtifact,
+            ErrorKind::InvalidPlan,
+            ErrorKind::StagePanic,
+        ] {
+            assert_eq!(ErrorKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(ErrorKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn panic_payloads_render() {
+        let caught = std::panic::catch_unwind(|| panic!("boom {}", 7)).expect_err("must panic");
+        assert_eq!(panic_message(caught.as_ref()), "panicked: boom 7");
     }
 }

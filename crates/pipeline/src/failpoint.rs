@@ -1,0 +1,180 @@
+//! Deterministic fault injection for tests.
+//!
+//! A fail point is a named site in the pipeline (cache store, cache
+//! replay, stage execution) where a fault can be armed: return a
+//! [`ErrorKind::Transient`](crate::ErrorKind::Transient) error, or panic.
+//! Each armed fault carries a count and fires exactly that many times,
+//! so tests exercise retry loops, panic containment, and resume without
+//! any real I/O flakiness.
+//!
+//! The registry is compiled only under the `failpoints` cargo feature;
+//! with the feature off every check is an inline `Ok(())` and the
+//! registry costs nothing. Faults are armed either programmatically
+//! (`set`) or through the `REMEDY_FAILPOINTS` environment variable,
+//! parsed on first use:
+//!
+//! ```text
+//! REMEDY_FAILPOINTS=stage.store=err(2);stage.run.remedy=panic(1)
+//! ```
+//!
+//! Sites are hierarchical: a check at `("stage.run", "remedy")` first
+//! looks up the qualified name `stage.run.remedy`, then the bare group
+//! `stage.run`, so a fault can target one stage kind or all of them.
+//! The sites wired into the pipeline are `stage.store.<stage>`,
+//! `stage.replay.<stage>`, and `stage.run.<stage>`.
+
+#[cfg(feature = "failpoints")]
+pub use enabled::{check, clear, set, Action};
+
+#[cfg(feature = "failpoints")]
+mod enabled {
+    use crate::error::PipelineError;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    /// What an armed fail point does when hit.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Action {
+        /// Return a transient error (the retryable kind).
+        Err,
+        /// Panic (exercises `catch_unwind` containment).
+        Panic,
+    }
+
+    struct Armed {
+        action: Action,
+        remaining: u64,
+    }
+
+    fn registry() -> &'static Mutex<HashMap<String, Armed>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, Armed>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| {
+            let mut map = HashMap::new();
+            if let Ok(spec) = std::env::var("REMEDY_FAILPOINTS") {
+                for (site, armed) in parse_spec(&spec) {
+                    map.insert(site, armed);
+                }
+            }
+            Mutex::new(map)
+        })
+    }
+
+    /// Parses `site=action(count);site=action(count)`; malformed clauses
+    /// are skipped (fault injection must never break a real run).
+    fn parse_spec(spec: &str) -> Vec<(String, Armed)> {
+        spec.split(';')
+            .filter_map(|clause| {
+                let (site, rhs) = clause.trim().split_once('=')?;
+                let (action, count) = rhs.trim().split_once('(')?;
+                let count: u64 = count.strip_suffix(')')?.parse().ok()?;
+                let action = match action {
+                    "err" => Action::Err,
+                    "panic" => Action::Panic,
+                    _ => return None,
+                };
+                Some((
+                    site.trim().to_string(),
+                    Armed {
+                        action,
+                        remaining: count,
+                    },
+                ))
+            })
+            .collect()
+    }
+
+    /// Arms `site` to perform `action` the next `count` times it is hit.
+    pub fn set(site: &str, action: Action, count: u64) {
+        registry().lock().unwrap().insert(
+            site.to_string(),
+            Armed {
+                action,
+                remaining: count,
+            },
+        );
+    }
+
+    /// Disarms every fail point.
+    pub fn clear() {
+        registry().lock().unwrap().clear();
+    }
+
+    /// Fires the fault armed at `group.detail` (or the bare `group`), if
+    /// any: decrements its count, then errors or panics.
+    pub fn check(group: &str, detail: &str) -> Result<(), PipelineError> {
+        let qualified = format!("{group}.{detail}");
+        let action = {
+            let mut map = registry().lock().unwrap();
+            let hit = [qualified.as_str(), group]
+                .into_iter()
+                .find(|site| map.get(*site).is_some_and(|a| a.remaining > 0));
+            hit.map(|site| {
+                let armed = map.get_mut(site).expect("checked above");
+                armed.remaining -= 1;
+                armed.action
+            })
+        };
+        match action {
+            None => Ok(()),
+            Some(Action::Err) => Err(PipelineError::transient(format!(
+                "failpoint {qualified}: injected transient fault"
+            ))),
+            Some(Action::Panic) => panic!("failpoint {qualified}: injected panic"),
+        }
+    }
+}
+
+/// With the `failpoints` feature off, every check is an inline no-op.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn check(_group: &str, _detail: &str) -> Result<(), crate::error::PipelineError> {
+    Ok(())
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+    use crate::error::ErrorKind;
+
+    // The registry is process-global; tests that arm faults serialize on
+    // this lock so parallel test threads don't trip each other's faults.
+    pub(crate) fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    #[test]
+    fn counted_err_fires_then_exhausts() {
+        let _guard = lock();
+        clear();
+        set("stage.store", Action::Err, 2);
+        let first = check("stage.store", "identify").unwrap_err();
+        assert_eq!(first.kind(), ErrorKind::Transient);
+        assert!(check("stage.store", "train").is_err());
+        assert!(check("stage.store", "train").is_ok(), "count exhausted");
+        clear();
+    }
+
+    #[test]
+    fn qualified_site_takes_precedence_and_scopes() {
+        let _guard = lock();
+        clear();
+        set("stage.run.remedy", Action::Err, 1);
+        assert!(check("stage.run", "train").is_ok(), "other stages unhurt");
+        assert!(check("stage.run", "remedy").is_err());
+        assert!(check("stage.run", "remedy").is_ok());
+        clear();
+    }
+
+    #[test]
+    fn panic_action_panics() {
+        let _guard = lock();
+        clear();
+        set("stage.run", Action::Panic, 1);
+        let payload = std::panic::catch_unwind(|| check("stage.run", "audit"))
+            .expect_err("armed panic failpoint must panic");
+        assert!(crate::error::panic_message(payload.as_ref()).contains("injected panic"));
+        assert!(check("stage.run", "audit").is_ok(), "count exhausted");
+        clear();
+    }
+}

@@ -38,15 +38,26 @@
 //! # Ok::<(), remedy_pipeline::PipelineError>(())
 //! ```
 
+//! * **Fault tolerance** — errors carry an [`ErrorKind`] taxonomy that
+//!   drives policy: transient I/O is retried ([`retry`]), corrupt cache
+//!   entries are quarantined and recomputed ([`cache`]), stage panics are
+//!   contained to their branch ([`engine`]), and killed runs resume from
+//!   their incrementally-flushed manifest. The [`failpoint`] registry
+//!   (behind the `failpoints` feature) injects faults deterministically
+//!   for tests.
+
 pub mod cache;
 pub mod engine;
 pub mod error;
+pub mod failpoint;
 pub mod manifest;
 pub mod plan;
+pub mod retry;
 pub mod stages;
 
 pub use cache::{ArtifactCache, CacheKey, GcPolicy, GcStats};
 pub use engine::{run, run_with, PipelineOptions};
-pub use error::PipelineError;
-pub use manifest::{BranchOutcome, RunManifest, StageRecord};
+pub use error::{ErrorKind, PipelineError};
+pub use manifest::{BranchFailure, BranchOutcome, RunManifest, RunStatus, StageRecord};
 pub use plan::{BranchSpec, ModelFamily, Plan};
+pub use retry::RetryPolicy;

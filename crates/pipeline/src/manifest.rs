@@ -4,8 +4,62 @@
 //! per executed (or cache-satisfied, or skipped) stage plus per-branch
 //! outcome metrics. The manifest serializes to JSON by hand, in the same
 //! no-dependency spirit as the `remedy-classifiers::persist` text formats.
+//!
+//! The manifest is also the pipeline's crash artifact: the engine
+//! rewrites it atomically (temp file + rename) after the shared prefix
+//! and after every branch, with `status: "running"`, so a killed run
+//! always leaves a well-formed snapshot of how far it got. `remedy
+//! pipeline --resume` parses that snapshot back with
+//! [`RunManifest::from_json`] — a hand-rolled JSON reader that returns a
+//! structured [`ErrorKind::CorruptArtifact`] error on malformed or
+//! truncated input instead of panicking, because damaged manifests are
+//! exactly what killed runs leave behind.
 
-use remedy_fairness::MetricsSummary;
+use crate::error::{ErrorKind, PipelineError};
+use remedy_fairness::{MetricsSummary, Statistic};
+
+/// Where a run ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The run is still in flight (only ever seen in incremental
+    /// snapshots — or in the manifest a killed run left behind).
+    Running,
+    /// Every branch completed.
+    Ok,
+    /// Some branches failed (panic or error) but at least one completed.
+    Partial,
+    /// Every branch failed.
+    Failed,
+}
+
+impl RunStatus {
+    /// The manifest JSON token.
+    pub fn name(self) -> &'static str {
+        match self {
+            RunStatus::Running => "running",
+            RunStatus::Ok => "ok",
+            RunStatus::Partial => "partial",
+            RunStatus::Failed => "failed",
+        }
+    }
+
+    /// Parses a manifest JSON token back into a status.
+    pub fn parse(token: &str) -> Option<RunStatus> {
+        Some(match token {
+            "running" => RunStatus::Running,
+            "ok" => RunStatus::Ok,
+            "partial" => RunStatus::Partial,
+            "failed" => RunStatus::Failed,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for RunStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// One stage execution in the manifest.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +97,17 @@ pub struct BranchOutcome {
     pub metrics: MetricsSummary,
 }
 
+/// A branch that did not produce an outcome: its error, classified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchFailure {
+    /// Branch name from the plan.
+    pub name: String,
+    /// The failure classification (`stage-panic`, `transient`, …).
+    pub kind: ErrorKind,
+    /// The rendered error, including stage/branch attribution.
+    pub error: String,
+}
+
 /// The full record of one pipeline run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunManifest {
@@ -52,6 +117,8 @@ pub struct RunManifest {
     pub seed: u64,
     /// Worker threads used for branch fan-out (0 = all cores).
     pub threads: usize,
+    /// Where the run ended up (or `Running` for in-flight snapshots).
+    pub status: RunStatus,
     /// Total wall-clock time, milliseconds.
     pub total_ms: f64,
     /// Every stage, shared prefix first, then branch stages in branch
@@ -59,6 +126,8 @@ pub struct RunManifest {
     pub stages: Vec<StageRecord>,
     /// Per-branch outcomes, in plan order.
     pub branches: Vec<BranchOutcome>,
+    /// Branches that failed, in plan order; empty on an `Ok` run.
+    pub failures: Vec<BranchFailure>,
 }
 
 impl RunManifest {
@@ -81,6 +150,10 @@ impl RunManifest {
         out.push_str(&format!("  \"dataset\": {},\n", json_str(&self.dataset)));
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!(
+            "  \"status\": {},\n",
+            json_str(self.status.name())
+        ));
         out.push_str(&format!("  \"total_ms\": {},\n", json_f64(self.total_ms)));
         out.push_str("  \"stages\": [\n");
         for (i, s) in self.stages.iter().enumerate() {
@@ -137,14 +210,168 @@ impl RunManifest {
             }
             out.push('\n');
         }
+        out.push_str("  ],\n");
+        out.push_str("  \"failures\": [\n");
+        for (i, f) in self.failures.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"name\": {}, ", json_str(&f.name)));
+            out.push_str(&format!("\"kind\": {}, ", json_str(f.kind.name())));
+            out.push_str(&format!("\"error\": {}", json_str(&f.error)));
+            out.push('}');
+            if i + 1 < self.failures.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
         out.push_str("  ]\n}\n");
         out
     }
 
-    /// Writes the JSON manifest to disk.
+    /// Writes the JSON manifest to disk atomically (temp file + rename),
+    /// so a reader — or a kill — never observes a half-written manifest.
     pub fn write_path(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+        let path = path.as_ref();
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
     }
+
+    /// Parses a manifest written by [`RunManifest::to_json`].
+    ///
+    /// Damaged input — truncated files, torn writes, hand-edits — yields
+    /// an [`ErrorKind::CorruptArtifact`] error describing the first
+    /// problem, never a panic.
+    pub fn from_json(text: &str) -> Result<RunManifest, PipelineError> {
+        let root = json::parse(text)?;
+        let dataset = root.str_field("dataset")?.to_string();
+        let seed = root.u64_field("seed")?;
+        let threads = root.u64_field("threads")? as usize;
+        let status = root.str_field("status").ok().map_or(
+            // manifests predating the status field were complete runs
+            Ok(RunStatus::Ok),
+            |token| {
+                RunStatus::parse(token)
+                    .ok_or_else(|| corrupt(format!("unknown run status `{token}`")))
+            },
+        )?;
+        let total_ms = root.f64_field("total_ms")?;
+
+        let mut stages = Vec::new();
+        for (i, s) in root.arr_field("stages")?.iter().enumerate() {
+            let in_stage = |e: PipelineError| e.map_message(|m| format!("stages[{i}]: {m}"));
+            let stage = intern_stage(s.str_field("stage").map_err(in_stage)?)
+                .ok_or_else(|| corrupt(format!("stages[{i}]: unknown stage kind")))?;
+            let branch = match s.field("branch") {
+                Some(json::Value::Null) | None => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or_else(|| corrupt(format!("stages[{i}]: branch is not a string")))?
+                        .to_string(),
+                ),
+            };
+            let mut counters: Vec<(String, u64)> = Vec::new();
+            if let Some(json::Value::Obj(fields)) = s.field("counters") {
+                for (name, v) in fields {
+                    let value = v
+                        .as_u64()
+                        .ok_or_else(|| corrupt(format!("stages[{i}]: bad counter `{name}`")))?;
+                    counters.push((name.clone(), value));
+                }
+            }
+            stages.push(StageRecord {
+                stage,
+                branch,
+                key: s.str_field("key").map_err(in_stage)?.to_string(),
+                artifact_hash: s.str_field("artifact_hash").map_err(in_stage)?.to_string(),
+                cache_hit: s.bool_field("cache_hit").map_err(in_stage)?,
+                skipped: s.bool_field("skipped").map_err(in_stage)?,
+                wall_ms: s.f64_field("wall_ms").map_err(in_stage)?,
+                counters,
+            });
+        }
+
+        let mut branches = Vec::new();
+        for (i, b) in root.arr_field("branches")?.iter().enumerate() {
+            let in_branch = |e: PipelineError| e.map_message(|m| format!("branches[{i}]: {m}"));
+            let stat = b.str_field("stat").map_err(in_branch)?;
+            let statistic = parse_stat(stat)
+                .ok_or_else(|| corrupt(format!("branches[{i}]: unknown statistic `{stat}`")))?;
+            branches.push(BranchOutcome {
+                name: b.str_field("name").map_err(in_branch)?.to_string(),
+                technique: b.str_field("technique").map_err(in_branch)?.to_string(),
+                model: b.str_field("model").map_err(in_branch)?.to_string(),
+                metrics: MetricsSummary {
+                    statistic,
+                    accuracy: b.f64_field("accuracy").map_err(in_branch)?,
+                    fairness_index: b.f64_field("fairness_index").map_err(in_branch)?,
+                    unfair_subgroups: b.u64_field("unfair_subgroups").map_err(in_branch)?,
+                    test_rows: b.u64_field("test_rows").map_err(in_branch)?,
+                },
+            });
+        }
+
+        let mut failures = Vec::new();
+        if let Ok(list) = root.arr_field("failures") {
+            for (i, f) in list.iter().enumerate() {
+                let in_failure =
+                    |e: PipelineError| e.map_message(|m| format!("failures[{i}]: {m}"));
+                let token = f.str_field("kind").map_err(in_failure)?;
+                let kind = ErrorKind::parse(token)
+                    .ok_or_else(|| corrupt(format!("failures[{i}]: unknown kind `{token}`")))?;
+                failures.push(BranchFailure {
+                    name: f.str_field("name").map_err(in_failure)?.to_string(),
+                    kind,
+                    error: f.str_field("error").map_err(in_failure)?.to_string(),
+                });
+            }
+        }
+
+        Ok(RunManifest {
+            dataset,
+            seed,
+            threads,
+            status,
+            total_ms,
+            stages,
+            branches,
+            failures,
+        })
+    }
+
+    /// Reads and parses a manifest file.
+    pub fn from_path(path: impl AsRef<std::path::Path>) -> Result<RunManifest, PipelineError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            PipelineError::fatal(format!("cannot read manifest {}: {e}", path.display()))
+        })?;
+        RunManifest::from_json(&text)
+            .map_err(|e| e.map_message(|m| format!("manifest {}: {m}", path.display())))
+    }
+}
+
+/// Maps a parsed stage kind onto the static names [`StageRecord`] uses;
+/// anything else means the manifest was not written by this pipeline.
+fn intern_stage(stage: &str) -> Option<&'static str> {
+    ["load", "discretize", "identify", "remedy", "train", "audit"]
+        .into_iter()
+        .find(|known| *known == stage)
+}
+
+/// Parses the audit statistic token the manifest writes (`FPR`, …).
+fn parse_stat(token: &str) -> Option<Statistic> {
+    Some(match token {
+        "FPR" => Statistic::Fpr,
+        "FNR" => Statistic::Fnr,
+        "ACC" => Statistic::Accuracy,
+        "SEL" => Statistic::SelectionRate,
+        _ => return None,
+    })
+}
+
+fn corrupt(msg: String) -> PipelineError {
+    PipelineError::corrupt(msg)
 }
 
 /// Escapes a string as a JSON string literal.
@@ -176,6 +403,294 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+/// A minimal JSON reader for run manifests — strict enough to reject any
+/// damage a kill can inflict, with errors instead of panics, and zero
+/// dependencies like the rest of the workspace.
+mod json {
+    use super::corrupt;
+    use crate::error::PipelineError;
+
+    /// A parsed JSON value. Numbers keep their source text so `u64`
+    /// seeds survive without a round-trip through `f64`.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(String),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn field(&self, name: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(n) => n.parse().ok(),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => n.parse().ok(),
+                // the writer renders NaN/∞ as null
+                Value::Null => Some(f64::NAN),
+                _ => None,
+            }
+        }
+
+        pub fn str_field(&self, name: &str) -> Result<&str, PipelineError> {
+            self.field(name)
+                .and_then(Value::as_str)
+                .ok_or_else(|| corrupt(format!("missing string field `{name}`")))
+        }
+
+        pub fn u64_field(&self, name: &str) -> Result<u64, PipelineError> {
+            self.field(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| corrupt(format!("missing integer field `{name}`")))
+        }
+
+        pub fn f64_field(&self, name: &str) -> Result<f64, PipelineError> {
+            self.field(name)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| corrupt(format!("missing number field `{name}`")))
+        }
+
+        pub fn bool_field(&self, name: &str) -> Result<bool, PipelineError> {
+            match self.field(name) {
+                Some(Value::Bool(b)) => Ok(*b),
+                _ => Err(corrupt(format!("missing boolean field `{name}`"))),
+            }
+        }
+
+        pub fn arr_field(&self, name: &str) -> Result<&[Value], PipelineError> {
+            match self.field(name) {
+                Some(Value::Arr(items)) => Ok(items),
+                _ => Err(corrupt(format!("missing array field `{name}`"))),
+            }
+        }
+    }
+
+    /// Parses one JSON document; trailing garbage is an error.
+    pub fn parse(text: &str) -> Result<Value, PipelineError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing garbage after document"));
+        }
+        Ok(value)
+    }
+
+    /// Nesting deeper than this is rejected rather than risking the
+    /// recursive parser blowing the stack on adversarial input.
+    const MAX_DEPTH: usize = 64;
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn err(&self, msg: &str) -> PipelineError {
+            corrupt(format!(
+                "malformed manifest JSON at byte {}: {msg}",
+                self.pos
+            ))
+        }
+
+        fn skip_ws(&mut self) {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+            {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn eat(&mut self, expected: u8) -> Result<(), PipelineError> {
+            if self.peek() == Some(expected) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(self.err(&format!("expected `{}`", expected as char)))
+            }
+        }
+
+        fn literal(&mut self, word: &str, value: Value) -> Result<Value, PipelineError> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(value)
+            } else {
+                Err(self.err(&format!("expected `{word}`")))
+            }
+        }
+
+        fn value(&mut self, depth: usize) -> Result<Value, PipelineError> {
+            if depth > MAX_DEPTH {
+                return Err(self.err("nesting too deep"));
+            }
+            match self.peek() {
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'"') => self.string().map(Value::Str),
+                Some(b'[') => self.array(depth),
+                Some(b'{') => self.object(depth),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                Some(other) => Err(self.err(&format!("unexpected byte 0x{other:02x}"))),
+                None => Err(self.err("unexpected end of input")),
+            }
+        }
+
+        fn string(&mut self) -> Result<String, PipelineError> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err(self.err("unterminated string")),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                    .ok_or_else(|| self.err("bad \\u escape"))?;
+                                // the writer only emits \u for control
+                                // chars; surrogate pairs are out of scope
+                                out.push(
+                                    char::from_u32(hex)
+                                        .ok_or_else(|| self.err("bad \\u escape"))?,
+                                );
+                                self.pos += 4;
+                            }
+                            _ => return Err(self.err("bad escape")),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // strings are valid UTF-8 (the input is &str);
+                        // copy the whole multi-byte char through
+                        let rest = &self.bytes[self.pos..];
+                        let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                        let c = s.chars().next().expect("non-empty by peek");
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, PipelineError> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|b| {
+                b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-')
+            }) {
+                self.pos += 1;
+            }
+            let text =
+                std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits are UTF-8");
+            if text.parse::<f64>().is_err() {
+                return Err(self.err(&format!("bad number `{text}`")));
+            }
+            Ok(Value::Num(text.to_string()))
+        }
+
+        fn array(&mut self, depth: usize) -> Result<Value, PipelineError> {
+            self.eat(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value(depth + 1)?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(self.err("expected `,` or `]`")),
+                }
+            }
+        }
+
+        fn object(&mut self, depth: usize) -> Result<Value, PipelineError> {
+            self.eat(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.eat(b':')?;
+                self.skip_ws();
+                let value = self.value(depth + 1)?;
+                fields.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(self.err("expected `,` or `}`")),
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +701,7 @@ mod tests {
             dataset: "compas".into(),
             seed: 42,
             threads: 2,
+            status: RunStatus::Ok,
             total_ms: 12.5,
             stages: vec![
                 StageRecord {
@@ -221,6 +737,7 @@ mod tests {
                     test_rows: 600,
                 },
             }],
+            failures: Vec::new(),
         }
     }
 
@@ -237,6 +754,7 @@ mod tests {
     fn json_is_wellformed() {
         let json = sample().to_json();
         assert!(json.contains("\"dataset\": \"compas\""));
+        assert!(json.contains("\"status\": \"ok\""));
         assert!(json.contains("\"cache_hit\": true"));
         assert!(json.contains("\"branch\": null"));
         assert!(json.contains("\"fairness_index\": 0.125"));
@@ -254,5 +772,90 @@ mod tests {
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(json_f64(f64::NAN), "null");
         assert_eq!(json_f64(0.5), "0.5");
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let mut m = sample();
+        m.status = RunStatus::Partial;
+        m.failures.push(BranchFailure {
+            name: "us".into(),
+            kind: ErrorKind::StagePanic,
+            error: "panicked: boom (stage train, branch us)".into(),
+        });
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+        // and the re-serialization is byte-identical
+        assert_eq!(back.to_json(), m.to_json());
+    }
+
+    #[test]
+    fn large_seed_survives_round_trip() {
+        let mut m = sample();
+        // not representable as f64: a float round-trip would corrupt it
+        m.seed = u64::MAX - 1;
+        assert_eq!(RunManifest::from_json(&m.to_json()).unwrap().seed, m.seed);
+    }
+
+    /// Regression: a damaged manifest — the exact artifact a killed run
+    /// leaves behind — must come back as a structured error, not a panic.
+    #[test]
+    fn malformed_manifests_error_instead_of_panicking() {
+        let full = sample().to_json();
+        // truncate at every prefix length: none may panic, all must error
+        for len in 0..full.len() - 1 {
+            let err = RunManifest::from_json(&full[..len]).expect_err("truncated manifest parsed");
+            assert_eq!(err.kind(), ErrorKind::CorruptArtifact, "at len {len}");
+        }
+        for bad in [
+            "",
+            "not json at all",
+            "[1, 2, 3]",
+            "{\"dataset\": 42}",
+            "{\"dataset\": \"compas\", \"seed\": \"nine\"}",
+            &format!("{full}trailing"),
+            &full.replace("\"stage\": \"load\"", "\"stage\": \"warp\""),
+            &full.replace("\"status\": \"ok\"", "\"status\": \"exploded\""),
+        ] {
+            let err = RunManifest::from_json(bad).expect_err("damaged manifest parsed");
+            assert_eq!(err.kind(), ErrorKind::CorruptArtifact);
+            assert!(
+                !err.to_string().contains('\n'),
+                "diagnostic must be one line"
+            );
+        }
+    }
+
+    #[test]
+    fn manifests_without_a_status_field_read_as_ok() {
+        let legacy = sample().to_json().replace("  \"status\": \"ok\",\n", "");
+        let m = RunManifest::from_json(&legacy).unwrap();
+        assert_eq!(m.status, RunStatus::Ok);
+    }
+
+    #[test]
+    fn status_tokens_round_trip() {
+        for status in [
+            RunStatus::Running,
+            RunStatus::Ok,
+            RunStatus::Partial,
+            RunStatus::Failed,
+        ] {
+            assert_eq!(RunStatus::parse(status.name()), Some(status));
+        }
+        assert_eq!(RunStatus::parse("nope"), None);
+    }
+
+    #[test]
+    fn write_path_is_atomic_and_readable_back() {
+        let dir = std::env::temp_dir().join("remedy_manifest_test_atomic");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.json");
+        let m = sample();
+        m.write_path(&path).unwrap();
+        assert_eq!(RunManifest::from_path(&path).unwrap(), m);
+        // no temp litter
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
     }
 }

@@ -58,7 +58,7 @@ impl ModelFamily {
             "rf" => Ok(ModelFamily::RandomForest),
             "lg" => Ok(ModelFamily::LogisticRegression),
             "nb" => Ok(ModelFamily::NaiveBayes),
-            other => Err(PipelineError(format!(
+            other => Err(PipelineError::invalid_plan(format!(
                 "model `{other}` is not dt|rf|lg|nb (nn cannot be persisted as an artifact)"
             ))),
         }
@@ -173,8 +173,9 @@ impl Plan {
 
     /// Reads and parses a plan file.
     pub fn from_path(path: impl AsRef<Path>) -> Result<Plan, PipelineError> {
-        let text = std::fs::read_to_string(&path)
-            .map_err(|e| PipelineError(format!("cannot read {}: {e}", path.as_ref().display())))?;
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            PipelineError::fatal(format!("cannot read {}: {e}", path.as_ref().display()))
+        })?;
         Plan::parse(&text)
     }
 
@@ -184,7 +185,7 @@ impl Plan {
     /// without a technique, or on parameters outside the builder's domain.
     pub fn remedy_params(&self, branch: &BranchSpec) -> Result<RemedyParams, PipelineError> {
         let technique = branch.technique.ok_or_else(|| {
-            PipelineError(format!("branch `{}` has no remedy technique", branch.name))
+            PipelineError::invalid_plan(format!("branch `{}` has no remedy technique", branch.name))
         })?;
         RemedyParams::builder()
             .technique(technique)
@@ -194,35 +195,35 @@ impl Plan {
             .scope(self.ibs.scope)
             .seed(self.seed)
             .build()
-            .map_err(|e| PipelineError(format!("branch `{}`: {e}", branch.name)))
+            .map_err(|e| PipelineError::invalid_plan(format!("branch `{}`: {e}", branch.name)))
     }
 
     fn validate(&self) -> Result<(), PipelineError> {
         if self.source.is_empty() {
-            return Err(PipelineError("plan needs a `dataset` line".into()));
+            return Err(PipelineError::invalid_plan("plan needs a `dataset` line"));
         }
         // the parser mutates `ibs` field-by-field, so the builder's domain
         // checks are re-run here over the shared params and every branch
         // neighborhood override
         self.ibs
             .validate()
-            .map_err(|e| PipelineError(format!("plan ibs params: {e}")))?;
+            .map_err(|e| PipelineError::invalid_plan(format!("plan ibs params: {e}")))?;
         for b in &self.branches {
             if let Some(n) = b.neighborhood {
                 let mut probe = self.ibs.clone();
                 probe.neighborhood = n;
-                probe
-                    .validate()
-                    .map_err(|e| PipelineError(format!("branch `{}`: {e}", b.name)))?;
+                probe.validate().map_err(|e| {
+                    PipelineError::invalid_plan(format!("branch `{}`: {e}", b.name))
+                })?;
             }
         }
         if self.branches.is_empty() {
-            return Err(PipelineError(
-                "plan needs at least one `branch` line".into(),
+            return Err(PipelineError::invalid_plan(
+                "plan needs at least one `branch` line",
             ));
         }
         if !(self.split > 0.0 && self.split < 1.0) {
-            return Err(PipelineError(format!(
+            return Err(PipelineError::invalid_plan(format!(
                 "split {} is not in (0, 1)",
                 self.split
             )));
@@ -230,23 +231,28 @@ impl Plan {
         let mut names: Vec<&str> = self.branches.iter().map(|b| b.name.as_str()).collect();
         names.sort_unstable();
         if let Some(w) = names.windows(2).find(|w| w[0] == w[1]) {
-            return Err(PipelineError(format!("duplicate branch name `{}`", w[0])));
+            return Err(PipelineError::invalid_plan(format!(
+                "duplicate branch name `{}`",
+                w[0]
+            )));
         }
         let is_builtin = matches!(self.source.as_str(), "adult" | "compas" | "law");
         if !is_builtin && self.label.is_none() {
-            return Err(PipelineError(
-                "CSV sources need a `label` line (and `protected`)".into(),
+            return Err(PipelineError::invalid_plan(
+                "CSV sources need a `label` line (and `protected`)",
             ));
         }
         if !is_builtin && self.protected.is_empty() {
-            return Err(PipelineError("CSV sources need a `protected` line".into()));
+            return Err(PipelineError::invalid_plan(
+                "CSV sources need a `protected` line",
+            ));
         }
         Ok(())
     }
 }
 
 fn at(idx: usize, msg: String) -> PipelineError {
-    PipelineError(format!("plan line {}: {msg}", idx + 1))
+    PipelineError::invalid_plan(format!("plan line {}: {msg}", idx + 1))
 }
 
 fn parse_num<T: std::str::FromStr>(idx: usize, key: &str, value: &str) -> Result<T, PipelineError> {
@@ -319,7 +325,9 @@ fn parse_branch(idx: usize, value: &str) -> Result<BranchSpec, PipelineError> {
                     }
                 })
             }
-            "model" => model = Some(ModelFamily::parse(v).map_err(|e| at(idx, e.0))?),
+            "model" => {
+                model = Some(ModelFamily::parse(v).map_err(|e| at(idx, e.message().to_string()))?)
+            }
             "neighborhood" => neighborhood = Some(parse_neighborhood(idx, v)?),
             other => return Err(at(idx, format!("unknown branch option `{other}`"))),
         }

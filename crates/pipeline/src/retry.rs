@@ -1,0 +1,165 @@
+//! Bounded, deterministic retry with exponential backoff.
+//!
+//! Only [`ErrorKind::Transient`](crate::ErrorKind::Transient) failures
+//! are retried; every other kind propagates immediately (retrying a
+//! corrupt artifact or an invalid plan can only waste time). Backoff
+//! doubles per attempt and is jittered by a [`SplitRng`] seeded from the
+//! policy seed and the site name, so two runs of the same plan sleep the
+//! same schedule — determinism extends to the failure path.
+
+use crate::error::PipelineError;
+use remedy_dataset::split::SplitRng;
+use remedy_obs::Scope as ObsScope;
+use std::time::Duration;
+
+/// How transient failures are retried at one call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries *after* the first attempt; `0` disables retrying.
+    pub retries: u32,
+    /// Backoff before retry `n` is `base * 2ⁿ`, jittered to 50–100 %.
+    pub base: Duration,
+    /// Seed for the jitter stream (normally the plan's master seed).
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: transient errors propagate on first failure.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            retries: 0,
+            base: Duration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// A policy with `retries` extra attempts starting at `base_ms`.
+    pub fn new(retries: u32, base_ms: u64, seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            retries,
+            base: Duration::from_millis(base_ms),
+            seed,
+        }
+    }
+
+    /// The jittered backoff before retry `attempt` (0-based): the
+    /// exponential delay scaled into its upper half by the seeded stream.
+    pub fn backoff(&self, site: &str, attempt: u32) -> Duration {
+        let mut rng = SplitRng::new(self.seed ^ site_hash(site) ^ u64::from(attempt));
+        let exp = self.base.saturating_mul(1u32 << attempt.min(16));
+        exp.mul_f64(0.5 + rng.unit() * 0.5)
+    }
+
+    /// Runs `op`, retrying transient failures up to the policy bound.
+    /// Each retry sleeps the jittered backoff and bumps `retry.attempts`
+    /// on `obs`; giving up bumps `retry.exhausted`.
+    pub fn run<T>(
+        &self,
+        site: &str,
+        obs: &ObsScope,
+        mut op: impl FnMut() -> Result<T, PipelineError>,
+    ) -> Result<T, PipelineError> {
+        for attempt in 0..=self.retries {
+            match op() {
+                Ok(value) => return Ok(value),
+                Err(e) if e.is_transient() && attempt < self.retries => {
+                    obs.add("retry.attempts", 1);
+                    std::thread::sleep(self.backoff(site, attempt));
+                }
+                Err(e) => {
+                    if e.is_transient() && self.retries > 0 {
+                        obs.add("retry.exhausted", 1);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        unreachable!("loop returns on the last attempt");
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::none()
+    }
+}
+
+/// FNV-1a over the site name, for seeding the per-site jitter stream.
+fn site_hash(site: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in site.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy::new(3, 1, 42)
+    }
+
+    #[test]
+    fn transient_errors_are_retried_to_success() {
+        let failures = Cell::new(2u32);
+        let result = policy().run("cache.store", &ObsScope::disabled(), || {
+            if failures.get() > 0 {
+                failures.set(failures.get() - 1);
+                Err(PipelineError::transient("flaky"))
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(result.unwrap(), 7);
+        assert_eq!(failures.get(), 0);
+    }
+
+    #[test]
+    fn fatal_errors_are_not_retried() {
+        let calls = Cell::new(0u32);
+        let result: Result<(), _> = policy().run("cache.store", &ObsScope::disabled(), || {
+            calls.set(calls.get() + 1);
+            Err(PipelineError::fatal("disk on fire"))
+        });
+        assert!(result.is_err());
+        assert_eq!(calls.get(), 1, "fatal error must not be retried");
+    }
+
+    #[test]
+    fn bounded_attempts_then_error_propagates() {
+        let rec = remedy_obs::Recorder::enabled();
+        let obs = rec.scope("cache");
+        let calls = Cell::new(0u32);
+        let result: Result<(), _> = policy().run("cache.replay", &obs, || {
+            calls.set(calls.get() + 1);
+            Err(PipelineError::transient("always down"))
+        });
+        assert!(result.unwrap_err().is_transient());
+        assert_eq!(calls.get(), 4, "1 attempt + 3 retries");
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("cache", "retry.attempts"), Some(3));
+        assert_eq!(snap.counter("cache", "retry.exhausted"), Some(1));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_jittered() {
+        let p = RetryPolicy::new(5, 100, 9);
+        for attempt in 0..5 {
+            let d = p.backoff("site", attempt);
+            assert_eq!(d, p.backoff("site", attempt), "same seed, same delay");
+            let exp = Duration::from_millis(100 << attempt);
+            assert!(
+                d >= exp.mul_f64(0.5) && d <= exp,
+                "attempt {attempt}: {d:?}"
+            );
+        }
+        // different sites draw from different jitter streams
+        assert_ne!(p.backoff("a", 0), p.backoff("b", 0));
+        // zero-retry policies never sleep
+        assert_eq!(RetryPolicy::none().backoff("x", 0), Duration::ZERO);
+    }
+}

@@ -11,7 +11,8 @@
 //! change wall time, never results.
 
 use crate::cache::{ArtifactCache, CacheKey};
-use crate::error::PipelineError;
+use crate::error::{panic_message, PipelineError};
+use crate::failpoint;
 use crate::manifest::StageRecord;
 use crate::plan::{ModelFamily, Plan};
 use remedy_classifiers::persist as model_persist;
@@ -51,6 +52,11 @@ pub struct StageOutput {
 /// `cache_hits`/`cache_misses` counters, and its record carries every
 /// counter recorded under the stage's scope (including what the compute
 /// closure itself recorded).
+///
+/// The compute closure runs under `catch_unwind`: a panicking stage
+/// surfaces as a [`StagePanic`](crate::ErrorKind) error attributed to the
+/// stage, which the engine contains at the branch boundary. Every error
+/// leaving this function carries the stage name.
 #[allow(clippy::too_many_arguments)]
 pub fn run_stage(
     cache: &ArtifactCache,
@@ -71,8 +77,20 @@ pub fn run_stage(
         }
     }
     obs.add("cache_misses", 1);
-    let text = compute()?;
-    cache.store(stage, key, &text, description)?;
+    let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        failpoint::check("stage.run", stage)?;
+        compute()
+    }));
+    let text = match computed {
+        Ok(result) => result.map_err(|e| e.in_stage(stage))?,
+        Err(payload) => {
+            obs.add("panics", 1);
+            return Err(PipelineError::stage_panic(panic_message(payload.as_ref())).in_stage(stage));
+        }
+    };
+    cache
+        .store(stage, key, &text, description)
+        .map_err(|e| e.in_stage(stage))?;
     Ok(finish(stage, branch, key, false, text, start, obs))
 }
 
@@ -150,7 +168,7 @@ pub fn load_stage(
         )
     } else {
         let text = std::fs::read_to_string(&plan.source)
-            .map_err(|e| PipelineError(format!("cannot read {}: {e}", plan.source)))?;
+            .map_err(|e| PipelineError::fatal(format!("cannot read {}: {e}", plan.source)))?;
         h.write_str("csv");
         h.write(text.as_bytes());
         let key = CacheKey::from_hasher(&h);
@@ -209,7 +227,8 @@ pub fn discretize_stage(
             if input.starts_with(DATASET_MAGIC) {
                 return Ok(input);
             }
-            let label = label.ok_or_else(|| PipelineError("CSV source needs a label".into()))?;
+            let label =
+                label.ok_or_else(|| PipelineError::invalid_plan("CSV source needs a label"))?;
             let table = RawTable::parse_str(&input).map_err(PipelineError::from)?;
             let mut opts = LoadOptions::new(label);
             opts.protected = protected;
@@ -413,7 +432,7 @@ pub fn audit_stage(
         obs,
         move || {
             let model = model_persist::from_text(&model_text)
-                .map_err(|e| PipelineError(format!("cannot load model artifact: {e}")))?;
+                .map_err(|e| PipelineError::corrupt(format!("cannot load model artifact: {e}")))?;
             let predictions = model.predict(test_set);
             let acc = accuracy(&predictions, test_set.labels());
             let fi = fairness_index(

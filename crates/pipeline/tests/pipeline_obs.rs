@@ -28,8 +28,7 @@ fn opts(cache: &std::path::Path) -> PipelineOptions {
     PipelineOptions {
         cache_dir: cache.to_path_buf(),
         threads: 2,
-        force: false,
-        trace: None,
+        ..PipelineOptions::default()
     }
 }
 

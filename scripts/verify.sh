@@ -6,8 +6,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
+cargo build --release --workspace   # includes the remedy CLI binary
 cargo test -q --workspace
+# the deterministic fault-injection suites (retry, panic containment,
+# kill-then-resume) only compile under the failpoints feature
+cargo test -q -p remedy-pipeline --features failpoints
+cargo test -q -p remedy-cli --features failpoints
 cargo clippy --workspace -- -D warnings
 cargo fmt --check
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
@@ -26,5 +30,20 @@ if printf '%s\n' "$warm" | grep -q '^computed'; then
     exit 1
 fi
 target/release/remedy cache gc --cache "$cache" --max-bytes 0 >/dev/null
+
+# corrupt-then-recover: flip one byte in a cached artifact; the next run
+# must quarantine the damaged entry and recompute, still exiting 0
+cache2="$(mktemp -d)"
+trap 'rm -rf "$cache" "$cache2"' EXIT
+target/release/remedy pipeline examples/plans/ordered_ablation.plan \
+    --cache "$cache2" >/dev/null
+artifact="$(find "$cache2" -mindepth 2 -name artifact | head -n1)"
+printf 'x' >>"$artifact"
+target/release/remedy pipeline examples/plans/ordered_ablation.plan \
+    --cache "$cache2" >/dev/null
+if [ -z "$(ls -A "$cache2/quarantine" 2>/dev/null)" ]; then
+    echo "verify: FAIL — corrupted cache entry was not quarantined" >&2
+    exit 1
+fi
 
 echo "verify: OK"
