@@ -1,8 +1,9 @@
 //! Criterion micro-benchmarks of the dataset remedy (the Fig 9b kernel):
-//! one benchmark per pre-processing technique, plus the scope ablation.
+//! one benchmark per pre-processing technique, the scope ablation, and the
+//! incremental-vs-scan counting comparison on a larger lattice.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use remedy_core::{remedy, RemedyParams, Scope, Technique};
+use remedy_core::{remedy, remedy_over, remedy_over_scan, RemedyParams, Scope, Technique};
 use remedy_dataset::synth;
 
 fn bench_techniques(c: &mut Criterion) {
@@ -38,5 +39,31 @@ fn bench_scopes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_techniques, bench_scopes);
+/// The counting-engine kernel: remedy over a 5-attribute lattice
+/// (31 nodes) on the synthetic Adult scalability slice, incremental
+/// [`RegionIndex`](remedy_core::RegionIndex) path vs the per-node scan
+/// baseline it replaced. Undersampling keeps the ranker out of the
+/// measurement so the counting seam dominates.
+fn bench_remedy_large(c: &mut Criterion) {
+    let mut group = c.benchmark_group("remedy_large");
+    group.sample_size(10);
+    let data = synth::adult_n(20_000, 1);
+    let cols: Vec<usize> = synth::ADULT_SCALABILITY_PROTECTED[..5]
+        .iter()
+        .map(|n| data.schema().require(n).unwrap())
+        .collect();
+    let params = RemedyParams::builder()
+        .technique(Technique::Undersampling)
+        .build()
+        .unwrap();
+    group.bench_function("incremental", |b| {
+        b.iter(|| remedy_over(std::hint::black_box(&data), &cols, &params))
+    });
+    group.bench_function("scan", |b| {
+        b.iter(|| remedy_over_scan(std::hint::black_box(&data), &cols, &params))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_techniques, bench_scopes, bench_remedy_large);
 criterion_main!(benches);

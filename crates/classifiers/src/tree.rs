@@ -109,7 +109,7 @@ impl DecisionTree {
             || w_neg == 0.0;
         if !stop {
             if let Some((attr, value, gain)) =
-                best_split(data, &rows, gini_here, total, feature_mask)
+                best_split(data, &rows, gini_here, w_pos, w_neg, feature_mask)
             {
                 if gain >= params.min_gain {
                     let (eq_rows, ne_rows): (Vec<u32>, Vec<u32>) = rows
@@ -235,19 +235,22 @@ fn gini(w_pos: f64, w_neg: f64) -> f64 {
 
 /// Finds the `(attribute, value)` one-vs-rest split with maximal weighted
 /// Gini decrease. Returns `None` when no split separates the rows.
+/// `w_pos_total` / `w_neg_total` are the caller's class weights for `rows`
+/// — `build_masked` already tallied them for its own stop criteria.
 fn best_split(
     data: &Dataset,
     rows: &[u32],
     gini_parent: f64,
-    total_weight: f64,
+    w_pos_total: f64,
+    w_neg_total: f64,
     feature_mask: Option<&[bool]>,
 ) -> Option<(usize, u32, f64)> {
     let schema = data.schema();
+    let total_weight = w_pos_total + w_neg_total;
     let mut best: Option<(usize, u32, f64)> = None;
     // per-value weighted class tallies, reused across attributes
     let mut pos_by_value: Vec<f64> = Vec::new();
     let mut neg_by_value: Vec<f64> = Vec::new();
-    let (w_pos_total, w_neg_total) = class_weights(data, rows);
 
     for attr in 0..schema.len() {
         if let Some(mask) = feature_mask {

@@ -1,0 +1,831 @@
+//! The shared region-counting engine.
+//!
+//! Every consumer of per-region class counts — hierarchy construction,
+//! identification, and the remedy's per-node re-identification — used to
+//! run its own O(n·p) scan over the dataset, repacking each row's
+//! protected values into a `u128` key every time. This module is the one
+//! counting seam (mirroring the [`NeighborModel`] seam on the neighbor
+//! side): rows are packed **once** into an SoA key column by
+//! `pack_keys`, all lattice-node counts are built from it in a single
+//! parallel pass, and a [`RegionIndex`] keeps those counts *incrementally*
+//! correct as the remedy edits the dataset — each append, removal, or
+//! label flip becomes an O(nodes) delta update instead of a fresh scan.
+//!
+//! Determinism contract: everything here is bit-identical to the
+//! single-threaded scans it replaces, regardless of thread count. Keys
+//! are written position-wise, per-worker tallies are merged in chunk
+//! order (so row buckets stay in ascending row order), counts are exact
+//! `u64` sums (reassociation-safe), and count entries that reach
+//! `(0, 0)` are evicted so a maintained map always equals a from-scratch
+//! rebuild.
+//!
+//! Row/slot correspondence: the dataset only ever appends at the end and
+//! removes rows preserving relative order, so the index can keep an
+//! append-only *slot* space (one slot per row ever seen) plus a Fenwick
+//! tree over the alive bits. `rank` maps a slot to its current row index
+//! and `select` maps a row index back to its slot, both in O(log n).
+//!
+//! [`NeighborModel`]: crate::neighbor_model::NeighborModel
+
+use crate::hash::FastMap;
+use crate::hierarchy::{Hierarchy, MAX_PROTECTED};
+use crate::score::Counts;
+use remedy_dataset::{Dataset, RowEdit};
+use remedy_obs::Scope as ObsScope;
+
+/// Smallest per-worker chunk worth spawning a thread for; below this the
+/// scan runs single-threaded (identical results either way).
+const MIN_CHUNK: usize = 8 * 1024;
+
+/// `[start, end)` row ranges splitting `n` rows across the available
+/// cores, each at least [`MIN_CHUNK`] long.
+fn chunk_bounds(n: usize) -> Vec<(usize, usize)> {
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+    let chunks = threads.min(n.div_ceil(MIN_CHUNK)).max(1);
+    let per = n.div_ceil(chunks).max(1);
+    (0..chunks)
+        .map(|c| (c * per, ((c + 1) * per).min(n)))
+        .filter(|&(a, b)| a < b)
+        .collect()
+}
+
+/// Packs each row's values over `cols` into a `u128` key, 8 bits per
+/// column, written position-wise into `out` (`out.len()` must equal the
+/// dataset length). This is the **only** key-packing loop in the crate;
+/// hierarchy construction, the remedy's scan fallback, and the
+/// [`RegionIndex`] all call it.
+pub(crate) fn pack_keys(data: &Dataset, cols: &[usize], out: &mut [u128]) {
+    debug_assert_eq!(out.len(), data.len());
+    debug_assert!(cols.len() <= MAX_PROTECTED);
+    let col_slices: Vec<&[u32]> = cols.iter().map(|&c| data.column(c)).collect();
+    let bounds = chunk_bounds(out.len());
+    if bounds.len() <= 1 {
+        pack_chunk(&col_slices, 0, out);
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = &mut *out;
+        for &(a, b) in &bounds {
+            let (chunk, tail) = rest.split_at_mut(b - a);
+            rest = tail;
+            let cols = &col_slices;
+            scope.spawn(move || pack_chunk(cols, a, chunk));
+        }
+    });
+}
+
+fn pack_chunk(cols: &[&[u32]], start: usize, out: &mut [u128]) {
+    for (i, slot) in out.iter_mut().enumerate() {
+        let row = start + i;
+        let mut key = 0u128;
+        for (s, col) in cols.iter().enumerate() {
+            key |= u128::from(col[row]) << (8 * s);
+        }
+        *slot = key;
+    }
+}
+
+/// Result of one parallel leaf pass over a packed key column.
+pub(crate) struct LeafScan {
+    /// Full key → class counts.
+    pub counts: FastMap<u128, Counts>,
+    /// Full key → ascending slot list (empty unless requested).
+    pub buckets: FastMap<u128, Vec<u32>>,
+    /// Whole-dataset counts.
+    pub totals: Counts,
+}
+
+/// Tallies leaf counts (and optionally row buckets) from the packed key
+/// column in one parallel pass; per-worker maps are merged in chunk
+/// order, so bucket slot lists come out ascending.
+pub(crate) fn leaf_scan(keys: &[u128], labels: &[u8], with_buckets: bool) -> LeafScan {
+    debug_assert_eq!(keys.len(), labels.len());
+    let bounds = chunk_bounds(keys.len());
+    let mut parts: Vec<LeafScan> = if bounds.len() <= 1 {
+        vec![scan_chunk(keys, labels, 0, keys.len(), with_buckets)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = bounds
+                .iter()
+                .map(|&(a, b)| scope.spawn(move || scan_chunk(keys, labels, a, b, with_buckets)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("leaf-scan worker"))
+                .collect()
+        })
+    };
+    let mut out = parts.remove(0);
+    for part in parts {
+        out.totals.add(part.totals);
+        for (key, c) in part.counts {
+            out.counts.entry(key).or_default().add(c);
+        }
+        for (key, slots) in part.buckets {
+            out.buckets
+                .entry(key)
+                .or_default()
+                .extend_from_slice(&slots);
+        }
+    }
+    out
+}
+
+fn scan_chunk(keys: &[u128], labels: &[u8], a: usize, b: usize, with_buckets: bool) -> LeafScan {
+    let mut counts: FastMap<u128, Counts> = FastMap::default();
+    let mut buckets: FastMap<u128, Vec<u32>> = FastMap::default();
+    let mut totals = Counts::default();
+    for i in a..b {
+        let key = keys[i];
+        let c = counts.entry(key).or_default();
+        if labels[i] == 1 {
+            c.pos += 1;
+            totals.pos += 1;
+        } else {
+            c.neg += 1;
+            totals.neg += 1;
+        }
+        if with_buckets {
+            buckets.entry(key).or_default().push(i as u32);
+        }
+    }
+    LeafScan {
+        counts,
+        buckets,
+        totals,
+    }
+}
+
+/// Per-region class counts over one attribute subset of the *current*
+/// dataset — the scan-path primitive behind [`crate::hierarchy::node_counts`].
+pub(crate) fn node_counts(data: &Dataset, cols: &[usize]) -> FastMap<u128, Counts> {
+    let mut keys = vec![0u128; data.len()];
+    pack_keys(data, cols, &mut keys);
+    leaf_scan(&keys, data.labels(), false).counts
+}
+
+/// Counts **and** ascending row buckets over one attribute subset — the
+/// remedy's reference scan path.
+pub(crate) fn node_snapshot(
+    data: &Dataset,
+    cols: &[usize],
+) -> (FastMap<u128, Counts>, FastMap<u128, Vec<usize>>) {
+    let mut keys = vec![0u128; data.len()];
+    pack_keys(data, cols, &mut keys);
+    let scan = leaf_scan(&keys, data.labels(), true);
+    let rows = scan
+        .buckets
+        .into_iter()
+        .map(|(k, v)| (k, v.into_iter().map(|s| s as usize).collect()))
+        .collect();
+    (scan.counts, rows)
+}
+
+/// Projects a full packed key onto the attribute subset of node `mask`
+/// (gathering the bytes of the set bits, compacted low-to-high).
+#[inline]
+fn project_key(full_key: u128, mask: u32) -> u128 {
+    let mut key = 0u128;
+    let mut out_slot = 0;
+    let mut m = mask;
+    while m != 0 {
+        let j = m.trailing_zeros() as usize;
+        key |= ((full_key >> (8 * j)) & 0xFF) << (8 * out_slot);
+        out_slot += 1;
+        m &= m - 1;
+    }
+    key
+}
+
+/// Fenwick tree over per-slot alive bits: `prefix`/`rank` translate a
+/// slot to its current row index, `select` a row index back to its slot,
+/// and `push` appends a new slot — all in O(log n).
+#[derive(Debug, Clone)]
+struct Fenwick {
+    /// 1-based; `tree[i]` sums the alive bits of slots `(i−lowbit(i), i]`.
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    /// A tree over `n` slots, all alive.
+    fn ones(n: usize) -> Fenwick {
+        let mut tree = vec![0u32; n + 1];
+        for (i, t) in tree.iter_mut().enumerate().skip(1) {
+            *t = (i & i.wrapping_neg()) as u32; // all-ones range sums
+        }
+        Fenwick { tree }
+    }
+
+    fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// Number of alive slots in `[0, slot]` (0-based).
+    fn prefix(&self, slot: usize) -> u32 {
+        let mut i = slot + 1;
+        let mut sum = 0;
+        while i > 0 {
+            sum += self.tree[i];
+            i &= i - 1;
+        }
+        sum
+    }
+
+    /// Adds `delta` to the alive bit of `slot`.
+    fn add(&mut self, slot: usize, delta: i32) {
+        let n = self.len();
+        let mut i = slot + 1;
+        while i <= n {
+            self.tree[i] = (i64::from(self.tree[i]) + i64::from(delta)) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Appends one slot with the given alive bit.
+    fn push(&mut self, alive: bool) {
+        let i = self.tree.len(); // the new slot's 1-based index
+        let lowbit = i & i.wrapping_neg();
+        let mut value = u32::from(alive);
+        let mut j = i - 1;
+        while j > i - lowbit {
+            value += self.tree[j];
+            j &= j - 1;
+        }
+        self.tree.push(value);
+    }
+
+    /// Current row index of an alive slot.
+    fn rank(&self, slot: usize) -> usize {
+        debug_assert!(self.prefix(slot) > 0);
+        (self.prefix(slot) - 1) as usize
+    }
+
+    /// Slot of the row currently at index `row` (binary descent).
+    fn select(&self, row: usize) -> usize {
+        let n = self.len();
+        debug_assert!(n > 0);
+        let mut pos = 0usize; // 1-based cursor over fully-skipped prefixes
+        let mut rem = (row + 1) as u32;
+        let mut pw = 1usize << (usize::BITS - 1 - n.leading_zeros());
+        while pw > 0 {
+            if pos + pw <= n && self.tree[pos + pw] < rem {
+                pos += pw;
+                rem -= self.tree[pos];
+            }
+            pw >>= 1;
+        }
+        pos // 0-based slot
+    }
+}
+
+/// Running totals of the index's work, flushed to an [`ObsScope`] in one
+/// batch (`counting.delta.*` / `counting.rebuild.*` counters). The
+/// acceptance check for the incremental path is
+/// `counting.rebuild.scans ≤ 1` while `counting.delta.nodes_served`
+/// covers the lattice.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingTally {
+    /// Rows appended through [`RegionIndex::apply_append`].
+    pub appends: u64,
+    /// Rows removed through [`RegionIndex::apply_remove`].
+    pub removes: u64,
+    /// Labels flipped through [`RegionIndex::apply_flip`].
+    pub flips: u64,
+    /// Individual node-map entry updates performed by delta maintenance.
+    pub node_updates: u64,
+    /// Node count maps served from the index instead of a dataset scan.
+    pub nodes_served: u64,
+    /// Full-dataset counting passes (1 for the initial build).
+    pub rebuild_scans: u64,
+    /// Rows visited by those passes.
+    pub rebuild_rows: u64,
+}
+
+impl CountingTally {
+    /// Emits every non-zero field as a `counting.*` counter and resets.
+    pub fn flush(&mut self, obs: &ObsScope) {
+        obs.add_many(&[
+            ("counting.delta.appends", self.appends),
+            ("counting.delta.removes", self.removes),
+            ("counting.delta.flips", self.flips),
+            ("counting.delta.node_updates", self.node_updates),
+            ("counting.delta.nodes_served", self.nodes_served),
+            ("counting.rebuild.scans", self.rebuild_scans),
+            ("counting.rebuild.rows", self.rebuild_rows),
+        ]);
+        *self = CountingTally::default();
+    }
+}
+
+/// Delta-maintained region counts over a mutating dataset.
+///
+/// Built once in a parallel pass, the index owns a full [`Hierarchy`]
+/// whose node maps it keeps equal to what `Hierarchy::build_over` would
+/// produce on the *current* dataset, at O(2^p·p) per row edit instead of
+/// O(n·p) per node query. It also answers [`region_rows`] — the current
+/// row indices of any region — from per-leaf slot buckets plus the
+/// Fenwick rank translation, without touching the dataset.
+///
+/// The index does not hold the dataset; callers mirror every mutation
+/// through [`apply_edit`] (or the typed `apply_*` methods) in the same
+/// order they apply it to the [`Dataset`].
+///
+/// [`region_rows`]: RegionIndex::region_rows
+/// [`apply_edit`]: RegionIndex::apply_edit
+#[derive(Debug, Clone)]
+pub struct RegionIndex {
+    hierarchy: Hierarchy,
+    full_mask: u32,
+    /// Per-slot packed full keys (append-only; slots are never reused).
+    keys: Vec<u128>,
+    /// Per-slot labels, kept current under flips.
+    labels: Vec<u8>,
+    /// Per-slot alive bits; removals clear, never shrink.
+    alive: Vec<bool>,
+    /// Full key → ascending alive slots (the leaf row buckets).
+    buckets: FastMap<u128, Vec<u32>>,
+    fenwick: Fenwick,
+    live: usize,
+    tally: CountingTally,
+    /// Net per-key count deltas awaiting [`flush_deltas`]; always empty
+    /// in eager mode.
+    ///
+    /// [`flush_deltas`]: RegionIndex::flush_deltas
+    pending: FastMap<u128, (i64, i64)>,
+    batching: bool,
+}
+
+impl RegionIndex {
+    /// Builds the index over the dataset's schema-declared protected
+    /// attributes.
+    pub fn build(data: &Dataset) -> RegionIndex {
+        let protected = data.schema().protected_indices();
+        RegionIndex::build_over(data, &protected)
+    }
+
+    /// Builds the index over an explicit protected-column set: one
+    /// parallel packing pass, one parallel leaf tally, then node-to-node
+    /// projection down the lattice.
+    pub fn build_over(data: &Dataset, protected: &[usize]) -> RegionIndex {
+        let p = protected.len();
+        assert!(p >= 1, "need at least one protected attribute");
+        assert!(
+            p <= MAX_PROTECTED,
+            "at most {MAX_PROTECTED} protected attributes"
+        );
+        let n = data.len();
+        let mut keys = vec![0u128; n];
+        pack_keys(data, protected, &mut keys);
+        let scan = leaf_scan(&keys, data.labels(), true);
+        let cards: Vec<u32> = protected
+            .iter()
+            .map(|&a| data.schema().attribute(a).cardinality() as u32)
+            .collect();
+        let ordered: Vec<bool> = protected
+            .iter()
+            .map(|&a| data.schema().attribute(a).is_ordered())
+            .collect();
+        let hierarchy =
+            Hierarchy::from_leaf(protected.to_vec(), cards, ordered, scan.counts, scan.totals);
+        let full_mask: u32 = (1u32 << p) - 1;
+        RegionIndex {
+            hierarchy,
+            full_mask,
+            keys,
+            labels: data.labels().to_vec(),
+            alive: vec![true; n],
+            buckets: scan.buckets,
+            fenwick: Fenwick::ones(n),
+            live: n,
+            tally: CountingTally {
+                rebuild_scans: 1,
+                rebuild_rows: n as u64,
+                ..CountingTally::default()
+            },
+            pending: FastMap::default(),
+            batching: false,
+        }
+    }
+
+    /// The maintained hierarchy; its node maps always equal
+    /// `Hierarchy::build_over` on the current dataset — provided any
+    /// batched deltas have been flushed (see [`begin_deltas`]).
+    ///
+    /// [`begin_deltas`]: RegionIndex::begin_deltas
+    pub fn hierarchy(&self) -> &Hierarchy {
+        debug_assert!(
+            self.pending.is_empty(),
+            "flush_deltas() before reading batched counts"
+        );
+        &self.hierarchy
+    }
+
+    /// Switches the index into batched-delta mode: subsequent edits
+    /// accumulate a net `(Δpos, Δneg)` per full key instead of walking
+    /// the lattice per row, and [`flush_deltas`] applies the sums
+    /// grouped — O(distinct edited keys · 2^p) for an arbitrarily long
+    /// edit run. Buckets, alive bits, and the rank structure stay
+    /// eagerly maintained, so [`region_rows`] is always current; only
+    /// the node count maps (and totals) lag until the next flush.
+    ///
+    /// [`flush_deltas`]: RegionIndex::flush_deltas
+    /// [`region_rows`]: RegionIndex::region_rows
+    pub fn begin_deltas(&mut self) {
+        self.batching = true;
+    }
+
+    /// Applies every pending per-key delta to the lattice. Keys whose
+    /// edits cancelled out are skipped; the final maps are identical to
+    /// eager per-edit maintenance (count updates commute, and `(0, 0)`
+    /// entries are evicted on every path).
+    pub fn flush_deltas(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        for (key, (dpos, dneg)) in pending {
+            if dpos != 0 || dneg != 0 {
+                self.update_nodes(key, dpos, dneg);
+            }
+        }
+    }
+
+    /// Routes one row's count delta: straight to the lattice in eager
+    /// mode, into the pending accumulator in batched mode.
+    fn record_delta(&mut self, key: u128, dpos: i64, dneg: i64) {
+        if self.batching {
+            let entry = self.pending.entry(key).or_default();
+            entry.0 += dpos;
+            entry.1 += dneg;
+        } else {
+            self.update_nodes(key, dpos, dneg);
+        }
+    }
+
+    /// Current number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether every row has been removed.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Work tallies accumulated since the last [`flush_obs`].
+    ///
+    /// [`flush_obs`]: RegionIndex::flush_obs
+    pub fn tally(&self) -> CountingTally {
+        self.tally
+    }
+
+    /// Flushes (and resets) the work tallies into `obs`.
+    pub fn flush_obs(&mut self, obs: &ObsScope) {
+        self.tally.flush(obs);
+    }
+
+    /// Records that one node's count map was served from the index in
+    /// place of a full-dataset scan.
+    pub fn note_node_served(&mut self) {
+        self.tally.nodes_served += 1;
+    }
+
+    /// Current row indices (ascending) of the region `(mask, key)`.
+    ///
+    /// The full-lattice node answers straight from its leaf bucket; any
+    /// other node unions the buckets whose full key projects onto `key`.
+    /// Cost is O(L·p + m·log n) for L distinct leaf keys and m matching
+    /// rows — paid per *biased* region only, never per node.
+    pub fn region_rows(&self, mask: u32, key: u128) -> Vec<usize> {
+        let slots: Vec<u32> = if mask == self.full_mask {
+            self.buckets.get(&key).cloned().unwrap_or_default()
+        } else {
+            let mut v = Vec::new();
+            for (&full, bucket) in &self.buckets {
+                if project_key(full, mask) == key {
+                    v.extend_from_slice(bucket);
+                }
+            }
+            v.sort_unstable();
+            v
+        };
+        if self.compact() {
+            slots.into_iter().map(|s| s as usize).collect()
+        } else {
+            slots
+                .into_iter()
+                .map(|s| self.fenwick.rank(s as usize))
+                .collect()
+        }
+    }
+
+    /// Whether no slot has ever died — then slot and row index coincide
+    /// and both Fenwick translations short-circuit. Stays true under any
+    /// run of appends and flips (the massaging and oversampling
+    /// remedies never leave this state).
+    fn compact(&self) -> bool {
+        self.live == self.keys.len()
+    }
+
+    /// Slot of the row currently at `row`.
+    fn slot_of(&self, row: usize) -> usize {
+        if self.compact() {
+            row
+        } else {
+            self.fenwick.select(row)
+        }
+    }
+
+    /// Mirrors one dataset edit into the index.
+    pub fn apply_edit(&mut self, edit: &RowEdit) {
+        match edit {
+            RowEdit::Duplicate { src } => self.apply_append(*src),
+            RowEdit::FlipLabel { row } => self.apply_flip(*row),
+            RowEdit::Remove { rows } => self.apply_remove(rows),
+        }
+    }
+
+    /// A copy of row `src` was appended at the end of the dataset.
+    pub fn apply_append(&mut self, src: usize) {
+        let slot = self.slot_of(src);
+        debug_assert!(self.alive[slot]);
+        let key = self.keys[slot];
+        let label = self.labels[slot];
+        let new_slot = self.keys.len();
+        self.keys.push(key);
+        self.labels.push(label);
+        self.alive.push(true);
+        self.fenwick.push(true);
+        self.buckets.entry(key).or_default().push(new_slot as u32);
+        let (dpos, dneg) = if label == 1 { (1, 0) } else { (0, 1) };
+        self.record_delta(key, dpos, dneg);
+        self.live += 1;
+        self.tally.appends += 1;
+    }
+
+    /// The label of row `row` was flipped.
+    pub fn apply_flip(&mut self, row: usize) {
+        let slot = self.slot_of(row);
+        debug_assert!(self.alive[slot]);
+        self.labels[slot] ^= 1;
+        let (dpos, dneg) = if self.labels[slot] == 1 {
+            (1, -1)
+        } else {
+            (-1, 1)
+        };
+        self.record_delta(self.keys[slot], dpos, dneg);
+        self.tally.flips += 1;
+    }
+
+    /// The rows at the given current indices were removed (need not be
+    /// sorted; duplicates are ignored, matching `Dataset::remove_rows`).
+    pub fn apply_remove(&mut self, rows: &[usize]) {
+        // translate every row to its slot before any alive bit moves
+        let mut slots: Vec<usize> = rows.iter().map(|&r| self.slot_of(r)).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        for slot in slots {
+            debug_assert!(self.alive[slot]);
+            self.alive[slot] = false;
+            self.fenwick.add(slot, -1);
+            let key = self.keys[slot];
+            let bucket = self.buckets.get_mut(&key).expect("bucket of a live slot");
+            let at = bucket
+                .binary_search(&(slot as u32))
+                .expect("slot present in its bucket");
+            bucket.remove(at);
+            if bucket.is_empty() {
+                self.buckets.remove(&key);
+            }
+            let (dpos, dneg) = if self.labels[slot] == 1 {
+                (-1, 0)
+            } else {
+                (0, -1)
+            };
+            self.record_delta(key, dpos, dneg);
+            self.live -= 1;
+            self.tally.removes += 1;
+        }
+    }
+
+    /// Applies one row's count delta to every lattice node (and the
+    /// level-0 totals), evicting entries that reach `(0, 0)` so the
+    /// maintained maps stay equal to a from-scratch rebuild.
+    fn update_nodes(&mut self, full_key: u128, dpos: i64, dneg: i64) {
+        for mask in 1..=self.full_mask {
+            let key = project_key(full_key, mask);
+            let node = self.hierarchy.node_mut(mask);
+            let entry = node.regions.entry(key).or_default();
+            entry.pos = (entry.pos as i64 + dpos) as u64;
+            entry.neg = (entry.neg as i64 + dneg) as u64;
+            if entry.pos == 0 && entry.neg == 0 {
+                node.regions.remove(&key);
+            }
+        }
+        let totals = self.hierarchy.totals_mut();
+        totals.pos = (totals.pos as i64 + dpos) as u64;
+        totals.neg = (totals.neg as i64 + dneg) as u64;
+        self.tally.node_updates += u64::from(self.full_mask);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remedy_dataset::{Attribute, Schema};
+
+    fn fixture() -> Dataset {
+        let schema = Schema::new(
+            vec![
+                Attribute::from_strs("a", &["0", "1"]).protected(),
+                Attribute::from_strs("b", &["0", "1", "2"]).protected(),
+                Attribute::from_strs("f", &["0", "1"]),
+            ],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        for a in 0..2u32 {
+            for b in 0..3u32 {
+                for i in 0..(5 + a + 2 * b) {
+                    d.push_row(&[a, b, i % 2], u8::from((a + b + i) % 2 == 0))
+                        .unwrap();
+                }
+            }
+        }
+        d
+    }
+
+    /// Two hierarchies are equal as count structures.
+    fn assert_hierarchy_eq(a: &Hierarchy, b: &Hierarchy) {
+        assert_eq!(a.totals(), b.totals());
+        assert_eq!(a.nodes().len(), b.nodes().len());
+        for (na, nb) in a.nodes().iter().zip(b.nodes()) {
+            assert_eq!(na.mask, nb.mask);
+            assert_eq!(na.regions.len(), nb.regions.len(), "node {:#b}", na.mask);
+            for (key, c) in &na.regions {
+                assert_eq!(Some(c), nb.regions.get(key), "node {:#b}", na.mask);
+            }
+        }
+    }
+
+    #[test]
+    fn fenwick_rank_select_roundtrip() {
+        let mut f = Fenwick::ones(10);
+        // kill slots 2, 5, 9 → alive: 0 1 3 4 6 7 8
+        for s in [2, 5, 9] {
+            f.add(s, -1);
+        }
+        let alive = [0usize, 1, 3, 4, 6, 7, 8];
+        for (row, &slot) in alive.iter().enumerate() {
+            assert_eq!(f.rank(slot), row);
+            assert_eq!(f.select(row), slot);
+        }
+        // appended slots continue the sequence
+        f.push(true);
+        assert_eq!(f.select(7), 10);
+        assert_eq!(f.rank(10), 7);
+    }
+
+    #[test]
+    fn fenwick_push_matches_rebuild() {
+        let mut grown = Fenwick::ones(3);
+        for _ in 0..9 {
+            grown.push(true);
+        }
+        let fresh = Fenwick::ones(12);
+        for slot in 0..12 {
+            assert_eq!(grown.prefix(slot), fresh.prefix(slot), "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn build_matches_hierarchy_build() {
+        let d = fixture();
+        let index = RegionIndex::build(&d);
+        let h = Hierarchy::build(&d);
+        assert_hierarchy_eq(index.hierarchy(), &h);
+        assert_eq!(index.len(), d.len());
+        let t = index.tally();
+        assert_eq!(t.rebuild_scans, 1);
+        assert_eq!(t.rebuild_rows, d.len() as u64);
+    }
+
+    #[test]
+    fn region_rows_match_pattern_matching() {
+        let d = fixture();
+        let index = RegionIndex::build(&d);
+        let h = index.hierarchy();
+        for node in h.nodes() {
+            for &key in node.regions.keys() {
+                let pattern = h.pattern_of(node.mask, key);
+                assert_eq!(
+                    index.region_rows(node.mask, key),
+                    d.indices_matching(&pattern),
+                    "{}",
+                    pattern.display(d.schema())
+                );
+            }
+        }
+    }
+
+    /// Applies one edit to both sides and asserts the maintained index
+    /// equals a from-scratch rebuild (counts, totals, and row buckets).
+    fn apply_and_check(d: &mut Dataset, index: &mut RegionIndex, edit: RowEdit) {
+        index.apply_edit(&edit);
+        d.apply_edit(&edit);
+        let fresh = RegionIndex::build(d);
+        assert_hierarchy_eq(index.hierarchy(), fresh.hierarchy());
+        assert_eq!(index.len(), d.len());
+        for node in fresh.hierarchy().nodes() {
+            for &key in node.regions.keys() {
+                assert_eq!(
+                    index.region_rows(node.mask, key),
+                    fresh.region_rows(node.mask, key),
+                    "node {:#b} after {edit:?}",
+                    node.mask
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edits_track_a_rebuild() {
+        let mut d = fixture();
+        let mut index = RegionIndex::build(&d);
+        apply_and_check(&mut d, &mut index, RowEdit::Duplicate { src: 3 });
+        apply_and_check(&mut d, &mut index, RowEdit::FlipLabel { row: 0 });
+        apply_and_check(
+            &mut d,
+            &mut index,
+            RowEdit::Remove {
+                rows: vec![7, 2, 2],
+            },
+        );
+        // duplicate the row appended by the first edit
+        let dup = RowEdit::Duplicate { src: d.len() - 1 };
+        apply_and_check(&mut d, &mut index, dup);
+        apply_and_check(&mut d, &mut index, RowEdit::FlipLabel { row: 5 });
+        apply_and_check(&mut d, &mut index, RowEdit::Remove { rows: vec![0] });
+    }
+
+    #[test]
+    fn emptied_region_is_evicted() {
+        let d = fixture();
+        let mut index = RegionIndex::build(&d);
+        // remove every row of one leaf region
+        let h = index.hierarchy();
+        let full = (1u32 << h.arity()) - 1;
+        let &key = h.node(full).regions.keys().min().unwrap();
+        let rows = index.region_rows(full, key);
+        index.apply_remove(&rows);
+        assert!(!index.hierarchy().node(full).regions.contains_key(&key));
+        assert!(index.region_rows(full, key).is_empty());
+    }
+
+    #[test]
+    fn tally_flush_emits_and_resets() {
+        let d = fixture();
+        let mut index = RegionIndex::build(&d);
+        index.apply_append(0);
+        index.apply_flip(1);
+        index.note_node_served();
+        let rec = remedy_obs::Recorder::enabled();
+        index.flush_obs(&rec.scope("counting"));
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("counting", "counting.delta.appends"), Some(1));
+        assert_eq!(snap.counter("counting", "counting.delta.flips"), Some(1));
+        assert_eq!(
+            snap.counter("counting", "counting.delta.nodes_served"),
+            Some(1)
+        );
+        assert_eq!(snap.counter("counting", "counting.rebuild.scans"), Some(1));
+        assert_eq!(index.tally(), CountingTally::default());
+    }
+
+    #[test]
+    fn pack_keys_is_thread_count_independent() {
+        // force the parallel path by exceeding MIN_CHUNK
+        let schema = Schema::new(
+            vec![Attribute::from_strs("a", &["0", "1", "2", "3"]).protected()],
+            "y",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        for i in 0..(3 * MIN_CHUNK as u32) {
+            d.push_row(&[i % 4], u8::from(i % 3 == 0)).unwrap();
+        }
+        let mut keys = vec![0u128; d.len()];
+        pack_keys(&d, &[0], &mut keys);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(k, u128::from(d.value(i, 0)));
+        }
+        let scan = leaf_scan(&keys, d.labels(), true);
+        assert_eq!(scan.totals.total(), d.len() as u64);
+        for (key, bucket) in &scan.buckets {
+            assert!(bucket.windows(2).all(|w| w[0] < w[1]), "key {key}");
+        }
+    }
+}

@@ -64,6 +64,11 @@ impl Hierarchy {
 
     /// Builds the hierarchy over an explicit set of protected columns
     /// (used by the scalability experiments that extend the protected set).
+    ///
+    /// The leaf cells come from one parallel pass through the shared
+    /// counting seam ([`crate::counting`]): keys are packed once into a
+    /// `u128` column and per-worker tallies are merged in chunk order, so
+    /// the result is bit-identical to a single-threaded scan.
     pub fn build_over(data: &Dataset, protected: &[usize]) -> Self {
         let p = protected.len();
         assert!(p >= 1, "need at least one protected attribute");
@@ -80,25 +85,26 @@ impl Hierarchy {
             .map(|&a| data.schema().attribute(a).is_ordered())
             .collect();
 
-        // leaf cells in one pass
-        let full_mask: u32 = if p == 32 { u32::MAX } else { (1u32 << p) - 1 };
-        let mut leaf: FastMap<u128, Counts> = FastMap::default();
-        let mut totals = Counts::default();
-        for i in 0..data.len() {
-            let mut key = 0u128;
-            for (j, &a) in protected.iter().enumerate() {
-                key |= u128::from(data.value(i, a)) << (8 * j);
-            }
-            let c = leaf.entry(key).or_default();
-            if data.label(i) == 1 {
-                c.pos += 1;
-                totals.pos += 1;
-            } else {
-                c.neg += 1;
-                totals.neg += 1;
-            }
-        }
+        let mut keys = vec![0u128; data.len()];
+        crate::counting::pack_keys(data, protected, &mut keys);
+        let scan = crate::counting::leaf_scan(&keys, data.labels(), false);
+        Hierarchy::from_leaf(protected.to_vec(), cards, ordered, scan.counts, scan.totals)
+    }
 
+    /// Assembles the lattice from precomputed leaf counts: every
+    /// non-leaf node is projected from the superset node with one extra
+    /// attribute, touching each region once per lattice edge rather than
+    /// once per row. Shared by [`Hierarchy::build_over`] and
+    /// [`crate::counting::RegionIndex`].
+    pub(crate) fn from_leaf(
+        protected: Vec<usize>,
+        cards: Vec<u32>,
+        ordered: Vec<bool>,
+        leaf: FastMap<u128, Counts>,
+        totals: Counts,
+    ) -> Self {
+        let p = protected.len();
+        let full_mask: u32 = (1u32 << p) - 1;
         let mut nodes: Vec<Node> = (1..=full_mask)
             .map(|mask| Node {
                 mask,
@@ -130,7 +136,7 @@ impl Hierarchy {
         }
 
         Hierarchy {
-            protected: protected.to_vec(),
+            protected,
             cards,
             ordered,
             nodes,
@@ -171,6 +177,17 @@ impl Hierarchy {
     /// The node for a deterministic-attribute bitmask.
     pub fn node(&self, mask: u32) -> &Node {
         &self.nodes[(mask - 1) as usize]
+    }
+
+    /// Mutable node access for the delta maintenance of
+    /// [`crate::counting::RegionIndex`].
+    pub(crate) fn node_mut(&mut self, mask: u32) -> &mut Node {
+        &mut self.nodes[(mask - 1) as usize]
+    }
+
+    /// Mutable level-0 totals, same consumer as [`Hierarchy::node_mut`].
+    pub(crate) fn totals_mut(&mut self) -> &mut Counts {
+        &mut self.totals
     }
 
     /// Counts of a region, or zero counts if the region is empty.
@@ -245,27 +262,15 @@ pub(crate) fn get_byte(key: u128, pos: usize) -> u32 {
 }
 
 /// Aggregates per-region counts for a single attribute set over the
-/// *current* dataset (used by the remedy loop, which mutates data between
-/// nodes and must re-identify biased regions per node).
+/// *current* dataset. Delegates to the shared counting seam
+/// ([`crate::counting`]), which owns the crate's one key-packing loop.
 pub fn node_counts(
     data: &Dataset,
     protected: &[usize],
     attr_positions: &[usize],
 ) -> FastMap<u128, Counts> {
-    let mut map: FastMap<u128, Counts> = FastMap::default();
-    for i in 0..data.len() {
-        let mut key = 0u128;
-        for (slot, &j) in attr_positions.iter().enumerate() {
-            key |= u128::from(data.value(i, protected[j])) << (8 * slot);
-        }
-        let c = map.entry(key).or_default();
-        if data.label(i) == 1 {
-            c.pos += 1;
-        } else {
-            c.neg += 1;
-        }
-    }
-    map
+    let cols: Vec<usize> = attr_positions.iter().map(|&j| protected[j]).collect();
+    crate::counting::node_counts(data, &cols)
 }
 
 #[cfg(test)]

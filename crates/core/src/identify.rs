@@ -177,6 +177,18 @@ pub fn identify_in(
     identify_in_with(hierarchy, params, algorithm, &ObsScope::disabled())
 }
 
+/// Identifies biased regions in a (possibly delta-maintained)
+/// [`RegionIndex`](crate::counting::RegionIndex). The index's hierarchy
+/// always equals a fresh build over its current rows, so this is
+/// [`identify_in`] without paying for a counting pass.
+pub fn identify_in_index(
+    index: &crate::counting::RegionIndex,
+    params: &IbsParams,
+    algorithm: Algorithm,
+) -> Vec<BiasedRegion> {
+    identify_in(index.hierarchy(), params, algorithm)
+}
+
 /// [`identify_in`] with observability: records regions scanned / skipped
 /// by `min_size` / flagged, neighbor lookups, and a per-level timing
 /// histogram into `obs`. Counters are tallied in locals and flushed per

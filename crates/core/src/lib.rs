@@ -29,6 +29,7 @@
 //! # let _ = ibs;
 //! ```
 
+pub mod counting;
 pub mod hash;
 pub mod hierarchy;
 pub mod hypothesis;
@@ -42,17 +43,21 @@ pub mod remedy;
 pub mod scope;
 pub mod score;
 
+pub use counting::{CountingTally, RegionIndex};
 pub use hash::{stable_hash, StableHasher};
 pub use hierarchy::Hierarchy;
 pub use hypothesis::{validate_hypothesis, validate_on, HypothesisValidation, IbsMark};
 pub use identify::{
-    identify, identify_in_parallel, identify_in_parallel_with, identify_in_with, Algorithm,
-    BiasedRegion, IbsParams,
+    identify, identify_in, identify_in_index, identify_in_parallel, identify_in_parallel_with,
+    identify_in_with, Algorithm, BiasedRegion, IbsParams,
 };
 pub use iterative::{remedy_iterative, IterativeOutcome, IterativeParams};
 pub use neighbor_model::{NeighborModel, NeighborTally};
 pub use neighborhood::Neighborhood;
 pub use params::{IbsParamsBuilder, ParamError, RemedyParamsBuilder};
-pub use remedy::{remedy, remedy_over_with, remedy_with, RemedyOutcome, RemedyParams, Technique};
+pub use remedy::{
+    remedy, remedy_over, remedy_over_scan, remedy_over_scan_with, remedy_over_with, remedy_with,
+    RemedyOutcome, RemedyParams, Technique,
+};
 pub use scope::Scope;
 pub use score::imbalance;

@@ -17,9 +17,10 @@
 //! node are disjoint, so a node's remedies are computed from a consistent
 //! snapshot.
 
+use crate::counting::RegionIndex;
 use crate::hash::FastMap;
 use crate::hierarchy::get_byte;
-use crate::identify::{is_biased, IbsParams};
+use crate::identify::{is_biased, Algorithm, IbsParams};
 use crate::neighbor_model::{NeighborModel, NeighborTally};
 use crate::neighborhood::Neighborhood;
 use crate::params::{ParamError, RemedyParamsBuilder};
@@ -196,10 +197,18 @@ pub fn remedy_over(data: &Dataset, protected: &[usize], params: &RemedyParams) -
     remedy_over_with(data, protected, params, &ObsScope::disabled())
 }
 
-/// [`remedy_over`] with observability: per-node snapshot timings
-/// (`node_snapshot_us` histogram) plus `regions_updated`,
+/// [`remedy_over`] with observability: per-node count timings
+/// (`node_counts_us` histogram, the successor of the scan path's
+/// `node_snapshot_us`), `counting.delta.*` / `counting.rebuild.*`
+/// counters from the [`RegionIndex`], plus `regions_updated`,
 /// `rows_duplicated`, `rows_removed`, and `rows_flipped` counters,
 /// batched into one flush per hierarchy node.
+///
+/// This is the incremental path: one parallel counting pass builds the
+/// index, and every subsequent node's counts are *maintained* under the
+/// remedy's own edits rather than re-scanned — O(nodes touched) per edit
+/// instead of O(n·p) per node. The output is bit-identical to
+/// [`remedy_over_scan_with`].
 pub fn remedy_over_with(
     data: &Dataset,
     protected: &[usize],
@@ -207,19 +216,243 @@ pub fn remedy_over_with(
     obs: &ObsScope,
 ) -> RemedyOutcome {
     let _span = obs.span("remedy_over");
-    let p = protected.len();
-    assert!(p >= 1, "need at least one protected attribute");
-    // which protected columns are ordered, by protected position — the
-    // ordered-radius metric needs per-slot flags for every node
-    let ordered_protected: Vec<bool> = protected
-        .iter()
-        .map(|&col| data.schema().attribute(col).is_ordered())
-        .collect();
-    let mut d = data.clone();
+    assert!(
+        !protected.is_empty(),
+        "need at least one protected attribute"
+    );
     let ranker = params
         .technique
         .needs_ranker()
         .then(|| NaiveBayes::fit(data));
+    let build_timer = obs.timer();
+    let mut index = RegionIndex::build_over(data, protected);
+    obs.observe_since("index_build_us", build_timer);
+    // a node's worth of edits collapses into one grouped flush at the
+    // next node's count read
+    index.begin_deltas();
+    let mut engine = IndexEngine {
+        d: data.clone(),
+        index,
+    };
+    engine.index.flush_obs(obs); // counting.rebuild.* of the build pass
+    let updates = remedy_driver(&mut engine, protected, params, ranker.as_ref(), obs);
+    RemedyOutcome {
+        dataset: engine.d,
+        updates,
+    }
+}
+
+/// The reference scan implementation: re-counts the current dataset with
+/// a full O(n·p) pass per hierarchy node (`node_snapshot_us` histogram),
+/// exactly as the remedy worked before the incremental [`RegionIndex`].
+/// Kept public as the differential-testing and benchmarking baseline;
+/// its output is bit-identical to [`remedy_over`].
+pub fn remedy_over_scan(
+    data: &Dataset,
+    protected: &[usize],
+    params: &RemedyParams,
+) -> RemedyOutcome {
+    remedy_over_scan_with(data, protected, params, &ObsScope::disabled())
+}
+
+/// [`remedy_over_scan`] with observability.
+pub fn remedy_over_scan_with(
+    data: &Dataset,
+    protected: &[usize],
+    params: &RemedyParams,
+    obs: &ObsScope,
+) -> RemedyOutcome {
+    let _span = obs.span("remedy_over_scan");
+    assert!(
+        !protected.is_empty(),
+        "need at least one protected attribute"
+    );
+    let ranker = params
+        .technique
+        .needs_ranker()
+        .then(|| NaiveBayes::fit(data));
+    let mut engine = ScanEngine {
+        d: data.clone(),
+        protected,
+        rows_by_key: FastMap::default(),
+    };
+    let updates = remedy_driver(&mut engine, protected, params, ranker.as_ref(), obs);
+    RemedyOutcome {
+        dataset: engine.d,
+        updates,
+    }
+}
+
+/// The counting seam of the remedy loop: where a node's per-region
+/// counts, biased-region list, and row buckets come from, and how row
+/// edits propagate. Two implementations — [`ScanEngine`] re-scans the
+/// dataset per node (the paper's literal Algorithm 2), [`IndexEngine`]
+/// serves everything from the delta-maintained [`RegionIndex`]. The
+/// driver is generic over this trait, so both paths share the technique
+/// arithmetic, RNG stream, and processing order verbatim — which is what
+/// makes them bit-identical.
+trait CountEngine {
+    /// The current dataset (reads only; writes go through the edit hooks).
+    fn dataset(&self) -> &Dataset;
+
+    /// Biased regions `(key, counts, ratio_rn)` of one node over the
+    /// current dataset, sorted by key, plus the neighbor-lookup tally.
+    fn biased_in_node(
+        &mut self,
+        mask: u32,
+        attrs: &[usize],
+        ordered: &[bool],
+        params: &RemedyParams,
+        obs: &ObsScope,
+    ) -> (Vec<(u128, Counts, f64)>, NeighborTally);
+
+    /// Ascending current row indices of one region of the node last
+    /// passed to [`biased_in_node`](CountEngine::biased_in_node).
+    fn region_rows(&mut self, mask: u32, key: u128) -> Vec<usize>;
+
+    /// Appends a copy of `row` at the end of the dataset.
+    fn duplicate_row(&mut self, row: usize);
+
+    /// Flips the label of `row`.
+    fn flip_label(&mut self, row: usize);
+
+    /// Removes the given rows (a node's batched pending removals).
+    fn remove_rows(&mut self, rows: &[usize]);
+
+    /// Flushes any per-node counting telemetry.
+    fn flush_node_obs(&mut self, obs: &ObsScope);
+}
+
+/// Scan-path engine: a fresh O(n·p) snapshot per node.
+struct ScanEngine<'a> {
+    d: Dataset,
+    protected: &'a [usize],
+    /// Row buckets of the node currently being processed.
+    rows_by_key: FastMap<u128, Vec<usize>>,
+}
+
+impl CountEngine for ScanEngine<'_> {
+    fn dataset(&self) -> &Dataset {
+        &self.d
+    }
+
+    fn biased_in_node(
+        &mut self,
+        _mask: u32,
+        attrs: &[usize],
+        ordered: &[bool],
+        params: &RemedyParams,
+        obs: &ObsScope,
+    ) -> (Vec<(u128, Counts, f64)>, NeighborTally) {
+        // identification on the *current* dataset, restricted to this node;
+        // one pass yields both counts and the row bucket of every region
+        let timer = obs.timer();
+        let cols: Vec<usize> = attrs.iter().map(|&j| self.protected[j]).collect();
+        let (counts, rows) = crate::counting::node_snapshot(&self.d, &cols);
+        obs.observe_since("node_snapshot_us", timer);
+        self.rows_by_key = rows;
+        let model = NeighborModel::for_snapshot(&counts, ordered, params.neighborhood);
+        biased_from_model(&counts, &model, params)
+    }
+
+    fn region_rows(&mut self, _mask: u32, key: u128) -> Vec<usize> {
+        self.rows_by_key.get(&key).cloned().unwrap_or_default()
+    }
+
+    fn duplicate_row(&mut self, row: usize) {
+        self.d.duplicate_row(row);
+    }
+
+    fn flip_label(&mut self, row: usize) {
+        self.d.flip_label(row);
+    }
+
+    fn remove_rows(&mut self, rows: &[usize]) {
+        self.d.remove_rows(rows);
+    }
+
+    fn flush_node_obs(&mut self, _obs: &ObsScope) {}
+}
+
+/// Incremental engine: counts come from the maintained [`RegionIndex`]
+/// and every edit is mirrored into it as an O(nodes) delta update.
+struct IndexEngine {
+    d: Dataset,
+    index: RegionIndex,
+}
+
+impl CountEngine for IndexEngine {
+    fn dataset(&self) -> &Dataset {
+        &self.d
+    }
+
+    fn biased_in_node(
+        &mut self,
+        mask: u32,
+        _attrs: &[usize],
+        _ordered: &[bool],
+        params: &RemedyParams,
+        obs: &ObsScope,
+    ) -> (Vec<(u128, Counts, f64)>, NeighborTally) {
+        let timer = obs.timer();
+        self.index.flush_deltas();
+        let hierarchy = self.index.hierarchy();
+        let node = hierarchy.node(mask);
+        // the maintained hierarchy equals a fresh build of the current
+        // dataset, so for_node with the optimized algorithm answers the
+        // same counts for_snapshot derives from a scan — with the
+        // dominating projections borrowed instead of recomputed
+        let model =
+            NeighborModel::for_node(hierarchy, node, params.neighborhood, Algorithm::Optimized);
+        let out = biased_from_model(&node.regions, &model, params);
+        obs.observe_since("node_counts_us", timer);
+        self.index.note_node_served();
+        out
+    }
+
+    fn region_rows(&mut self, mask: u32, key: u128) -> Vec<usize> {
+        self.index.region_rows(mask, key)
+    }
+
+    fn duplicate_row(&mut self, row: usize) {
+        self.index.apply_append(row);
+        self.d.duplicate_row(row);
+    }
+
+    fn flip_label(&mut self, row: usize) {
+        self.index.apply_flip(row);
+        self.d.flip_label(row);
+    }
+
+    fn remove_rows(&mut self, rows: &[usize]) {
+        self.index.apply_remove(rows);
+        self.d.remove_rows(rows);
+    }
+
+    fn flush_node_obs(&mut self, obs: &ObsScope) {
+        self.index.flush_obs(obs);
+    }
+}
+
+/// Algorithm 2's node loop, generic over the counting seam. Masks are
+/// walked bottom-up (decreasing popcount, then numeric order); regions
+/// within a node are disjoint, so duplications (appended at the end) and
+/// label flips are applied immediately while removals are batched per
+/// node to keep row indices valid.
+fn remedy_driver<E: CountEngine>(
+    engine: &mut E,
+    protected: &[usize],
+    params: &RemedyParams,
+    ranker: Option<&NaiveBayes>,
+    obs: &ObsScope,
+) -> Vec<RegionUpdate> {
+    let p = protected.len();
+    // which protected columns are ordered, by protected position — the
+    // ordered-radius metric needs per-slot flags for every node
+    let ordered_protected: Vec<bool> = protected
+        .iter()
+        .map(|&col| engine.dataset().schema().attribute(col).is_ordered())
+        .collect();
     let mut rng = StdRng::seed_from_u64(params.seed);
     let mut updates = Vec::new();
 
@@ -232,31 +465,23 @@ pub fn remedy_over_with(
         if !params.scope.includes(attrs.len(), p) {
             continue;
         }
-        // identification on the *current* dataset, restricted to this node;
-        // one pass yields both counts and the row bucket of every region
-        let snapshot_timer = obs.timer();
-        let (counts, rows_by_key) = node_snapshot(&d, protected, &attrs);
-        obs.observe_since("node_snapshot_us", snapshot_timer);
         let ordered: Vec<bool> = attrs.iter().map(|&j| ordered_protected[j]).collect();
-        let (biased, neighbor_tally) = biased_in_node(&counts, &ordered, params);
-        // regions within a node are disjoint, so duplications (appended at
-        // the end) and label flips can be applied immediately while
-        // removals are batched per node to keep snapshot indices valid
+        let (biased, neighbor_tally) = engine.biased_in_node(mask, &attrs, &ordered, params, obs);
         let mut pending_removals: Vec<usize> = Vec::new();
-        let len_before = d.len();
+        let len_before = engine.dataset().len();
         let updates_before = updates.len();
         let mut flipped = 0u64;
         for (key, own, target) in biased {
             let pattern = pattern_of(protected, &attrs, key);
-            let rows = rows_by_key.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+            let rows = engine.region_rows(mask, key);
             if let Some(update) = apply_technique(
-                &mut d,
+                engine,
                 &pattern,
-                rows,
+                &rows,
                 own,
                 target,
                 params.technique,
-                ranker.as_ref(),
+                ranker,
                 &mut rng,
                 &mut pending_removals,
             ) {
@@ -266,59 +491,34 @@ pub fn remedy_over_with(
         }
         obs.add_many(&[
             ("regions_updated", (updates.len() - updates_before) as u64),
-            ("rows_duplicated", (d.len() - len_before) as u64),
+            (
+                "rows_duplicated",
+                (engine.dataset().len() - len_before) as u64,
+            ),
             ("rows_removed", pending_removals.len() as u64),
             ("rows_flipped", flipped),
             ("neighbor_lookups", neighbor_tally.lookups),
             ("neighbor_underflow", neighbor_tally.underflows),
         ]);
         if !pending_removals.is_empty() {
-            d.remove_rows(&pending_removals);
+            engine.remove_rows(&pending_removals);
         }
+        engine.flush_node_obs(obs);
     }
-    RemedyOutcome {
-        dataset: d,
-        updates,
-    }
+    updates
 }
 
-/// Per-region class counts and row buckets of one node over the current
-/// dataset, in a single pass.
-fn node_snapshot(
-    data: &Dataset,
-    protected: &[usize],
-    attr_positions: &[usize],
-) -> (FastMap<u128, Counts>, FastMap<u128, Vec<usize>>) {
-    let mut counts: FastMap<u128, Counts> = FastMap::default();
-    let mut rows: FastMap<u128, Vec<usize>> = FastMap::default();
-    for i in 0..data.len() {
-        let mut key = 0u128;
-        for (slot, &j) in attr_positions.iter().enumerate() {
-            key |= u128::from(data.value(i, protected[j])) << (8 * slot);
-        }
-        let c = counts.entry(key).or_default();
-        if data.label(i) == 1 {
-            c.pos += 1;
-        } else {
-            c.neg += 1;
-        }
-        rows.entry(key).or_default().push(i);
-    }
-    (counts, rows)
-}
-
-/// Biased regions of a single node snapshot: `(key, counts, ratio_rn)`,
-/// plus the neighbor-lookup tally. `ordered[slot]` flags which of the
-/// node's attribute slots are ordered. All three neighborhoods — Unit,
-/// Full, and the ordered-radius ball — dispatch through the same
-/// [`NeighborModel`] seam the identification drivers use, so remedy
-/// targets agree with what a re-identify under the same params reports.
-fn biased_in_node(
+/// Biased regions of one node's count map: `(key, counts, ratio_rn)`,
+/// sorted by key for deterministic processing, plus the neighbor-lookup
+/// tally. All three neighborhoods — Unit, Full, and the ordered-radius
+/// ball — dispatch through the same [`NeighborModel`] seam the
+/// identification drivers use, so remedy targets agree with what a
+/// re-identify under the same params reports.
+fn biased_from_model(
     counts: &FastMap<u128, Counts>,
-    ordered: &[bool],
+    model: &NeighborModel,
     params: &RemedyParams,
 ) -> (Vec<(u128, Counts, f64)>, NeighborTally) {
-    let model = NeighborModel::for_snapshot(counts, ordered, params.neighborhood);
     let mut tally = NeighborTally::default();
     let mut out = Vec::new();
     for (&key, &own) in counts {
@@ -352,8 +552,8 @@ fn pattern_of(protected: &[usize], attrs: &[usize], key: u128) -> Pattern {
 /// unreachable (sentinel target, or no instances of the class the technique
 /// must duplicate).
 #[allow(clippy::too_many_arguments)]
-fn apply_technique(
-    d: &mut Dataset,
+fn apply_technique<E: CountEngine>(
+    engine: &mut E,
     pattern: &Pattern,
     region_rows: &[usize],
     own: Counts,
@@ -375,12 +575,12 @@ fn apply_technique(
     let mut pos_rows: Vec<usize> = region_rows
         .iter()
         .copied()
-        .filter(|&i| d.label(i) == 1)
+        .filter(|&i| engine.dataset().label(i) == 1)
         .collect();
     let mut neg_rows: Vec<usize> = region_rows
         .iter()
         .copied()
-        .filter(|&i| d.label(i) == 0)
+        .filter(|&i| engine.dataset().label(i) == 0)
         .collect();
 
     let mut update = RegionUpdate {
@@ -399,7 +599,7 @@ fn apply_technique(
                 return None;
             }
             let n_add = ((p / target).round() - n).max(0.0) as usize;
-            duplicate_uniform(d, &neg_rows, n_add, rng);
+            duplicate_uniform(engine, &neg_rows, n_add, rng);
             update.neg_delta = n_add as i64;
         }
         (Technique::Oversampling, false) => {
@@ -408,7 +608,7 @@ fn apply_technique(
                 return None;
             }
             let p_add = ((target * n).round() - p).max(0.0) as usize;
-            duplicate_uniform(d, &pos_rows, p_add, rng);
+            duplicate_uniform(engine, &pos_rows, p_add, rng);
             update.pos_delta = p_add as i64;
         }
         (Technique::Undersampling, true) => {
@@ -443,9 +643,9 @@ fn apply_technique(
                 // remove k borderline positives, duplicate k borderline
                 // negatives
                 let k = k.min(pos_rows.len());
-                rank_borderline(d, ranker, &mut pos_rows, true);
-                rank_borderline(d, ranker, &mut neg_rows, false);
-                duplicate_cycled(d, &neg_rows, k);
+                rank_borderline(engine.dataset(), ranker, &mut pos_rows, true);
+                rank_borderline(engine.dataset(), ranker, &mut neg_rows, false);
+                duplicate_cycled(engine, &neg_rows, k);
                 pending_removals.extend_from_slice(&pos_rows[..k]);
                 update.pos_delta = -(k as i64);
                 update.neg_delta = k as i64;
@@ -454,9 +654,9 @@ fn apply_technique(
                     return None;
                 }
                 let k = k.min(neg_rows.len());
-                rank_borderline(d, ranker, &mut pos_rows, true);
-                rank_borderline(d, ranker, &mut neg_rows, false);
-                duplicate_cycled(d, &pos_rows, k);
+                rank_borderline(engine.dataset(), ranker, &mut pos_rows, true);
+                rank_borderline(engine.dataset(), ranker, &mut neg_rows, false);
+                duplicate_cycled(engine, &pos_rows, k);
                 pending_removals.extend_from_slice(&neg_rows[..k]);
                 update.pos_delta = k as i64;
                 update.neg_delta = -(k as i64);
@@ -472,18 +672,18 @@ fn apply_technique(
             }
             if too_positive {
                 let k = k.min(pos_rows.len());
-                rank_borderline(d, ranker, &mut pos_rows, true);
+                rank_borderline(engine.dataset(), ranker, &mut pos_rows, true);
                 for &row in &pos_rows[..k] {
-                    d.flip_label(row);
+                    engine.flip_label(row);
                 }
                 update.pos_delta = -(k as i64);
                 update.neg_delta = k as i64;
                 update.flipped = k as u64;
             } else {
                 let k = k.min(neg_rows.len());
-                rank_borderline(d, ranker, &mut neg_rows, false);
+                rank_borderline(engine.dataset(), ranker, &mut neg_rows, false);
                 for &row in &neg_rows[..k] {
-                    d.flip_label(row);
+                    engine.flip_label(row);
                 }
                 update.pos_delta = k as i64;
                 update.neg_delta = -(k as i64);
@@ -495,20 +695,25 @@ fn apply_technique(
 }
 
 /// Duplicates `count` rows sampled uniformly (with replacement).
-fn duplicate_uniform(d: &mut Dataset, rows: &[usize], count: usize, rng: &mut StdRng) {
+fn duplicate_uniform<E: CountEngine>(
+    engine: &mut E,
+    rows: &[usize],
+    count: usize,
+    rng: &mut StdRng,
+) {
     debug_assert!(!rows.is_empty() || count == 0);
     for _ in 0..count {
         let row = rows[rng.gen_range(0..rows.len())];
-        d.duplicate_row(row);
+        engine.duplicate_row(row);
     }
 }
 
 /// Duplicates the first `count` entries of a ranked list, cycling when the
 /// list is shorter than `count`.
-fn duplicate_cycled(d: &mut Dataset, ranked: &[usize], count: usize) {
+fn duplicate_cycled<E: CountEngine>(engine: &mut E, ranked: &[usize], count: usize) {
     debug_assert!(!ranked.is_empty() || count == 0);
     for i in 0..count {
-        d.duplicate_row(ranked[i % ranked.len()]);
+        engine.duplicate_row(ranked[i % ranked.len()]);
     }
 }
 
@@ -881,9 +1086,58 @@ mod tests {
             assert_eq!(counter("rows_removed"), removed as u64, "{technique}");
             assert_eq!(counter("rows_flipped"), flipped, "{technique}");
             assert!(
-                snap.histogram("remedy", "node_snapshot_us").unwrap().count >= 1,
+                snap.histogram("remedy", "node_counts_us").unwrap().count >= 1,
                 "{technique}"
             );
+            assert!(
+                snap.histogram("remedy", "index_build_us").unwrap().count == 1,
+                "{technique}"
+            );
+            // exactly one full counting pass — the index build; every node
+            // after that is served from maintained counts
+            assert_eq!(counter("counting.rebuild.scans"), 1, "{technique}");
+            assert_eq!(counter("counting.rebuild.rows"), d.len() as u64);
+            // p = 2 ⇒ 3 lattice nodes, all in Scope::Lattice
+            assert_eq!(counter("counting.delta.nodes_served"), 3, "{technique}");
+            let edits = counter("counting.delta.appends")
+                + counter("counting.delta.removes")
+                + counter("counting.delta.flips");
+            assert!(edits > 0, "{technique} produced no delta updates");
+        }
+    }
+
+    /// The incremental [`RegionIndex`] path and the per-node scan baseline
+    /// must agree to the byte: same remedied rows in the same order, same
+    /// update records — for every technique and for the ordered-radius
+    /// neighborhood.
+    #[test]
+    fn index_and_scan_paths_agree() {
+        let (d, _) = example_like();
+        for technique in Technique::ALL {
+            let params = RemedyParams {
+                technique,
+                tau_c: 0.3,
+                ..RemedyParams::default()
+            };
+            let protected = d.schema().protected_indices();
+            let fast = remedy_over(&d, &protected, &params);
+            let scan = remedy_over_scan(&d, &protected, &params);
+            assert_eq!(fast.dataset, scan.dataset, "{technique}");
+            assert_eq!(fast.updates, scan.updates, "{technique}");
+        }
+        let d = ordered_planted();
+        for technique in Technique::ALL {
+            let params = RemedyParams {
+                technique,
+                tau_c: 2.0,
+                neighborhood: Neighborhood::OrderedRadius(1.0),
+                ..RemedyParams::default()
+            };
+            let protected = d.schema().protected_indices();
+            let fast = remedy_over(&d, &protected, &params);
+            let scan = remedy_over_scan(&d, &protected, &params);
+            assert_eq!(fast.dataset, scan.dataset, "ordered {technique}");
+            assert_eq!(fast.updates, scan.updates, "ordered {technique}");
         }
     }
 

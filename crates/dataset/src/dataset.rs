@@ -5,6 +5,33 @@ use crate::pattern::Pattern;
 use crate::schema::Schema;
 use std::sync::Arc;
 
+/// One row-level mutation of a [`Dataset`], in the vocabulary the remedy
+/// uses: duplicate a row (appended at the end), flip a label in place, or
+/// remove a batch of rows (preserving the relative order of the rest).
+///
+/// Consumers that maintain derived state over a dataset — such as the
+/// core crate's incremental region counts — mirror each edit through
+/// their own `apply_edit` hook in the same order it is applied here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RowEdit {
+    /// Append a copy of row `src` at the end.
+    Duplicate {
+        /// Current index of the row to copy.
+        src: usize,
+    },
+    /// Flip the binary label of one row.
+    FlipLabel {
+        /// Current index of the row.
+        row: usize,
+    },
+    /// Remove the rows at the given current indices (need not be sorted;
+    /// duplicates are ignored).
+    Remove {
+        /// Current indices of the rows to drop.
+        rows: Vec<usize>,
+    },
+}
+
 /// A dataset `D = {(x^1, y^1), …, (x^k, y^k)}` stored column-major.
 ///
 /// Every attribute is categorical: cell `(row, col)` holds a code into
@@ -276,6 +303,17 @@ impl Dataset {
         self.retain_rows(|i| !drop[i]);
     }
 
+    /// Applies one [`RowEdit`] — the single entry point mutating
+    /// consumers can mirror to keep derived state (e.g. incremental
+    /// region counts) in sync with the dataset.
+    pub fn apply_edit(&mut self, edit: &RowEdit) {
+        match edit {
+            RowEdit::Duplicate { src } => self.duplicate_row(*src),
+            RowEdit::FlipLabel { row } => self.flip_label(*row),
+            RowEdit::Remove { rows } => self.remove_rows(rows),
+        }
+    }
+
     /// Returns a copy of the dataset under a different schema — typically
     /// one produced by [`Schema::with_protected`] to change which
     /// attributes are treated as protected. The new schema must have the
@@ -401,6 +439,19 @@ mod tests {
         assert_eq!(d.weight(1), 2.5);
         d.reset_weights();
         assert_eq!(d.weight(1), 1.0);
+    }
+
+    #[test]
+    fn apply_edit_dispatches() {
+        let mut by_edit = small();
+        let mut by_hand = small();
+        by_edit.apply_edit(&RowEdit::Duplicate { src: 1 });
+        by_hand.duplicate_row(1);
+        by_edit.apply_edit(&RowEdit::FlipLabel { row: 0 });
+        by_hand.flip_label(0);
+        by_edit.apply_edit(&RowEdit::Remove { rows: vec![3, 2] });
+        by_hand.remove_rows(&[3, 2]);
+        assert_eq!(by_edit, by_hand);
     }
 
     #[test]

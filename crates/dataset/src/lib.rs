@@ -37,7 +37,7 @@ pub mod split;
 pub mod synth;
 
 pub use collapse::collapse_rare;
-pub use dataset::Dataset;
+pub use dataset::{Dataset, RowEdit};
 pub use error::DatasetError;
 pub use pattern::Pattern;
 pub use profile::{profile, DatasetProfile};

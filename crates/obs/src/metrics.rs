@@ -126,6 +126,18 @@ impl Snapshot {
             .map(|&(_, _, v)| v)
     }
 
+    /// All counters of one scope whose name starts with `prefix`, in
+    /// sorted name order. Dotted counter families (`counting.delta.*`,
+    /// `counting.rebuild.*`, `cache.*`) read naturally through this:
+    /// `snapshot.counters_with_prefix("remedy", "counting.delta.")`.
+    pub fn counters_with_prefix(&self, scope: &str, prefix: &str) -> Vec<(&str, u64)> {
+        self.counters
+            .iter()
+            .filter(|(s, n, _)| s == scope && n.starts_with(prefix))
+            .map(|(_, n, v)| (n.as_str(), *v))
+            .collect()
+    }
+
     /// The summary of one histogram, if it was ever observed.
     pub fn histogram(&self, scope: &str, name: &str) -> Option<HistSummary> {
         self.histograms
@@ -180,6 +192,24 @@ mod tests {
                 p90: 0
             }
         );
+    }
+
+    #[test]
+    fn counters_with_prefix_filters_by_scope_and_name() {
+        let snap = Snapshot {
+            counters: vec![
+                ("remedy".into(), "counting.delta.appends".into(), 4),
+                ("remedy".into(), "counting.delta.flips".into(), 2),
+                ("remedy".into(), "counting.rebuild.scans".into(), 1),
+                ("identify".into(), "counting.delta.appends".into(), 9),
+            ],
+            histograms: Vec::new(),
+        };
+        assert_eq!(
+            snap.counters_with_prefix("remedy", "counting.delta."),
+            vec![("counting.delta.appends", 4), ("counting.delta.flips", 2)]
+        );
+        assert!(snap.counters_with_prefix("remedy", "cache.").is_empty());
     }
 
     #[test]

@@ -134,6 +134,53 @@ fn metrics_match_manual_computation() {
     );
 }
 
+/// Cache parity with the pre-index scan implementation: the remedy
+/// artifact the pipeline persists (computed through the incremental
+/// `RegionIndex` engine) must be byte-identical to `remedy_over_scan` on
+/// the same split — and the cache key is unchanged — so `.remedy-cache`
+/// entries written by the per-node scan code path replay under the
+/// incremental engine, and vice versa.
+#[test]
+fn remedy_cache_artifact_matches_scan_baseline() {
+    let cache = fresh_cache("scan_parity");
+    let plan = Plan::parse(PLAN).unwrap();
+    let manifest = run(&plan, &opts(&cache)).unwrap();
+
+    let rec = manifest.stage("remedy", Some("ps")).unwrap();
+    assert!(!rec.skipped);
+    let artifact =
+        std::fs::read_to_string(cache.join(format!("remedy-{}", rec.key)).join("artifact"))
+            .unwrap();
+
+    // the scan baseline's artifact for the same split and params
+    let data = synth::compas_n(1000, 9);
+    let (train_set, _) = train_test_split(&data, 0.7, 9).unwrap();
+    let protected = train_set.schema().protected_indices();
+    let scanned = remedy_core::remedy_over_scan(
+        &train_set,
+        &protected,
+        &RemedyParams::builder()
+            .technique(Technique::PreferentialSampling)
+            .tau_c(0.1)
+            .min_size(30)
+            .seed(9)
+            .build()
+            .unwrap(),
+    );
+    assert_eq!(
+        artifact,
+        remedy_dataset::persist::dataset_to_text(&scanned.dataset),
+        "incremental remedy artifact diverges from the scan baseline"
+    );
+
+    // a warm re-run replays that artifact from cache
+    let second = run(&plan, &opts(&cache)).unwrap();
+    let warm = second.stage("remedy", Some("ps")).unwrap();
+    assert!(warm.cache_hit);
+    assert_eq!(warm.key, rec.key);
+    assert_eq!(warm.artifact_hash, rec.artifact_hash);
+}
+
 /// Forced recomputation into a second cache produces byte-identical
 /// artifacts: the whole DAG is deterministic from the plan alone.
 #[test]

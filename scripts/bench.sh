@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs the Criterion benches (identify, remedy, pipeline) and records the
+# median time of every benchmark into BENCH_core.json, tagged with the git
+# revision and UTC date. Extra arguments are forwarded to `cargo bench`
+# (e.g. `scripts/bench.sh remedy_large` to filter).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_core.json
+log=$(mktemp)
+trap 'rm -f "$log"' EXIT
+
+for bench in identify remedy pipeline; do
+    cargo bench -p remedy-bench --bench "$bench" -- "$@" | tee -a "$log"
+done
+
+rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+# The vendored criterion shim prints one line per benchmark:
+#   <id>  time: [<min> <u> <median> <u> <max> <u>]
+awk -v rev="$rev" -v date="$date" '
+    /time: \[/ {
+        id = $1
+        match($0, /\[[^]]*\]/)
+        split(substr($0, RSTART + 1, RLENGTH - 2), t, /[[:space:]]+/)
+        ns = t[3] + 0
+        unit = t[4]
+        if (unit == "µs") ns *= 1e3
+        else if (unit == "ms") ns *= 1e6
+        else if (unit == "s") ns *= 1e9
+        ids[n++] = id
+        medians[id] = ns
+    }
+    END {
+        if (n == 0) {
+            print "no benchmark output parsed" > "/dev/stderr"
+            exit 1
+        }
+        printf "{\n  \"git_rev\": \"%s\",\n  \"date\": \"%s\",\n  \"median_ns\": {\n", rev, date
+        for (i = 0; i < n; i++) {
+            id = ids[i]
+            printf "    \"%s\": %.0f%s\n", id, medians[id], (i < n - 1 ? "," : "")
+        }
+        printf "  }\n}\n"
+    }
+' "$log" > "$out"
+
+echo "wrote $out ($(grep -c '":' "$out") lines)"

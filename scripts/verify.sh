@@ -12,6 +12,12 @@ cargo test -q --workspace
 # kill-then-resume) only compile under the failpoints feature
 cargo test -q -p remedy-pipeline --features failpoints
 cargo test -q -p remedy-cli --features failpoints
+# counting-engine property suite (edit interleavings vs rebuild, remedy
+# byte-parity with the scan baseline) ...
+cargo test -q -p remedy-core --test counting_props
+# ... and the release-mode timing smoke check: the incremental remedy
+# must not be slower than the per-node scan it replaced
+cargo test -q --release -p remedy-core --test counting_props -- --ignored
 cargo clippy --workspace -- -D warnings
 cargo fmt --check
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
