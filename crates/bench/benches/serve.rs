@@ -1,0 +1,33 @@
+//! Criterion micro-benchmark of the resident service: warm `identify`
+//! round-trips through the line-delimited JSON protocol against an
+//! in-process server holding a maintained RegionIndex. Measures the
+//! full wire path (serialize, TCP, dispatch, render), so the number is
+//! directly comparable to the in-memory `identify` benches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remedy_serve::{Client, ServeOptions, Server};
+
+fn bench_serve(c: &mut Criterion) {
+    let server = Server::bind(ServeOptions::default()).expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(&addr).expect("connect");
+    client
+        .call("{\"op\":\"load\",\"session\":\"bench\",\"source\":\"compas\",\"rows\":2000,\"seed\":42}")
+        .expect("load session");
+
+    c.bench_function("serve_identify_p50_us", |b| {
+        b.iter(|| {
+            client
+                .call("{\"op\":\"identify\",\"session\":\"bench\"}")
+                .expect("identify round-trip")
+        })
+    });
+
+    client.call("{\"op\":\"shutdown\"}").expect("shutdown");
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

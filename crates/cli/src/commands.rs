@@ -31,6 +31,8 @@ COMMANDS:
     remedy     rewrite a dataset so biased regions match their neighborhood
     audit      train a model and report unfair subgroups
     pipeline   run a declarative plan as a cached, parallel stage DAG
+    serve      run a resident fairness service over TCP (line-JSON protocol)
+    client     send request lines to a running serve daemon
     cache      manage the pipeline artifact cache (gc)
     report     write a full Markdown fairness audit
     train      train a model (optionally on remedied data) and save it
@@ -50,6 +52,8 @@ pub fn run(command: &str, raw: Vec<String>) -> Result<(), CliError> {
         "remedy" => cmd_remedy(raw),
         "audit" => cmd_audit(raw),
         "pipeline" => cmd_pipeline(raw),
+        "serve" => cmd_serve(raw),
+        "client" => cmd_client(raw),
         "cache" => cmd_cache(raw),
         "report" => cmd_report(raw),
         "train" => cmd_train(raw),
@@ -433,6 +437,73 @@ fn cmd_pipeline(raw: Vec<String>) -> Result<(), CliError> {
             manifest.failures.len(),
             manifest.failures.len() + manifest.branches.len()
         )));
+    }
+    Ok(())
+}
+
+fn cmd_serve(raw: Vec<String>) -> Result<(), CliError> {
+    let args = Args::parse(raw)?;
+    if args.flag("help") {
+        println!(
+            "remedy serve [--addr 127.0.0.1:7878] [--deadline-ms 0] \
+             [--trace trace.jsonl]\n\n\
+             Long-lived daemon holding named datasets with maintained region\n\
+             indexes in memory, answering line-delimited JSON over TCP (ops:\n\
+             load|ingest|identify|audit|remedy|stats|shutdown). Port 0 picks\n\
+             an ephemeral port; the bound address is printed on startup.\n\
+             Drive it with `remedy client`."
+        );
+        return Ok(());
+    }
+    args.check_known(&["addr", "deadline-ms", "trace", "help"])?;
+    let recorder = match args.get("trace") {
+        Some(path) => remedy_obs::Recorder::to_path(path)
+            .map_err(|e| CliError(format!("cannot open trace {path}: {e}")))?,
+        None => remedy_obs::Recorder::enabled(),
+    };
+    let options = remedy_serve::ServeOptions {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        deadline_ms: args.get_parsed("deadline-ms", 0u64)?,
+        recorder: recorder.clone(),
+    };
+    let server =
+        remedy_serve::Server::bind(options).map_err(|e| CliError(format!("cannot bind: {e}")))?;
+    println!("remedy-serve listening on {}", server.local_addr());
+    // stdout is block-buffered when piped; scripts wait for this line
+    std::io::Write::flush(&mut std::io::stdout()).ok();
+    let result = server.run();
+    recorder.finish();
+    result.map_err(|e| CliError(e.to_string()))
+}
+
+fn cmd_client(raw: Vec<String>) -> Result<(), CliError> {
+    let args = Args::parse(raw)?;
+    if args.flag("help") || args.positional_count() == 0 {
+        println!(
+            "remedy client <addr> <request-json> [<request-json> …]\n\n\
+             Sends each request line to a running `remedy serve` over one\n\
+             connection and prints one response line per request. Exits\n\
+             nonzero if any response reports an error."
+        );
+        return Ok(());
+    }
+    args.check_known(&["help"])?;
+    let addr = args.positional(0).unwrap();
+    let mut client = remedy_serve::Client::connect(addr)
+        .map_err(|e| CliError(format!("cannot connect to {addr}: {e}")))?;
+    let mut failed = 0usize;
+    for i in 1..args.positional_count() {
+        let request = args.positional(i).unwrap();
+        let response = client
+            .request_line(request)
+            .map_err(|e| CliError(e.to_string()))?;
+        println!("{response}");
+        if !response.starts_with("{\"ok\":true") {
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        return Err(CliError(format!("{failed} request(s) failed")));
     }
     Ok(())
 }
@@ -916,6 +987,38 @@ mod tests {
         assert_eq!(parse_bytes("3m").unwrap(), 3 * 1024 * 1024);
         assert_eq!(parse_bytes("1g").unwrap(), 1024 * 1024 * 1024);
         assert_eq!(parse_bytes("77").unwrap(), 77);
+    }
+
+    #[test]
+    fn serve_and_client_round_trip() {
+        let server = remedy_serve::Server::bind(remedy_serve::ServeOptions::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.run());
+        run(
+            "client",
+            vec![
+                addr.clone(),
+                "{\"op\":\"load\",\"session\":\"a\",\"source\":\"compas\",\"rows\":300}".into(),
+                "{\"op\":\"ingest\",\"session\":\"a\",\"edits\":[{\"kind\":\"flip\",\"row\":0}]}"
+                    .into(),
+                "{\"op\":\"identify\",\"session\":\"a\"}".into(),
+            ],
+        )
+        .unwrap();
+        // a failing request makes the client exit nonzero
+        let err = run(
+            "client",
+            vec![
+                addr.clone(),
+                "{\"op\":\"identify\",\"session\":\"nope\"}".into(),
+            ],
+        )
+        .unwrap_err();
+        assert!(err.0.contains("request(s) failed"), "{}", err.0);
+        run("client", vec![addr.clone(), "{\"op\":\"shutdown\"}".into()]).unwrap();
+        handle.join().unwrap().unwrap();
+        // with the daemon gone, connecting is a clean error
+        assert!(run("client", vec![addr, "{\"op\":\"stats\"}".into()]).is_err());
     }
 
     #[test]

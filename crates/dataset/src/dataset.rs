@@ -314,6 +314,33 @@ impl Dataset {
         }
     }
 
+    /// [`apply_edit`](Dataset::apply_edit) with validation: an edit naming
+    /// a removed or never-existing row is rejected with
+    /// [`DatasetError::RowOutOfRange`] before anything mutates, instead of
+    /// panicking on a slice index. This is the entry point for edits from
+    /// untrusted input (e.g. a serve `ingest` batch).
+    pub fn try_apply_edit(&mut self, edit: &RowEdit) -> Result<(), DatasetError> {
+        let len = self.len();
+        let check = |row: usize| {
+            if row < len {
+                Ok(())
+            } else {
+                Err(DatasetError::RowOutOfRange { row, len })
+            }
+        };
+        match edit {
+            RowEdit::Duplicate { src } => check(*src)?,
+            RowEdit::FlipLabel { row } => check(*row)?,
+            RowEdit::Remove { rows } => {
+                for &row in rows {
+                    check(row)?;
+                }
+            }
+        }
+        self.apply_edit(edit);
+        Ok(())
+    }
+
     /// Returns a copy of the dataset under a different schema — typically
     /// one produced by [`Schema::with_protected`] to change which
     /// attributes are treated as protected. The new schema must have the
@@ -452,6 +479,28 @@ mod tests {
         by_edit.apply_edit(&RowEdit::Remove { rows: vec![3, 2] });
         by_hand.remove_rows(&[3, 2]);
         assert_eq!(by_edit, by_hand);
+    }
+
+    #[test]
+    fn try_apply_edit_rejects_out_of_range_rows() {
+        let mut d = small();
+        for bad in [
+            RowEdit::Duplicate { src: 4 },
+            RowEdit::FlipLabel { row: 99 },
+            RowEdit::Remove { rows: vec![1, 4] },
+        ] {
+            let before = d.clone();
+            assert!(matches!(
+                d.try_apply_edit(&bad),
+                Err(DatasetError::RowOutOfRange { .. })
+            ));
+            assert_eq!(d, before, "rejected edit must not mutate");
+        }
+        d.try_apply_edit(&RowEdit::Duplicate { src: 3 }).unwrap();
+        d.try_apply_edit(&RowEdit::FlipLabel { row: 0 }).unwrap();
+        d.try_apply_edit(&RowEdit::Remove { rows: vec![4] })
+            .unwrap();
+        assert_eq!(d.len(), 4);
     }
 
     #[test]

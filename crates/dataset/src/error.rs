@@ -23,6 +23,13 @@ pub enum DatasetError {
     },
     /// A label outside `{0, 1}` was provided.
     InvalidLabel(String),
+    /// A row index referenced a removed or never-existing row.
+    RowOutOfRange {
+        /// The offending row index.
+        row: usize,
+        /// Current number of rows.
+        len: usize,
+    },
     /// The CSV input was structurally malformed.
     Csv {
         /// 1-based line where the problem was detected.
@@ -50,6 +57,9 @@ impl fmt::Display for DatasetError {
             }
             DatasetError::InvalidLabel(v) => {
                 write!(f, "label `{v}` is not binary (expected 0 or 1)")
+            }
+            DatasetError::RowOutOfRange { row, len } => {
+                write!(f, "row {row} is out of range (dataset has {len} rows)")
             }
             DatasetError::Csv { line, message } => {
                 write!(f, "csv parse error at line {line}: {message}")
@@ -91,6 +101,8 @@ mod tests {
             message: "unterminated quote".into(),
         };
         assert!(e.to_string().contains("line 7"));
+        let e = DatasetError::RowOutOfRange { row: 12, len: 10 };
+        assert!(e.to_string().contains("12") && e.to_string().contains("10"));
     }
 
     #[test]

@@ -153,6 +153,35 @@ impl Recorder {
         }
     }
 
+    /// Folds every counter and histogram aggregated by `other` into this
+    /// recorder (counters add, histograms merge bucket-wise).
+    ///
+    /// This is the scoped-recording seam concurrent consumers use: give
+    /// each in-flight request its own short-lived enabled recorder, let
+    /// the request's hot paths batch into it contention-free, then merge
+    /// once into the long-lived recorder when the request completes. Two
+    /// concurrent requests can never interleave counter attribution,
+    /// because neither touches the shared maps until its numbers are
+    /// final. A disabled recorder on either side makes this a no-op.
+    pub fn merge_from(&self, other: &Recorder) {
+        let (Some(inner), Some(other_inner)) = (&self.inner, &other.inner) else {
+            return;
+        };
+        if Arc::ptr_eq(inner, other_inner) {
+            return; // self-merge would double counts (and deadlock)
+        }
+        {
+            let mut counters = inner.counters.lock().unwrap();
+            for (key, value) in other_inner.counters.lock().unwrap().iter() {
+                *counters.entry(key.clone()).or_insert(0) += value;
+            }
+        }
+        let mut hists = inner.hists.lock().unwrap();
+        for (key, hist) in other_inner.hists.lock().unwrap().iter() {
+            hists.entry(key.clone()).or_default().merge(hist);
+        }
+    }
+
     /// How many trace events failed to write (0 without a sink). Event
     /// write errors never fail the traced computation, but they are
     /// counted here and folded into the final summary as the `trace`
@@ -458,6 +487,40 @@ mod tests {
                 ("neighbor_lookups".to_string(), 7),
                 ("regions_scanned".to_string(), 16)
             ]
+        );
+    }
+
+    #[test]
+    fn merge_from_folds_scoped_recorders_without_interleaving() {
+        let resident = Recorder::enabled();
+        resident.scope("serve").add("req.identify", 1);
+        // two "requests" record concurrently into their own recorders
+        let (a, b) = (Recorder::enabled(), Recorder::enabled());
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                a.scope("identify").add("regions_scanned", 10);
+                a.scope("serve").observe("req_us.identify", 100);
+            });
+            s.spawn(|| {
+                b.scope("identify").add("regions_scanned", 7);
+                b.scope("serve").observe("req_us.identify", 300);
+            });
+        });
+        resident.merge_from(&a);
+        resident.merge_from(&b);
+        let snap = resident.snapshot();
+        assert_eq!(snap.counter("identify", "regions_scanned"), Some(17));
+        assert_eq!(snap.counter("serve", "req.identify"), Some(1));
+        let h = snap.histogram("serve", "req_us.identify").unwrap();
+        assert_eq!(h.count, 2);
+        assert!(h.min <= 100 && h.max >= 300);
+        // disabled on either side is a no-op; self-merge doesn't double
+        resident.merge_from(&Recorder::disabled());
+        Recorder::disabled().merge_from(&resident);
+        resident.merge_from(&resident.clone());
+        assert_eq!(
+            resident.snapshot().counter("identify", "regions_scanned"),
+            Some(17)
         );
     }
 

@@ -48,6 +48,20 @@ impl Hist {
         self.buckets[bit_length(value)] += 1;
     }
 
+    /// Folds another histogram into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &Hist) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (bucket, &n) in self.buckets.iter_mut().zip(&other.buckets) {
+            *bucket += n;
+        }
+    }
+
     pub fn summary(&self) -> HistSummary {
         HistSummary {
             count: self.count,
@@ -176,6 +190,27 @@ mod tests {
         // (bit length 8 → 255)
         assert_eq!(s.p50, 255);
         assert!(s.p90 >= 3000);
+    }
+
+    #[test]
+    fn hist_merge_equals_interleaved_observes() {
+        let mut merged = Hist::default();
+        let mut whole = Hist::default();
+        let mut part = Hist::default();
+        for v in [3u64, 9, 70, 500] {
+            whole.observe(v);
+            merged.observe(v);
+        }
+        for v in [0u64, 12_000] {
+            whole.observe(v);
+            part.observe(v);
+        }
+        merged.merge(&part);
+        assert_eq!(merged.summary(), whole.summary());
+        assert_eq!(merged.buckets, whole.buckets);
+        // merging an empty histogram leaves min untouched
+        merged.merge(&Hist::default());
+        assert_eq!(merged.summary(), whole.summary());
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod failpoint;
+pub mod json;
 pub mod manifest;
 pub mod plan;
 pub mod retry;

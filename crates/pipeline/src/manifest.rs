@@ -16,6 +16,7 @@
 //! exactly what killed runs leave behind.
 
 use crate::error::{ErrorKind, PipelineError};
+use crate::json::{self, json_f64, json_str};
 use remedy_fairness::{MetricsSummary, Statistic};
 
 /// Where a run ended up.
@@ -374,322 +375,8 @@ fn corrupt(msg: String) -> PipelineError {
     PipelineError::corrupt(msg)
 }
 
-/// Escapes a string as a JSON string literal.
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Formats a float as a JSON number (finite; NaN/∞ become null).
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        // shortest representation that round-trips
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
-
-/// A minimal JSON reader for run manifests — strict enough to reject any
-/// damage a kill can inflict, with errors instead of panics, and zero
-/// dependencies like the rest of the workspace.
-mod json {
-    use super::corrupt;
-    use crate::error::PipelineError;
-
-    /// A parsed JSON value. Numbers keep their source text so `u64`
-    /// seeds survive without a round-trip through `f64`.
-    #[derive(Debug, Clone, PartialEq)]
-    pub enum Value {
-        Null,
-        Bool(bool),
-        Num(String),
-        Str(String),
-        Arr(Vec<Value>),
-        Obj(Vec<(String, Value)>),
-    }
-
-    impl Value {
-        pub fn field(&self, name: &str) -> Option<&Value> {
-            match self {
-                Value::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
-                _ => None,
-            }
-        }
-
-        pub fn as_str(&self) -> Option<&str> {
-            match self {
-                Value::Str(s) => Some(s),
-                _ => None,
-            }
-        }
-
-        pub fn as_u64(&self) -> Option<u64> {
-            match self {
-                Value::Num(n) => n.parse().ok(),
-                _ => None,
-            }
-        }
-
-        pub fn as_f64(&self) -> Option<f64> {
-            match self {
-                Value::Num(n) => n.parse().ok(),
-                // the writer renders NaN/∞ as null
-                Value::Null => Some(f64::NAN),
-                _ => None,
-            }
-        }
-
-        pub fn str_field(&self, name: &str) -> Result<&str, PipelineError> {
-            self.field(name)
-                .and_then(Value::as_str)
-                .ok_or_else(|| corrupt(format!("missing string field `{name}`")))
-        }
-
-        pub fn u64_field(&self, name: &str) -> Result<u64, PipelineError> {
-            self.field(name)
-                .and_then(Value::as_u64)
-                .ok_or_else(|| corrupt(format!("missing integer field `{name}`")))
-        }
-
-        pub fn f64_field(&self, name: &str) -> Result<f64, PipelineError> {
-            self.field(name)
-                .and_then(Value::as_f64)
-                .ok_or_else(|| corrupt(format!("missing number field `{name}`")))
-        }
-
-        pub fn bool_field(&self, name: &str) -> Result<bool, PipelineError> {
-            match self.field(name) {
-                Some(Value::Bool(b)) => Ok(*b),
-                _ => Err(corrupt(format!("missing boolean field `{name}`"))),
-            }
-        }
-
-        pub fn arr_field(&self, name: &str) -> Result<&[Value], PipelineError> {
-            match self.field(name) {
-                Some(Value::Arr(items)) => Ok(items),
-                _ => Err(corrupt(format!("missing array field `{name}`"))),
-            }
-        }
-    }
-
-    /// Parses one JSON document; trailing garbage is an error.
-    pub fn parse(text: &str) -> Result<Value, PipelineError> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let value = p.value(0)?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(p.err("trailing garbage after document"));
-        }
-        Ok(value)
-    }
-
-    /// Nesting deeper than this is rejected rather than risking the
-    /// recursive parser blowing the stack on adversarial input.
-    const MAX_DEPTH: usize = 64;
-
-    struct Parser<'a> {
-        bytes: &'a [u8],
-        pos: usize,
-    }
-
-    impl Parser<'_> {
-        fn err(&self, msg: &str) -> PipelineError {
-            corrupt(format!(
-                "malformed manifest JSON at byte {}: {msg}",
-                self.pos
-            ))
-        }
-
-        fn skip_ws(&mut self) {
-            while self
-                .bytes
-                .get(self.pos)
-                .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
-            {
-                self.pos += 1;
-            }
-        }
-
-        fn peek(&self) -> Option<u8> {
-            self.bytes.get(self.pos).copied()
-        }
-
-        fn eat(&mut self, expected: u8) -> Result<(), PipelineError> {
-            if self.peek() == Some(expected) {
-                self.pos += 1;
-                Ok(())
-            } else {
-                Err(self.err(&format!("expected `{}`", expected as char)))
-            }
-        }
-
-        fn literal(&mut self, word: &str, value: Value) -> Result<Value, PipelineError> {
-            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-                self.pos += word.len();
-                Ok(value)
-            } else {
-                Err(self.err(&format!("expected `{word}`")))
-            }
-        }
-
-        fn value(&mut self, depth: usize) -> Result<Value, PipelineError> {
-            if depth > MAX_DEPTH {
-                return Err(self.err("nesting too deep"));
-            }
-            match self.peek() {
-                Some(b'n') => self.literal("null", Value::Null),
-                Some(b't') => self.literal("true", Value::Bool(true)),
-                Some(b'f') => self.literal("false", Value::Bool(false)),
-                Some(b'"') => self.string().map(Value::Str),
-                Some(b'[') => self.array(depth),
-                Some(b'{') => self.object(depth),
-                Some(b'-' | b'0'..=b'9') => self.number(),
-                Some(other) => Err(self.err(&format!("unexpected byte 0x{other:02x}"))),
-                None => Err(self.err("unexpected end of input")),
-            }
-        }
-
-        fn string(&mut self) -> Result<String, PipelineError> {
-            self.eat(b'"')?;
-            let mut out = String::new();
-            loop {
-                match self.peek() {
-                    None => return Err(self.err("unterminated string")),
-                    Some(b'"') => {
-                        self.pos += 1;
-                        return Ok(out);
-                    }
-                    Some(b'\\') => {
-                        self.pos += 1;
-                        match self.peek() {
-                            Some(b'"') => out.push('"'),
-                            Some(b'\\') => out.push('\\'),
-                            Some(b'/') => out.push('/'),
-                            Some(b'n') => out.push('\n'),
-                            Some(b'r') => out.push('\r'),
-                            Some(b't') => out.push('\t'),
-                            Some(b'b') => out.push('\u{8}'),
-                            Some(b'f') => out.push('\u{c}'),
-                            Some(b'u') => {
-                                let hex = self
-                                    .bytes
-                                    .get(self.pos + 1..self.pos + 5)
-                                    .and_then(|h| std::str::from_utf8(h).ok())
-                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                    .ok_or_else(|| self.err("bad \\u escape"))?;
-                                // the writer only emits \u for control
-                                // chars; surrogate pairs are out of scope
-                                out.push(
-                                    char::from_u32(hex)
-                                        .ok_or_else(|| self.err("bad \\u escape"))?,
-                                );
-                                self.pos += 4;
-                            }
-                            _ => return Err(self.err("bad escape")),
-                        }
-                        self.pos += 1;
-                    }
-                    Some(_) => {
-                        // strings are valid UTF-8 (the input is &str);
-                        // copy the whole multi-byte char through
-                        let rest = &self.bytes[self.pos..];
-                        let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                        let c = s.chars().next().expect("non-empty by peek");
-                        out.push(c);
-                        self.pos += c.len_utf8();
-                    }
-                }
-            }
-        }
-
-        fn number(&mut self) -> Result<Value, PipelineError> {
-            let start = self.pos;
-            if self.peek() == Some(b'-') {
-                self.pos += 1;
-            }
-            while self.peek().is_some_and(|b| {
-                b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-')
-            }) {
-                self.pos += 1;
-            }
-            let text =
-                std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits are UTF-8");
-            if text.parse::<f64>().is_err() {
-                return Err(self.err(&format!("bad number `{text}`")));
-            }
-            Ok(Value::Num(text.to_string()))
-        }
-
-        fn array(&mut self, depth: usize) -> Result<Value, PipelineError> {
-            self.eat(b'[')?;
-            let mut items = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b']') {
-                self.pos += 1;
-                return Ok(Value::Arr(items));
-            }
-            loop {
-                self.skip_ws();
-                items.push(self.value(depth + 1)?);
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b']') => {
-                        self.pos += 1;
-                        return Ok(Value::Arr(items));
-                    }
-                    _ => return Err(self.err("expected `,` or `]`")),
-                }
-            }
-        }
-
-        fn object(&mut self, depth: usize) -> Result<Value, PipelineError> {
-            self.eat(b'{')?;
-            let mut fields = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b'}') {
-                self.pos += 1;
-                return Ok(Value::Obj(fields));
-            }
-            loop {
-                self.skip_ws();
-                let key = self.string()?;
-                self.skip_ws();
-                self.eat(b':')?;
-                self.skip_ws();
-                let value = self.value(depth + 1)?;
-                fields.push((key, value));
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b'}') => {
-                        self.pos += 1;
-                        return Ok(Value::Obj(fields));
-                    }
-                    _ => return Err(self.err("expected `,` or `}`")),
-                }
-            }
-        }
-    }
-}
+// The JSON reader this parser was born with now lives in [`crate::json`],
+// shared with the serve wire protocol.
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,70 @@
+//! A blocking line-protocol client, used by `remedy client`, the smoke
+//! test, and the serve benchmarks.
+
+use remedy_pipeline::json::{self, Value};
+use remedy_pipeline::{ErrorKind, PipelineError};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// One connection to a running server. Requests are answered strictly
+/// in order, so a blocking send-then-read round trip is all it takes.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7878`).
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        // one-line requests must not sit in Nagle's buffer waiting for
+        // a delayed ACK
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Sends one request line and returns the raw response line.
+    pub fn request_line(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+
+    /// Sends one request and parses the response. An `"ok":false`
+    /// response comes back as the typed error its `"kind"` token names,
+    /// so callers branch on [`ErrorKind`] exactly like pipeline code.
+    pub fn call(&mut self, line: &str) -> Result<Value, PipelineError> {
+        let raw = self.request_line(line)?;
+        let response =
+            json::parse(&raw).map_err(|e| e.map_message(|m| format!("malformed response: {m}")))?;
+        match response.field("ok").and_then(Value::as_bool) {
+            Some(true) => Ok(response),
+            Some(false) => {
+                let kind = response
+                    .field("kind")
+                    .and_then(Value::as_str)
+                    .and_then(ErrorKind::parse)
+                    .unwrap_or(ErrorKind::Fatal);
+                let message = response
+                    .field("error")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown error")
+                    .to_string();
+                Err(PipelineError::new(kind, message))
+            }
+            None => Err(PipelineError::corrupt("response missing `ok` field")),
+        }
+    }
+}

@@ -1,0 +1,505 @@
+//! The daemon: accept loop, per-request isolation, and the op handlers.
+//!
+//! Thread-per-connection; each request line is parsed, armed with the
+//! `serve.req.<op>` fail-point site, executed under `catch_unwind`, and
+//! answered with exactly one response line. A panicking request becomes
+//! a structured `stage-panic` response; the connection, every sibling
+//! connection, and the resident sessions keep working.
+//!
+//! Per-request metrics are recorded into a short-lived
+//! [`Recorder`] and folded into the resident one in a single
+//! [`Recorder::merge_from`] at request end, so concurrent requests never
+//! interleave counter attribution. `stats` reports the resident
+//! snapshot; with a `--trace` sink attached, each request additionally
+//! emits a `serve`-scoped span.
+
+use crate::protocol::{self, Fields, Request};
+use crate::session::{lock_session, Registry, Session};
+use remedy_classifiers::{accuracy, train};
+use remedy_core::{identify_in_with, remedy_with, RemedyParams};
+use remedy_dataset::csv::{LoadOptions, RawTable};
+use remedy_dataset::split::train_test_split;
+use remedy_dataset::{synth, Dataset};
+use remedy_fairness::{fairness_index, Explorer, FairnessIndexParams};
+use remedy_obs::Recorder;
+use remedy_pipeline::error::panic_message;
+use remedy_pipeline::json::{json_f64, json_str, Value};
+use remedy_pipeline::{failpoint, PipelineError};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How the daemon is stood up.
+pub struct ServeOptions {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Default per-request deadline in milliseconds (0 = none). A
+    /// request's own `deadline_ms` field overrides it.
+    pub deadline_ms: u64,
+    /// The resident recorder. Give it a sink to stream request spans.
+    pub recorder: Recorder,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            deadline_ms: 0,
+            recorder: Recorder::enabled(),
+        }
+    }
+}
+
+/// Shared across the acceptor and every connection thread.
+struct State {
+    registry: Registry,
+    recorder: Recorder,
+    default_deadline_ms: u64,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    local_addr: SocketAddr,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+}
+
+impl Server {
+    /// Binds the listener (so the ephemeral port is known before the
+    /// accept loop starts).
+    pub fn bind(options: ServeOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&options.addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            state: Arc::new(State {
+                registry: Registry::default(),
+                recorder: options.recorder,
+                default_deadline_ms: options.deadline_ms,
+                shutdown: AtomicBool::new(false),
+                active: AtomicUsize::new(0),
+                local_addr,
+            }),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.local_addr
+    }
+
+    /// Serves until a `shutdown` request, then drains in-flight
+    /// connections (bounded wait).
+    pub fn run(self) -> std::io::Result<()> {
+        for conn in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let state = Arc::clone(&self.state);
+            state.active.fetch_add(1, Ordering::SeqCst);
+            thread::spawn(move || {
+                handle_conn(&state, stream);
+                state.active.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        // bounded drain: connections that are mid-request get a moment
+        // to write their response; ones blocked on an idle client die
+        // with the process
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while self.state.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(10));
+        }
+        Ok(())
+    }
+}
+
+fn handle_conn(state: &Arc<State>, stream: TcpStream) {
+    // responses are single lines; flush them immediately instead of
+    // letting Nagle's algorithm hold them for a delayed ACK
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let response = respond(state, line);
+        let write = writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"));
+        if write.is_err() || state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    if state.shutdown.load(Ordering::SeqCst) {
+        // wake the acceptor so it notices the flag even with no new
+        // clients arriving
+        let _ = TcpStream::connect(state.local_addr);
+    }
+}
+
+/// Parses, executes (with isolation and deadline), meters, renders.
+fn respond(state: &Arc<State>, line: &str) -> String {
+    let req = match protocol::parse_request(line) {
+        Ok(req) => req,
+        Err(e) => return protocol::render_err(None, e.kind(), e.message()),
+    };
+    let started = Instant::now();
+    let req_rec = Recorder::enabled();
+    let result = {
+        // a span on the resident recorder, so --trace shows one span
+        // per request
+        let _span = state.recorder.scope("serve").span(&req.op);
+        let deadline_ms = req.deadline_ms.unwrap_or(state.default_deadline_ms);
+        if deadline_ms == 0 {
+            execute(state, &req, &req_rec)
+        } else {
+            execute_with_deadline(state, &req, &req_rec, deadline_ms)
+        }
+    };
+    // one merge per request: counters/histograms land atomically, so
+    // concurrent requests cannot interleave attribution
+    let serve = req_rec.scope("serve");
+    serve.add(&format!("req.{}", req.op), 1);
+    if let Err(e) = &result {
+        serve.add(&format!("err.{}.{}", req.op, e.kind().name()), 1);
+    }
+    serve.observe(
+        &format!("req_us.{}", req.op),
+        started.elapsed().as_micros() as u64,
+    );
+    state.recorder.merge_from(&req_rec);
+    match result {
+        Ok(fields) => protocol::render_ok(&req, &fields),
+        Err(e) => protocol::render_err(Some(&req), e.kind(), &e.to_string()),
+    }
+}
+
+/// Runs the handler on a worker thread and gives up after the deadline.
+/// The worker is detached on timeout: it still finishes (releasing any
+/// session lock it holds) but its result is discarded.
+fn execute_with_deadline(
+    state: &Arc<State>,
+    req: &Request,
+    req_rec: &Recorder,
+    deadline_ms: u64,
+) -> Result<Fields, PipelineError> {
+    let (tx, rx) = mpsc::channel();
+    let state = Arc::clone(state);
+    let worker_req = req.clone();
+    let req_rec = req_rec.clone();
+    thread::spawn(move || {
+        let _ = tx.send(execute(&state, &worker_req, &req_rec));
+    });
+    match rx.recv_timeout(Duration::from_millis(deadline_ms)) {
+        Ok(result) => result,
+        Err(_) => Err(
+            PipelineError::transient(format!("deadline exceeded after {deadline_ms}ms"))
+                .in_stage(&req.op),
+        ),
+    }
+}
+
+/// Panic isolation around the fail-point gate and op dispatch. The
+/// `serve.req.<op>` site fires at request entry (inside the unwind
+/// boundary, so an injected panic exercises containment); the
+/// `serve.locked.<op>` sites inside handlers fire while a session lock
+/// is held, exercising poisoned-lock recovery.
+fn execute(state: &Arc<State>, req: &Request, rec: &Recorder) -> Result<Fields, PipelineError> {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        failpoint::check("serve.req", &req.op).map_err(|e| e.in_stage(&req.op))?;
+        dispatch(state, req, rec)
+    }));
+    match result {
+        Ok(result) => result,
+        Err(payload) => {
+            Err(PipelineError::stage_panic(panic_message(payload.as_ref())).in_stage(&req.op))
+        }
+    }
+}
+
+fn dispatch(state: &Arc<State>, req: &Request, rec: &Recorder) -> Result<Fields, PipelineError> {
+    match req.op.as_str() {
+        "load" => op_load(state, req, rec),
+        "ingest" => op_ingest(state, req, rec),
+        "identify" => op_identify(state, req, rec),
+        "audit" => op_audit(state, req),
+        "remedy" => op_remedy(state, req, rec),
+        "stats" => op_stats(state),
+        "shutdown" => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            let mut fields = Fields::new();
+            fields.raw("stopping", true);
+            Ok(fields)
+        }
+        other => Err(PipelineError::invalid_plan(format!("unknown op `{other}`"))),
+    }
+}
+
+fn session_name(req: &Request) -> Result<&str, PipelineError> {
+    req.body
+        .str_field("session")
+        .map_err(|_| PipelineError::invalid_plan("missing string field `session`"))
+}
+
+fn op_load(state: &Arc<State>, req: &Request, rec: &Recorder) -> Result<Fields, PipelineError> {
+    let name = session_name(req)?;
+    let data = open_dataset(&req.body)?;
+    let rows = data.len();
+    rec.scope("load").add("rows_loaded", rows as u64);
+    let mut session = Session::open(data);
+    // the initial counting pass shows up as counting.rebuild.* counters
+    session.index.flush_obs(&rec.scope("load"));
+    state.registry.insert(name, session);
+    let mut fields = Fields::new();
+    fields.str("session", name).raw("rows", rows);
+    Ok(fields)
+}
+
+/// `"source"`: a built-in generator name (`adult|compas|law`, sized by
+/// `"rows"`, seeded by `"seed"`) or a CSV path (needs `"label"` and
+/// `"protected"`; accepts `"positive"` and `"bins"`).
+fn open_dataset(body: &Value) -> Result<Dataset, PipelineError> {
+    let source = body
+        .str_field("source")
+        .map_err(|_| PipelineError::invalid_plan("missing string field `source`"))?;
+    let seed = protocol::opt_u64(body, "seed")?.unwrap_or(42);
+    let rows = protocol::opt_u64(body, "rows")?.unwrap_or(0) as usize;
+    match (source, rows) {
+        ("adult", 0) => return Ok(synth::adult(seed)),
+        ("adult", n) => return Ok(synth::adult_n(n, seed)),
+        ("compas", 0) => return Ok(synth::compas(seed)),
+        ("compas", n) => return Ok(synth::compas_n(n, seed)),
+        ("law", 0) => return Ok(synth::law_school(seed)),
+        ("law", n) => return Ok(synth::law_school_n(n, seed)),
+        _ => {}
+    }
+    let label = body
+        .str_field("label")
+        .map_err(|_| PipelineError::invalid_plan("CSV input needs a string field `label`"))?;
+    let protected = body
+        .arr_field("protected")
+        .map_err(|_| PipelineError::invalid_plan("CSV input needs an array field `protected`"))?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(String::from)
+                .ok_or_else(|| PipelineError::invalid_plan("`protected` must hold attribute names"))
+        })
+        .collect::<Result<Vec<String>, _>>()?;
+    if protected.is_empty() {
+        return Err(PipelineError::invalid_plan("`protected` must not be empty"));
+    }
+    let table =
+        RawTable::from_path(source).map_err(|e| PipelineError::invalid_plan(e.to_string()))?;
+    let mut opts = LoadOptions::new(label);
+    opts.protected = protected;
+    opts.positive_value = protocol::opt_str(body, "positive")?.map(String::from);
+    opts.numeric_bins = protocol::opt_u64(body, "bins")?.unwrap_or(4) as usize;
+    table
+        .to_dataset(&opts)
+        .map_err(|e| PipelineError::invalid_plan(e.to_string()))
+}
+
+fn op_ingest(state: &Arc<State>, req: &Request, rec: &Recorder) -> Result<Fields, PipelineError> {
+    let session = state.registry.get(session_name(req)?)?;
+    let edits = protocol::edits(&req.body)?;
+    let mut session = lock_session(&session);
+    failpoint::check("serve.locked", "ingest")?;
+    session.ingest(&edits)?;
+    // per-batch delta work (counting.delta.* counters)
+    session.index.flush_obs(&rec.scope("ingest"));
+    let mut fields = Fields::new();
+    fields
+        .raw("applied", edits.len())
+        .raw("rows", session.data.len())
+        .raw("edits", session.edits)
+        .raw("batches", session.batches);
+    Ok(fields)
+}
+
+fn op_identify(state: &Arc<State>, req: &Request, rec: &Recorder) -> Result<Fields, PipelineError> {
+    let session = state.registry.get(session_name(req)?)?;
+    let params = protocol::ibs_params(&req.body)?;
+    let algorithm = protocol::algorithm(&req.body)?;
+    let mut session = lock_session(&session);
+    failpoint::check("serve.locked", "identify")?;
+    session.index.flush_deltas();
+    let obs = rec.scope("identify");
+    let regions = identify_in_with(session.index.hierarchy(), &params, algorithm, &obs);
+    // the persisted-regions text is the canonical, bit-exact encoding:
+    // comparing it against a batch run is how byte-identity is asserted
+    let text = remedy_core::persist::regions_to_text(&regions);
+    let mut fields = Fields::new();
+    fields
+        .raw("count", regions.len())
+        .raw("rows", session.data.len())
+        .str("text", &text);
+    Ok(fields)
+}
+
+fn op_audit(state: &Arc<State>, req: &Request) -> Result<Fields, PipelineError> {
+    let session = state.registry.get(session_name(req)?)?;
+    let model_kind = protocol::model_kind(&req.body)?;
+    let stat = protocol::statistic(&req.body)?;
+    let seed = protocol::opt_u64(&req.body, "seed")?.unwrap_or(42);
+    let tau_d = protocol::opt_f64(&req.body, "tau_d")?.unwrap_or(0.1);
+    let min_support = protocol::opt_f64(&req.body, "min_support")?.unwrap_or(0.05);
+    let session = lock_session(&session);
+    let (train_set, test_set) = train_test_split(&session.data, 0.7, seed)
+        .map_err(|e| PipelineError::invalid_plan(e.to_string()))?;
+    let model = train(model_kind, &train_set, seed);
+    let predictions = model.predict(&test_set);
+    let acc = accuracy(&predictions, test_set.labels());
+    let fi = fairness_index(
+        &test_set,
+        &predictions,
+        stat,
+        &FairnessIndexParams::default(),
+    );
+    let explorer = Explorer {
+        min_support,
+        min_size: 30,
+        alpha: 0.05,
+        max_level: None,
+        columns: None,
+    };
+    let unfair = explorer.unfair_subgroups(&test_set, &predictions, stat, tau_d);
+    let schema = test_set.schema();
+    let top: Vec<String> = unfair
+        .iter()
+        .take(20)
+        .map(|report| {
+            format!(
+                "{{\"pattern\":{},\"divergence\":{},\"gamma\":{},\"support\":{}}}",
+                json_str(&report.pattern.display(schema).to_string()),
+                json_f64(report.divergence),
+                json_f64(report.gamma),
+                json_f64(report.support)
+            )
+        })
+        .collect();
+    let mut fields = Fields::new();
+    fields
+        .str("model", &model_kind.to_string())
+        .str("stat", &stat.to_string())
+        .f64("accuracy", acc)
+        .f64("fairness_index", fi)
+        .raw("unfair_subgroups", unfair.len())
+        .raw("top", format!("[{}]", top.join(",")));
+    Ok(fields)
+}
+
+fn op_remedy(state: &Arc<State>, req: &Request, rec: &Recorder) -> Result<Fields, PipelineError> {
+    let session = state.registry.get(session_name(req)?)?;
+    let params = RemedyParams::builder()
+        .technique(protocol::technique(&req.body)?)
+        .tau_c(protocol::opt_f64(&req.body, "tau")?.unwrap_or(0.1))
+        .min_size(protocol::opt_u64(&req.body, "min_size")?.unwrap_or(30))
+        .neighborhood(protocol::neighborhood(&req.body)?)
+        .scope(protocol::ibs_scope(&req.body)?)
+        .seed(protocol::opt_u64(&req.body, "seed")?.unwrap_or(42))
+        .build()
+        .map_err(|e| PipelineError::invalid_plan(e.to_string()))?;
+    let apply = protocol::opt_bool(&req.body, "apply")?.unwrap_or(false);
+    let mut session = lock_session(&session);
+    session.index.flush_deltas();
+    let outcome = remedy_with(&session.data, &params, &rec.scope("remedy"));
+    let rows_before = session.data.len();
+    let rows_after = outcome.dataset.len();
+    let schema = session.data.schema();
+    // the edit script: one update per remedied region, floats rendered
+    // through json_f64 so they round-trip
+    let updates: Vec<String> = outcome
+        .updates
+        .iter()
+        .map(|u| {
+            format!(
+                "{{\"pattern\":{},\"ratio_before\":{},\"target_ratio\":{},\
+                 \"pos_delta\":{},\"neg_delta\":{},\"flipped\":{}}}",
+                json_str(&u.pattern.display(schema).to_string()),
+                json_f64(u.ratio_before),
+                json_f64(u.target_ratio),
+                u.pos_delta,
+                u.neg_delta,
+                u.flipped
+            )
+        })
+        .collect();
+    let mut fields = Fields::new();
+    fields
+        .str("technique", &params.technique.to_string())
+        .raw("rows_before", rows_before)
+        .raw("rows_after", rows_after)
+        .raw("applied", apply)
+        .raw("updates", format!("[{}]", updates.join(",")));
+    if apply {
+        session.replace(outcome.dataset);
+        session.index.flush_obs(&rec.scope("remedy"));
+    }
+    Ok(fields)
+}
+
+fn op_stats(state: &Arc<State>) -> Result<Fields, PipelineError> {
+    let sessions: Vec<String> = state
+        .registry
+        .summaries()
+        .into_iter()
+        .map(|(name, rows, edits, batches)| {
+            format!(
+                "{{\"name\":{},\"rows\":{rows},\"edits\":{edits},\"batches\":{batches}}}",
+                json_str(&name)
+            )
+        })
+        .collect();
+    // requests merge their metrics after responding, so the snapshot
+    // covers every *completed* request (not this in-flight one)
+    let snapshot = state.recorder.snapshot();
+    let counters: Vec<String> = snapshot
+        .counters
+        .iter()
+        .map(|(scope, name, value)| {
+            format!(
+                "{{\"scope\":{},\"name\":{},\"value\":{value}}}",
+                json_str(scope),
+                json_str(name)
+            )
+        })
+        .collect();
+    let histograms: Vec<String> = snapshot
+        .histograms
+        .iter()
+        .map(|(scope, name, h)| {
+            format!(
+                "{{\"scope\":{},\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\
+                 \"max\":{},\"p50\":{},\"p90\":{}}}",
+                json_str(scope),
+                json_str(name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.p50,
+                h.p90
+            )
+        })
+        .collect();
+    let mut fields = Fields::new();
+    fields
+        .raw("sessions", format!("[{}]", sessions.join(",")))
+        .raw("counters", format!("[{}]", counters.join(",")))
+        .raw("histograms", format!("[{}]", histograms.join(",")));
+    Ok(fields)
+}

@@ -1,0 +1,235 @@
+//! Resident sessions: a named dataset plus its maintained region index.
+
+use remedy_core::RegionIndex;
+use remedy_dataset::{Dataset, RowEdit};
+use remedy_pipeline::PipelineError;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One named resident dataset and the [`RegionIndex`] kept equal to it.
+///
+/// The index is built once when the session opens and then maintained by
+/// delta batches: every accepted ingest edit is mirrored into it in the
+/// same order it mutates the dataset, so an `identify` answered from the
+/// resident index is byte-identical to a cold rebuild over the current
+/// rows.
+pub struct Session {
+    /// The live dataset.
+    pub data: Dataset,
+    /// Delta-maintained counts over `data` (batched; flushed after each
+    /// accepted ingest batch).
+    pub index: RegionIndex,
+    /// Total row edits accepted over the session's lifetime.
+    pub edits: u64,
+    /// Total ingest batches accepted.
+    pub batches: u64,
+}
+
+impl Session {
+    /// Builds the index and switches it to batched delta maintenance.
+    pub fn open(data: Dataset) -> Session {
+        let mut index = RegionIndex::build(&data);
+        index.begin_deltas();
+        Session {
+            data,
+            index,
+            edits: 0,
+            batches: 0,
+        }
+    }
+
+    /// Applies one edit batch atomically: the whole batch is validated
+    /// against simulated row counts first, so a batch naming a removed
+    /// or never-existing row is rejected with `invalid-plan` before the
+    /// dataset or the index mutates at all.
+    pub fn ingest(&mut self, edits: &[RowEdit]) -> Result<(), PipelineError> {
+        validate_batch(self.data.len(), edits)?;
+        for edit in edits {
+            // validated above; the typed path is belt and braces so a
+            // validator bug can never desync dataset and index
+            self.data
+                .try_apply_edit(edit)
+                .map_err(|e| PipelineError::invalid_plan(e.to_string()))?;
+            self.index.apply_edit(edit);
+        }
+        self.index.flush_deltas();
+        self.edits += edits.len() as u64;
+        self.batches += 1;
+        Ok(())
+    }
+
+    /// Replaces the dataset wholesale (a remedy with `"apply":true`).
+    /// The new index is built *before* either field is assigned, so a
+    /// panic mid-build leaves the old dataset/index pair intact.
+    pub fn replace(&mut self, data: Dataset) {
+        let mut index = RegionIndex::build(&data);
+        index.begin_deltas();
+        self.index = index;
+        self.data = data;
+    }
+}
+
+/// Rejects any edit whose row index is out of range at the point it
+/// would apply, walking the batch against a simulated row count.
+fn validate_batch(start_len: usize, edits: &[RowEdit]) -> Result<(), PipelineError> {
+    let mut len = start_len;
+    for (i, edit) in edits.iter().enumerate() {
+        let oob = |row: usize, len: usize| {
+            PipelineError::invalid_plan(format!(
+                "edits[{i}]: row {row} is out of range (dataset has {len} rows)"
+            ))
+        };
+        match edit {
+            RowEdit::Duplicate { src } => {
+                if *src >= len {
+                    return Err(oob(*src, len));
+                }
+                len += 1;
+            }
+            RowEdit::FlipLabel { row } => {
+                if *row >= len {
+                    return Err(oob(*row, len));
+                }
+            }
+            RowEdit::Remove { rows } => {
+                let mut distinct = rows.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                for &row in &distinct {
+                    if row >= len {
+                        return Err(oob(row, len));
+                    }
+                }
+                len -= distinct.len();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The server's table of named sessions. Each session sits behind its
+/// own mutex, so a slow request (a big identify) blocks only its own
+/// session; the registry lock is held just long enough to clone an
+/// `Arc`.
+#[derive(Default)]
+pub struct Registry {
+    sessions: Mutex<BTreeMap<String, Arc<Mutex<Session>>>>,
+}
+
+impl Registry {
+    /// Installs the named session, replacing any previous one.
+    pub fn insert(&self, name: &str, session: Session) {
+        lock_recover(&self.sessions).insert(name.to_string(), Arc::new(Mutex::new(session)));
+    }
+
+    /// The named session, or `invalid-plan` if it was never loaded.
+    pub fn get(&self, name: &str) -> Result<Arc<Mutex<Session>>, PipelineError> {
+        lock_recover(&self.sessions)
+            .get(name)
+            .cloned()
+            .ok_or_else(|| {
+                PipelineError::invalid_plan(format!("unknown session `{name}` (load it first)"))
+            })
+    }
+
+    /// `(name, rows, edits, batches)` per session, for `stats`.
+    pub fn summaries(&self) -> Vec<(String, usize, u64, u64)> {
+        let sessions: Vec<(String, Arc<Mutex<Session>>)> = lock_recover(&self.sessions)
+            .iter()
+            .map(|(name, session)| (name.clone(), Arc::clone(session)))
+            .collect();
+        sessions
+            .into_iter()
+            .map(|(name, session)| {
+                let s = lock_session(&session);
+                (name, s.data.len(), s.edits, s.batches)
+            })
+            .collect()
+    }
+}
+
+/// Locks a session, recovering from poisoning.
+///
+/// A request that panics is caught at the request boundary, which
+/// poisons any session mutex it held. Recovery is sound here because
+/// every mutating operation validates its whole input before touching
+/// state ([`Session::ingest`]) or prepares its replacement fully before
+/// assigning ([`Session::replace`]) — so a poisoned session is
+/// observationally intact, and refusing to serve it would turn one
+/// contained panic into a permanently wedged session.
+pub fn lock_session(session: &Arc<Mutex<Session>>) -> MutexGuard<'_, Session> {
+    session.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remedy_core::{identify, identify_in_index, Algorithm, IbsParams};
+    use remedy_dataset::synth;
+
+    #[test]
+    fn ingest_maintains_index_and_counts() {
+        let data = synth::compas_n(400, 7);
+        let mut session = Session::open(data.clone());
+        session
+            .ingest(&[
+                RowEdit::Duplicate { src: 3 },
+                RowEdit::FlipLabel { row: 10 },
+                RowEdit::Remove {
+                    rows: vec![0, 0, 5],
+                },
+            ])
+            .unwrap();
+        assert_eq!(session.data.len(), 399);
+        assert_eq!(session.index.len(), 399);
+        assert_eq!((session.edits, session.batches), (3, 1));
+        let params = IbsParams::default();
+        let live = identify_in_index(&session.index, &params, Algorithm::Optimized);
+        let cold = identify(&session.data, &params, Algorithm::Optimized);
+        assert_eq!(live, cold);
+    }
+
+    #[test]
+    fn bad_batch_is_rejected_before_any_mutation() {
+        let data = synth::compas_n(100, 7);
+        let mut session = Session::open(data.clone());
+        // the first edit is valid, the second is not: nothing may apply
+        let err = session
+            .ingest(&[
+                RowEdit::FlipLabel { row: 0 },
+                RowEdit::Duplicate { src: 100 },
+            ])
+            .unwrap_err();
+        assert_eq!(err.kind(), remedy_pipeline::ErrorKind::InvalidPlan);
+        assert!(err.message().starts_with("edits[1]:"), "{err}");
+        assert_eq!(session.data, data);
+        assert_eq!((session.edits, session.batches), (0, 0));
+        // removes shrink the simulated count: a duplicate of a row that
+        // no longer exists after the remove is rejected too
+        let remove_then_touch = [
+            RowEdit::Remove {
+                rows: (0..100).collect(),
+            },
+            RowEdit::FlipLabel { row: 0 },
+        ];
+        assert!(session.ingest(&remove_then_touch).is_err());
+    }
+
+    #[test]
+    fn registry_replaces_and_reports() {
+        let registry = Registry::default();
+        assert!(registry.get("a").is_err());
+        registry.insert("a", Session::open(synth::compas_n(50, 1)));
+        registry.insert("b", Session::open(synth::compas_n(80, 1)));
+        registry.insert("a", Session::open(synth::compas_n(60, 1)));
+        let summary = registry.summaries();
+        assert_eq!(summary.len(), 2);
+        assert_eq!(summary[0].0, "a");
+        assert_eq!(summary[0].1, 60, "reload replaces the session");
+        assert_eq!(summary[1].1, 80);
+    }
+}

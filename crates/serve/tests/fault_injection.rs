@@ -1,0 +1,146 @@
+//! Fault-injection tests: a panicking or failing request is contained
+//! to its own response; sibling connections, other sessions, and the
+//! resident index all keep working.
+//!
+//! Run with `cargo test -p remedy-serve --features failpoints`.
+
+#![cfg(feature = "failpoints")]
+
+use remedy_core::persist::regions_to_text;
+use remedy_core::{identify, Algorithm, IbsParams};
+use remedy_dataset::synth;
+use remedy_pipeline::failpoint::{self, Action};
+use remedy_pipeline::ErrorKind;
+use remedy_serve::{Client, ServeOptions, Server};
+
+// The fail-point registry is process-global; tests that arm faults
+// serialize on this lock so parallel test threads don't trip each
+// other's faults.
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+fn start_server() -> (String, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(ServeOptions::default()).expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+#[test]
+fn panicking_request_leaves_sibling_connections_and_sessions_intact() {
+    let _guard = lock();
+    failpoint::clear();
+    let (addr, handle) = start_server();
+    let mut a = Client::connect(&addr).unwrap();
+    let mut b = Client::connect(&addr).unwrap();
+    a.call("{\"op\":\"load\",\"session\":\"s1\",\"source\":\"compas\",\"rows\":300,\"seed\":2}")
+        .unwrap();
+    b.call("{\"op\":\"load\",\"session\":\"s2\",\"source\":\"law\",\"rows\":300,\"seed\":2}")
+        .unwrap();
+    let baseline = b
+        .call("{\"op\":\"identify\",\"session\":\"s2\"}")
+        .unwrap()
+        .str_field("text")
+        .unwrap()
+        .to_string();
+
+    // one request panics at entry: a's next call gets a structured
+    // stage-panic response on the same connection
+    failpoint::set("serve.req.identify", Action::Panic, 1);
+    let err = a
+        .call("{\"op\":\"identify\",\"session\":\"s1\"}")
+        .unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::StagePanic);
+    assert!(err.to_string().contains("injected panic"), "{err}");
+
+    // the sibling connection and its resident session are untouched
+    let again = b.call("{\"op\":\"identify\",\"session\":\"s2\"}").unwrap();
+    assert_eq!(again.str_field("text").unwrap(), baseline);
+
+    // so is the session the panicking request targeted: a retry answers
+    // byte-identically to a cold build
+    let retry = a.call("{\"op\":\"identify\",\"session\":\"s1\"}").unwrap();
+    let cold = identify(
+        &synth::compas_n(300, 2),
+        &IbsParams::default(),
+        Algorithm::Optimized,
+    );
+    assert_eq!(retry.str_field("text").unwrap(), regions_to_text(&cold));
+
+    // the panic is visible in the metrics taxonomy
+    let stats = a.call("{\"op\":\"stats\"}").unwrap();
+    let counted = stats
+        .arr_field("counters")
+        .unwrap()
+        .iter()
+        .any(|c| c.field("name").and_then(|v| v.as_str()) == Some("err.identify.stage-panic"));
+    assert!(counted, "stage-panic must be counted under serve.err.*");
+
+    failpoint::clear();
+    a.call("{\"op\":\"shutdown\"}").unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn panic_while_holding_the_session_lock_does_not_wedge_the_session() {
+    let _guard = lock();
+    failpoint::clear();
+    let (addr, handle) = start_server();
+    let mut client = Client::connect(&addr).unwrap();
+    client
+        .call("{\"op\":\"load\",\"session\":\"s\",\"source\":\"compas\",\"rows\":250,\"seed\":4}")
+        .unwrap();
+
+    // the serve.locked.* sites fire after lock_session: the unwinding
+    // request poisons the session mutex, and recovery must still serve
+    failpoint::set("serve.locked.identify", Action::Panic, 1);
+    let err = client
+        .call("{\"op\":\"identify\",\"session\":\"s\"}")
+        .unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::StagePanic);
+    let retry = client
+        .call("{\"op\":\"identify\",\"session\":\"s\"}")
+        .unwrap();
+    let cold = identify(
+        &synth::compas_n(250, 4),
+        &IbsParams::default(),
+        Algorithm::Optimized,
+    );
+    assert_eq!(retry.str_field("text").unwrap(), regions_to_text(&cold));
+
+    // same through the mutating path: the batch rejected by the panic
+    // applied nothing, and the session keeps accepting edits
+    failpoint::set("serve.locked.ingest", Action::Panic, 1);
+    let edit = "{\"op\":\"ingest\",\"session\":\"s\",\"edits\":[{\"kind\":\"flip\",\"row\":0}]}";
+    let err = client.call(edit).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::StagePanic);
+    let ok = client.call(edit).unwrap();
+    assert_eq!(ok.u64_field("edits").unwrap(), 1, "only the retry applied");
+
+    failpoint::clear();
+    client.call("{\"op\":\"shutdown\"}").unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn injected_transient_fault_reports_its_kind_and_retries_cleanly() {
+    let _guard = lock();
+    failpoint::clear();
+    let (addr, handle) = start_server();
+    let mut client = Client::connect(&addr).unwrap();
+    client
+        .call("{\"op\":\"load\",\"session\":\"s\",\"source\":\"compas\",\"rows\":200,\"seed\":6}")
+        .unwrap();
+    failpoint::set("serve.req.ingest", Action::Err, 1);
+    let edit =
+        "{\"op\":\"ingest\",\"session\":\"s\",\"edits\":[{\"kind\":\"duplicate\",\"src\":0}]}";
+    let err = client.call(edit).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Transient, "retryable by taxonomy");
+    let ok = client.call(edit).unwrap();
+    assert_eq!(ok.u64_field("rows").unwrap(), 201, "fault applied nothing");
+    failpoint::clear();
+    client.call("{\"op\":\"shutdown\"}").unwrap();
+    handle.join().unwrap().unwrap();
+}

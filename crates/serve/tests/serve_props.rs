@@ -1,0 +1,299 @@
+//! End-to-end properties of the resident service.
+//!
+//! The headline promise: a server fed N streamed `ingest` batches
+//! answers `identify` **byte-identically** to a cold batch identify on
+//! the equivalent final dataset. The test drives a live server over TCP
+//! with the same seeded random-edit generator the core counting
+//! property tests use, mirroring every edit into a local dataset, then
+//! compares the persisted-regions text from the wire against a
+//! from-scratch run on the mirror.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use remedy_core::persist::regions_to_text;
+use remedy_core::{identify, remedy_with, Algorithm, IbsParams, Neighborhood, RemedyParams};
+use remedy_core::{Scope as IbsScope, Technique};
+use remedy_dataset::{synth, RowEdit};
+use remedy_pipeline::json::Value;
+use remedy_pipeline::ErrorKind;
+use remedy_serve::{Client, ServeOptions, Server};
+
+fn start_server() -> (String, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(ServeOptions::default()).expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+/// Same distribution as the core counting property harness
+/// (`crates/core/tests/counting_props.rs`): duplicates, flips (twice as
+/// likely), and small distinct removal sets.
+fn random_edit(rng: &mut StdRng, len: usize) -> RowEdit {
+    match rng.gen_range(0..4u32) {
+        0 => RowEdit::Duplicate {
+            src: rng.gen_range(0..len),
+        },
+        1 | 2 => RowEdit::FlipLabel {
+            row: rng.gen_range(0..len),
+        },
+        _ => {
+            let count = rng.gen_range(1..=len.min(8));
+            let mut rows: Vec<usize> = (0..count).map(|_| rng.gen_range(0..len)).collect();
+            rows.sort_unstable();
+            rows.dedup();
+            RowEdit::Remove { rows }
+        }
+    }
+}
+
+fn edit_json(edit: &RowEdit) -> String {
+    match edit {
+        RowEdit::Duplicate { src } => format!("{{\"kind\":\"duplicate\",\"src\":{src}}}"),
+        RowEdit::FlipLabel { row } => format!("{{\"kind\":\"flip\",\"row\":{row}}}"),
+        RowEdit::Remove { rows } => {
+            let rows: Vec<String> = rows.iter().map(usize::to_string).collect();
+            format!("{{\"kind\":\"remove\",\"rows\":[{}]}}", rows.join(","))
+        }
+    }
+}
+
+/// Finds one counter in a `stats` response.
+fn counter(stats: &Value, scope: &str, name: &str) -> Option<u64> {
+    stats.arr_field("counters").ok()?.iter().find_map(|c| {
+        (c.field("scope")?.as_str()? == scope && c.field("name")?.as_str()? == name)
+            .then(|| c.field("value")?.as_u64())?
+    })
+}
+
+#[test]
+fn streamed_ingest_identify_matches_cold_batch_byte_for_byte() {
+    let (addr, handle) = start_server();
+    let mut client = Client::connect(&addr).unwrap();
+    client
+        .call(
+            "{\"op\":\"load\",\"session\":\"live\",\"source\":\"compas\",\"rows\":400,\"seed\":11}",
+        )
+        .unwrap();
+
+    // stream 100 random edits in batches of 10, mirroring each locally
+    let mut mirror = synth::compas_n(400, 11);
+    let mut rng = StdRng::seed_from_u64(0x5E57E);
+    let mut pending = Vec::new();
+    for _ in 0..100 {
+        let edit = random_edit(&mut rng, mirror.len());
+        pending.push(edit_json(&edit));
+        mirror.apply_edit(&edit);
+        if pending.len() == 10 {
+            let response = client
+                .call(&format!(
+                    "{{\"op\":\"ingest\",\"session\":\"live\",\"edits\":[{}]}}",
+                    pending.join(",")
+                ))
+                .unwrap();
+            assert_eq!(response.u64_field("rows").unwrap() as usize, mirror.len());
+            pending.clear();
+        }
+    }
+
+    // the resident index answers exactly like a cold batch run, across
+    // parameterizations and for both algorithms
+    for (params, request) in [
+        (
+            IbsParams::default(),
+            "{\"op\":\"identify\",\"session\":\"live\"}".to_string(),
+        ),
+        (
+            IbsParams::builder()
+                .tau_c(0.05)
+                .min_size(10)
+                .neighborhood(Neighborhood::Full)
+                .scope(IbsScope::Leaf)
+                .build()
+                .unwrap(),
+            "{\"op\":\"identify\",\"session\":\"live\",\"tau\":0.05,\"min_size\":10,\
+             \"neighborhood\":\"full\",\"scope\":\"leaf\",\"algorithm\":\"naive\"}"
+                .to_string(),
+        ),
+    ] {
+        let algorithm = if request.contains("naive") {
+            Algorithm::Naive
+        } else {
+            Algorithm::Optimized
+        };
+        let response = client.call(&request).unwrap();
+        let cold = identify(&mirror, &params, algorithm);
+        assert_eq!(
+            response.str_field("text").unwrap(),
+            regions_to_text(&cold),
+            "live identify diverges from cold batch for {request}"
+        );
+        assert_eq!(response.u64_field("count").unwrap() as usize, cold.len());
+    }
+
+    client.call("{\"op\":\"shutdown\"}").unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn errors_are_structured_and_the_connection_survives() {
+    let (addr, handle) = start_server();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // an unparseable line is answered (invalid-plan), not dropped
+    let raw = client.request_line("this is not json").unwrap();
+    assert!(
+        raw.contains("\"ok\":false") && raw.contains("invalid-plan"),
+        "{raw}"
+    );
+    let err = client
+        .call("{\"op\":\"identify\",\"session\":\"ghost\"}")
+        .unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::InvalidPlan);
+    assert!(err.message().contains("unknown session"), "{err}");
+
+    // a bad edit rejects the whole batch; the session stays pristine
+    client
+        .call("{\"op\":\"load\",\"session\":\"s\",\"source\":\"compas\",\"rows\":200,\"seed\":3}")
+        .unwrap();
+    let err = client
+        .call(
+            "{\"op\":\"ingest\",\"session\":\"s\",\"edits\":[{\"kind\":\"flip\",\"row\":0},\
+             {\"kind\":\"duplicate\",\"src\":9999}]}",
+        )
+        .unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::InvalidPlan);
+    let response = client
+        .call("{\"op\":\"identify\",\"session\":\"s\",\"id\":\"after\"}")
+        .unwrap();
+    assert_eq!(response.str_field("id").unwrap(), "after");
+    let cold = identify(
+        &synth::compas_n(200, 3),
+        &IbsParams::default(),
+        Algorithm::Optimized,
+    );
+    assert_eq!(response.str_field("text").unwrap(), regions_to_text(&cold));
+
+    // stats reports the per-request metrics, including the error taxonomy
+    let stats = client.call("{\"op\":\"stats\"}").unwrap();
+    assert!(counter(&stats, "serve", "req.identify").unwrap() >= 2);
+    assert_eq!(counter(&stats, "serve", "req.load"), Some(1));
+    assert_eq!(counter(&stats, "serve", "err.ingest.invalid-plan"), Some(1));
+    assert_eq!(
+        counter(&stats, "serve", "err.identify.invalid-plan"),
+        Some(1)
+    );
+    let sessions = stats.arr_field("sessions").unwrap();
+    assert_eq!(sessions.len(), 1);
+    assert_eq!(sessions[0].str_field("name").unwrap(), "s");
+    assert_eq!(sessions[0].u64_field("rows").unwrap(), 200);
+
+    client.call("{\"op\":\"shutdown\"}").unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn remedy_returns_the_edit_script_and_apply_replaces_the_session() {
+    let (addr, handle) = start_server();
+    let mut client = Client::connect(&addr).unwrap();
+    client
+        .call("{\"op\":\"load\",\"session\":\"r\",\"source\":\"compas\",\"rows\":600,\"seed\":5}")
+        .unwrap();
+
+    // without apply, the response carries the edit script and the
+    // resident dataset is untouched
+    let mirror = synth::compas_n(600, 5);
+    let params = RemedyParams::builder()
+        .technique(Technique::Undersampling)
+        .seed(5)
+        .build()
+        .unwrap();
+    let expected = remedy_with(&mirror, &params, &remedy_obs::Scope::disabled());
+    let response = client
+        .call("{\"op\":\"remedy\",\"session\":\"r\",\"technique\":\"us\",\"seed\":5}")
+        .unwrap();
+    assert_eq!(response.u64_field("rows_before").unwrap(), 600);
+    assert_eq!(
+        response.u64_field("rows_after").unwrap() as usize,
+        expected.dataset.len()
+    );
+    let updates = response.arr_field("updates").unwrap();
+    assert_eq!(updates.len(), expected.updates.len());
+    for (wire, update) in updates.iter().zip(&expected.updates) {
+        assert_eq!(
+            wire.str_field("pattern").unwrap(),
+            update.pattern.display(mirror.schema()).to_string()
+        );
+        assert_eq!(wire.f64_field("ratio_before").unwrap(), update.ratio_before);
+    }
+    let still = client
+        .call("{\"op\":\"identify\",\"session\":\"r\"}")
+        .unwrap();
+    let cold = identify(&mirror, &IbsParams::default(), Algorithm::Optimized);
+    assert_eq!(still.str_field("text").unwrap(), regions_to_text(&cold));
+
+    // with apply, the session is replaced and identify answers over the
+    // remedied rows
+    client
+        .call(
+            "{\"op\":\"remedy\",\"session\":\"r\",\"technique\":\"us\",\"seed\":5,\"apply\":true}",
+        )
+        .unwrap();
+    let after = client
+        .call("{\"op\":\"identify\",\"session\":\"r\"}")
+        .unwrap();
+    let cold = identify(
+        &expected.dataset,
+        &IbsParams::default(),
+        Algorithm::Optimized,
+    );
+    assert_eq!(after.str_field("text").unwrap(), regions_to_text(&cold));
+
+    // audit reports model metrics over the resident rows
+    let audit = client
+        .call("{\"op\":\"audit\",\"session\":\"r\",\"model\":\"dt\",\"stat\":\"fpr\"}")
+        .unwrap();
+    let accuracy = audit.f64_field("accuracy").unwrap();
+    assert!((0.0..=1.0).contains(&accuracy), "accuracy {accuracy}");
+    assert!(audit.u64_field("unfair_subgroups").is_ok());
+
+    client.call("{\"op\":\"shutdown\"}").unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn sessions_serve_concurrent_connections_independently() {
+    let (addr, handle) = start_server();
+    let mut a = Client::connect(&addr).unwrap();
+    a.call("{\"op\":\"load\",\"session\":\"shared\",\"source\":\"law\",\"rows\":300,\"seed\":9}")
+        .unwrap();
+    let expected = {
+        let cold = identify(
+            &synth::law_school_n(300, 9),
+            &IbsParams::default(),
+            Algorithm::Optimized,
+        );
+        regions_to_text(&cold)
+    };
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                for _ in 0..5 {
+                    let response = client
+                        .call("{\"op\":\"identify\",\"session\":\"shared\"}")
+                        .unwrap();
+                    assert_eq!(response.str_field("text").unwrap(), expected);
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().unwrap();
+    }
+    let stats = a.call("{\"op\":\"stats\"}").unwrap();
+    assert_eq!(counter(&stats, "serve", "req.identify"), Some(20));
+    a.call("{\"op\":\"shutdown\"}").unwrap();
+    handle.join().unwrap().unwrap();
+}

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs the Criterion benches (identify, remedy, pipeline) and records the
+# Runs the Criterion benches (identify, remedy, pipeline, serve) and records the
 # median time of every benchmark into BENCH_core.json, tagged with the git
 # revision and UTC date. Extra arguments are forwarded to `cargo bench`
 # (e.g. `scripts/bench.sh remedy_large` to filter).
@@ -10,7 +10,7 @@ out=BENCH_core.json
 log=$(mktemp)
 trap 'rm -f "$log"' EXIT
 
-for bench in identify remedy pipeline; do
+for bench in identify remedy pipeline serve; do
     cargo bench -p remedy-bench --bench "$bench" -- "$@" | tee -a "$log"
 done
 

@@ -12,6 +12,7 @@ cargo test -q --workspace
 # kill-then-resume) only compile under the failpoints feature
 cargo test -q -p remedy-pipeline --features failpoints
 cargo test -q -p remedy-cli --features failpoints
+cargo test -q -p remedy-serve --features failpoints
 # counting-engine property suite (edit interleavings vs rebuild, remedy
 # byte-parity with the scan baseline) ...
 cargo test -q -p remedy-core --test counting_props
@@ -49,6 +50,34 @@ target/release/remedy pipeline examples/plans/ordered_ablation.plan \
     --cache "$cache2" >/dev/null
 if [ -z "$(ls -A "$cache2/quarantine" 2>/dev/null)" ]; then
     echo "verify: FAIL — corrupted cache entry was not quarantined" >&2
+    exit 1
+fi
+
+# serve smoke test: start the daemon on an ephemeral port, drive one
+# load/ingest/identify/shutdown session through `remedy client`, and
+# require a clean exit from both processes
+serve_log="$(mktemp)"
+trap 'rm -rf "$cache" "$cache2" "$serve_log"' EXIT
+target/release/remedy serve --addr 127.0.0.1:0 >"$serve_log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^remedy-serve listening on //p' "$serve_log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "verify: FAIL — remedy serve never reported its address" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+target/release/remedy client "$addr" \
+    '{"op":"load","session":"smoke","source":"compas","rows":300,"seed":7}' \
+    '{"op":"ingest","session":"smoke","edits":[{"kind":"flip","row":0}]}' \
+    '{"op":"identify","session":"smoke"}' \
+    '{"op":"shutdown"}' >/dev/null
+if ! wait "$serve_pid"; then
+    echo "verify: FAIL — remedy serve exited non-zero after shutdown" >&2
     exit 1
 fi
 
