@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use remedy_core::identify::identify_in;
-use remedy_core::{Algorithm, Hierarchy, IbsParams};
+use remedy_core::{try_identify_over, Algorithm, Enumeration, Hierarchy, IbsParams};
 use remedy_dataset::synth::{self, ADULT_SCALABILITY_PROTECTED};
 
 fn bench_hierarchy_build(c: &mut Criterion) {
@@ -46,5 +46,37 @@ fn bench_identification(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hierarchy_build, bench_identification);
+/// The support-pruned enumeration across the lattice wall: end-to-end
+/// identify (counting included, since pruning fuses the two) over 10k
+/// rows of uniform cardinality-32 protected attributes. Dense refuses
+/// everything past p = 16 and already needs 2^p − 1 nodes below it;
+/// pruned stays sub-second through p = 24.
+fn bench_pruned_identification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("identify");
+    let mut params = IbsParams::default();
+    params.enumeration = Enumeration::Pruned;
+    for p in [4usize, 8, 12, 16, 24] {
+        let data = synth::wide_n(10_000, p, 42);
+        let protected = data.schema().protected_indices();
+        group.bench_with_input(BenchmarkId::new("pruned", p), &data, |b, data| {
+            b.iter(|| {
+                try_identify_over(
+                    std::hint::black_box(data),
+                    &protected,
+                    &params,
+                    Algorithm::Optimized,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hierarchy_build,
+    bench_identification,
+    bench_pruned_identification
+);
 criterion_main!(benches);

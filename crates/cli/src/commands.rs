@@ -9,8 +9,8 @@ use remedy_classifiers::{
 use remedy_classifiers::{DecisionTree, DecisionTreeParams};
 use remedy_core::hypothesis::{validate_on_columns, IbsMark};
 use remedy_core::{
-    identify_in_parallel_with, identify_in_with, remedy as remedy_data, Algorithm, Hierarchy,
-    IbsParams, Neighborhood, RemedyParams, Scope, Technique,
+    identify_in_parallel_with, identify_in_with, remedy as remedy_data, try_identify_over_with,
+    Algorithm, Enumeration, Hierarchy, IbsParams, Neighborhood, RemedyParams, Scope, Technique,
 };
 use remedy_dataset::csv::{self, LoadOptions, RawTable};
 use remedy_dataset::split::train_test_split;
@@ -69,17 +69,35 @@ pub fn run(command: &str, raw: Vec<String>) -> Result<(), CliError> {
     }
 }
 
-const DATA_OPTS: [&str; 5] = ["label", "protected", "positive", "bins", "help"];
+const DATA_OPTS: [&str; 7] = [
+    "label",
+    "protected",
+    "positive",
+    "bins",
+    "arity",
+    "rows",
+    "help",
+];
 
 /// Loads a dataset from a CSV path or a built-in generator name.
 fn load_input(args: &Args) -> Result<Dataset, CliError> {
-    let source = args
-        .positional(0)
-        .ok_or_else(|| CliError("expected a CSV path or dataset name (adult|compas|law)".into()))?;
+    let source = args.positional(0).ok_or_else(|| {
+        CliError("expected a CSV path or dataset name (adult|compas|law|wide)".into())
+    })?;
     match source {
         "adult" => return Ok(synth::adult(42)),
         "compas" => return Ok(synth::compas(42)),
         "law" => return Ok(synth::law_school(42)),
+        // wide protected sets for enumeration-scalability runs; past 16
+        // attributes only the support-pruned mode can serve these
+        "wide" => {
+            let rows = args.get_parsed("rows", 10_000usize)?;
+            let arity = args.get_parsed("arity", 20usize)?;
+            if !(1..=32).contains(&arity) {
+                return Err(CliError("--arity must be in 1..=32".into()));
+            }
+            return Ok(synth::wide_n(rows, arity, 42));
+        }
         _ => {}
     }
     let label = args.require("label")?;
@@ -101,6 +119,11 @@ fn ibs_params(args: &Args) -> Result<IbsParams, CliError> {
         .min_size(args.get_parsed("min-size", 30u64)?)
         .neighborhood(parse_neighborhood(args)?)
         .scope(parse_scope(args)?)
+        .enumeration(if args.flag("pruned") {
+            Enumeration::Pruned
+        } else {
+            Enumeration::Dense
+        })
         .build()
         .map_err(|e| CliError(e.to_string()))
 }
@@ -147,9 +170,9 @@ fn cmd_identify(raw: Vec<String>) -> Result<(), CliError> {
     let args = Args::parse(raw)?;
     if args.flag("help") || args.positional_count() == 0 {
         println!(
-            "remedy identify <csv|adult|compas|law> [--label Y --protected a,b] \
+            "remedy identify <csv|adult|compas|law|wide> [--label Y --protected a,b] \
              [--tau 0.1] [--min-size 30] [--neighborhood unit|full|<radius>] \
-             [--scope lattice|leaf|top] [--top 20] [--threads N] \
+             [--scope lattice|leaf|top] [--pruned] [--top 20] [--threads N] \
              [--trace trace.jsonl]"
         );
         return Ok(());
@@ -160,6 +183,7 @@ fn cmd_identify(raw: Vec<String>) -> Result<(), CliError> {
         "min-size",
         "neighborhood",
         "scope",
+        "pruned",
         "top",
         "threads",
         "trace",
@@ -173,10 +197,19 @@ fn cmd_identify(raw: Vec<String>) -> Result<(), CliError> {
         None => remedy_obs::Recorder::disabled(),
     };
     let obs = recorder.scope("identify");
-    let hierarchy = Hierarchy::build(&data);
-    let ibs = match args.get_parsed("threads", 1usize)? {
-        1 => identify_in_with(&hierarchy, &params, Algorithm::Optimized, &obs),
-        n => identify_in_parallel_with(&hierarchy, &params, Algorithm::Optimized, n, &obs),
+    let protected = data.schema().protected_indices();
+    let ibs = match (params.enumeration, args.get_parsed("threads", 1usize)?) {
+        (Enumeration::Pruned, _) => {
+            try_identify_over_with(&data, &protected, &params, Algorithm::Optimized, &obs)
+                .map_err(|e| CliError(e.to_string()))?
+        }
+        (Enumeration::Dense, threads) => {
+            let hierarchy = Hierarchy::try_build(&data).map_err(|e| CliError(e.to_string()))?;
+            match threads {
+                1 => identify_in_with(&hierarchy, &params, Algorithm::Optimized, &obs),
+                n => identify_in_parallel_with(&hierarchy, &params, Algorithm::Optimized, n, &obs),
+            }
+        }
     };
     recorder.finish();
     let top = args.get_parsed("top", 20usize)?;
@@ -209,7 +242,7 @@ fn cmd_remedy(raw: Vec<String>) -> Result<(), CliError> {
             "remedy remedy <csv|adult|compas|law> --out fixed.csv \
              [--label Y --protected a,b] [--technique ps|us|dp|massage] \
              [--tau 0.1] [--min-size 30] [--neighborhood unit|full|<radius>] \
-             [--scope lattice|leaf|top] [--seed 42]"
+             [--scope lattice|leaf|top] [--pruned] [--seed 42]"
         );
         return Ok(());
     }
@@ -219,6 +252,7 @@ fn cmd_remedy(raw: Vec<String>) -> Result<(), CliError> {
         "min-size",
         "neighborhood",
         "scope",
+        "pruned",
         "technique",
         "seed",
         "out",
@@ -233,6 +267,11 @@ fn cmd_remedy(raw: Vec<String>) -> Result<(), CliError> {
         .neighborhood(parse_neighborhood(&args)?)
         .scope(parse_scope(&args)?)
         .seed(args.get_parsed("seed", 42u64)?)
+        .enumeration(if args.flag("pruned") {
+            Enumeration::Pruned
+        } else {
+            Enumeration::Dense
+        })
         .build()
         .map_err(|e| CliError(e.to_string()))?;
     let outcome = remedy_data(&data, &params);

@@ -27,11 +27,21 @@
 //!
 //! [`NeighborModel`]: crate::neighbor_model::NeighborModel
 
+use crate::error::{validate_columns, CoreError, MAX_PROTECTED_SPARSE};
 use crate::hash::FastMap;
 use crate::hierarchy::{Hierarchy, MAX_PROTECTED};
 use crate::score::Counts;
+use crate::sparse::{KeyCodec, SparseHierarchy};
 use remedy_dataset::{Dataset, RowEdit};
 use remedy_obs::Scope as ObsScope;
+
+/// Bitmask with the low `p` bits set — the full-lattice node mask. Total
+/// for the whole supported range `1..=32`, where the idiomatic
+/// `(1u32 << p) - 1` overflows the shift at `p = 32`.
+pub(crate) fn full_mask_of(p: usize) -> u32 {
+    debug_assert!((1..=32).contains(&p));
+    u32::MAX >> (32 - p)
+}
 
 /// Smallest per-worker chunk worth spawning a thread for; below this the
 /// scan runs single-threaded (identical results either way).
@@ -51,18 +61,22 @@ fn chunk_bounds(n: usize) -> Vec<(usize, usize)> {
         .collect()
 }
 
-/// Packs each row's values over `cols` into a `u128` key, 8 bits per
-/// column, written position-wise into `out` (`out.len()` must equal the
-/// dataset length). This is the **only** key-packing loop in the crate;
-/// hierarchy construction, the remedy's scan fallback, and the
-/// [`RegionIndex`] all call it.
-pub(crate) fn pack_keys(data: &Dataset, cols: &[usize], out: &mut [u128]) {
+/// Packs each row's values over `cols` into a `u128` key at the codec's
+/// per-column bit offsets (8 bits per column on every dense path),
+/// written position-wise into `out` (`out.len()` must equal the dataset
+/// length). This is the **only** key-packing loop in the crate; hierarchy
+/// construction, the remedy's scan fallback, the sparse enumeration, and
+/// the [`RegionIndex`] all call it. Column count and cardinalities are
+/// validated by every entry point (see [`crate::error::validate_columns`])
+/// before keys are packed, so the layout can never silently truncate a
+/// code in release builds.
+pub(crate) fn pack_keys(data: &Dataset, cols: &[usize], codec: &KeyCodec, out: &mut [u128]) {
     debug_assert_eq!(out.len(), data.len());
-    debug_assert!(cols.len() <= MAX_PROTECTED);
+    debug_assert_eq!(cols.len(), codec.arity());
     let col_slices: Vec<&[u32]> = cols.iter().map(|&c| data.column(c)).collect();
     let bounds = chunk_bounds(out.len());
     if bounds.len() <= 1 {
-        pack_chunk(&col_slices, 0, out);
+        pack_chunk(&col_slices, codec, 0, out);
         return;
     }
     std::thread::scope(|scope| {
@@ -71,17 +85,17 @@ pub(crate) fn pack_keys(data: &Dataset, cols: &[usize], out: &mut [u128]) {
             let (chunk, tail) = rest.split_at_mut(b - a);
             rest = tail;
             let cols = &col_slices;
-            scope.spawn(move || pack_chunk(cols, a, chunk));
+            scope.spawn(move || pack_chunk(cols, codec, a, chunk));
         }
     });
 }
 
-fn pack_chunk(cols: &[&[u32]], start: usize, out: &mut [u128]) {
+fn pack_chunk(cols: &[&[u32]], codec: &KeyCodec, start: usize, out: &mut [u128]) {
     for (i, slot) in out.iter_mut().enumerate() {
         let row = start + i;
         let mut key = 0u128;
         for (s, col) in cols.iter().enumerate() {
-            key |= u128::from(col[row]) << (8 * s);
+            key |= u128::from(col[row]) << codec.offset(s);
         }
         *slot = key;
     }
@@ -162,7 +176,7 @@ fn scan_chunk(keys: &[u128], labels: &[u8], a: usize, b: usize, with_buckets: bo
 /// dataset — the scan-path primitive behind [`crate::hierarchy::node_counts`].
 pub(crate) fn node_counts(data: &Dataset, cols: &[usize]) -> FastMap<u128, Counts> {
     let mut keys = vec![0u128; data.len()];
-    pack_keys(data, cols, &mut keys);
+    pack_keys(data, cols, &KeyCodec::bytes(cols.len()), &mut keys);
     leaf_scan(&keys, data.labels(), false).counts
 }
 
@@ -173,7 +187,7 @@ pub(crate) fn node_snapshot(
     cols: &[usize],
 ) -> (FastMap<u128, Counts>, FastMap<u128, Vec<usize>>) {
     let mut keys = vec![0u128; data.len()];
-    pack_keys(data, cols, &mut keys);
+    pack_keys(data, cols, &KeyCodec::bytes(cols.len()), &mut keys);
     let scan = leaf_scan(&keys, data.labels(), true);
     let rows = scan
         .buckets
@@ -263,9 +277,17 @@ impl Fenwick {
     }
 
     /// Slot of the row currently at index `row` (binary descent).
+    ///
+    /// # Panics
+    ///
+    /// On an empty tree — there is no slot to select, and the
+    /// power-of-two descent seed below would shift by `usize::BITS`.
+    /// (Unreachable through [`RegionIndex`]: an index with zero slots
+    /// has no rows to translate, and `region_rows` on one answers from
+    /// its empty buckets without ranking.)
     fn select(&self, row: usize) -> usize {
         let n = self.len();
-        debug_assert!(n > 0);
+        assert!(n > 0, "Fenwick::select on an empty tree");
         let mut pos = 0usize; // 1-based cursor over fully-skipped prefixes
         let mut rem = (row + 1) as u32;
         let mut pw = 1usize << (usize::BITS - 1 - n.leading_zeros());
@@ -319,14 +341,42 @@ impl CountingTally {
     }
 }
 
+/// The counting structure a [`RegionIndex`] maintains: either the full
+/// dense [`Hierarchy`], or — for the support-pruned mode and for arities
+/// past [`MAX_PROTECTED`] — just the leaf-level counts, from which any
+/// requested lattice slice is projected on demand.
+#[derive(Debug, Clone)]
+enum Lattice {
+    Dense(Hierarchy),
+    Sparse(SparseMeta),
+}
+
+/// Sparse-mode state: the maintained leaf map plus the schema facts
+/// needed to project or re-enumerate from it.
+#[derive(Debug, Clone)]
+struct SparseMeta {
+    protected: Vec<usize>,
+    cards: Vec<u32>,
+    ordered: Vec<bool>,
+    codec: KeyCodec,
+    /// Full key → counts; delta-maintained, `(0, 0)` entries evicted.
+    leaf: FastMap<u128, Counts>,
+    totals: Counts,
+}
+
 /// Delta-maintained region counts over a mutating dataset.
 ///
-/// Built once in a parallel pass, the index owns a full [`Hierarchy`]
-/// whose node maps it keeps equal to what `Hierarchy::build_over` would
-/// produce on the *current* dataset, at O(2^p·p) per row edit instead of
-/// O(n·p) per node query. It also answers [`region_rows`] — the current
-/// row indices of any region — from per-leaf slot buckets plus the
-/// Fenwick rank translation, without touching the dataset.
+/// Built once in a parallel pass, a dense index owns a full
+/// [`Hierarchy`] whose node maps it keeps equal to what
+/// `Hierarchy::build_over` would produce on the *current* dataset, at
+/// O(2^p·p) per row edit instead of O(n·p) per node query. A sparse
+/// index (the `try_build_sparse*` constructors) maintains only the leaf
+/// counts — O(1) per row edit and O(distinct leaves) memory — and serves
+/// lattice views by projection ([`sparse_hierarchy`]), which is what
+/// lets it carry arities the dense lattice cannot. Either kind answers
+/// [`region_rows`] — the current row indices of any region — from
+/// per-leaf slot buckets plus the Fenwick rank translation, without
+/// touching the dataset.
 ///
 /// The index does not hold the dataset; callers mirror every mutation
 /// through [`apply_edit`] (or the typed `apply_*` methods) in the same
@@ -334,9 +384,10 @@ impl CountingTally {
 ///
 /// [`region_rows`]: RegionIndex::region_rows
 /// [`apply_edit`]: RegionIndex::apply_edit
+/// [`sparse_hierarchy`]: RegionIndex::sparse_hierarchy
 #[derive(Debug, Clone)]
 pub struct RegionIndex {
-    hierarchy: Hierarchy,
+    lattice: Lattice,
     full_mask: u32,
     /// Per-slot packed full keys (append-only; slots are never reused).
     keys: Vec<u128>,
@@ -358,27 +409,76 @@ pub struct RegionIndex {
 }
 
 impl RegionIndex {
-    /// Builds the index over the dataset's schema-declared protected
-    /// attributes.
+    /// Builds a dense index over the dataset's schema-declared protected
+    /// attributes, panicking on invalid columns (see [`try_build`]).
+    ///
+    /// [`try_build`]: RegionIndex::try_build
     pub fn build(data: &Dataset) -> RegionIndex {
-        let protected = data.schema().protected_indices();
-        RegionIndex::build_over(data, &protected)
+        RegionIndex::try_build(data).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Builds the index over an explicit protected-column set: one
+    /// Builds a dense index over the schema-declared protected columns.
+    pub fn try_build(data: &Dataset) -> Result<RegionIndex, CoreError> {
+        let protected = data.schema().protected_indices();
+        RegionIndex::try_build_over(data, &protected)
+    }
+
+    /// Builds a dense index over an explicit protected-column set,
+    /// panicking on invalid columns (see [`try_build_over`]).
+    ///
+    /// [`try_build_over`]: RegionIndex::try_build_over
+    pub fn build_over(data: &Dataset, protected: &[usize]) -> RegionIndex {
+        RegionIndex::try_build_over(data, protected).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a dense index over an explicit protected-column set: one
     /// parallel packing pass, one parallel leaf tally, then node-to-node
     /// projection down the lattice.
-    pub fn build_over(data: &Dataset, protected: &[usize]) -> RegionIndex {
+    pub fn try_build_over(data: &Dataset, protected: &[usize]) -> Result<RegionIndex, CoreError> {
+        RegionIndex::build_inner(data, protected, false)
+    }
+
+    /// Builds a sparse (leaf-only) index over the schema-declared
+    /// protected columns — required past [`MAX_PROTECTED`] attributes,
+    /// and sufficient for any support-pruned identify.
+    pub fn try_build_sparse(data: &Dataset) -> Result<RegionIndex, CoreError> {
+        let protected = data.schema().protected_indices();
+        RegionIndex::try_build_sparse_over(data, &protected)
+    }
+
+    /// Builds a sparse index over an explicit protected-column set (up
+    /// to [`MAX_PROTECTED_SPARSE`] columns).
+    pub fn try_build_sparse_over(
+        data: &Dataset,
+        protected: &[usize],
+    ) -> Result<RegionIndex, CoreError> {
+        RegionIndex::build_inner(data, protected, true)
+    }
+
+    /// Dense when the arity allows it, sparse beyond — the right default
+    /// for a resident session that must accept whatever schema it is
+    /// handed.
+    pub fn try_build_auto(data: &Dataset) -> Result<RegionIndex, CoreError> {
+        let protected = data.schema().protected_indices();
+        if protected.len() <= MAX_PROTECTED {
+            RegionIndex::try_build_over(data, &protected)
+        } else {
+            RegionIndex::try_build_sparse_over(data, &protected)
+        }
+    }
+
+    fn build_inner(
+        data: &Dataset,
+        protected: &[usize],
+        sparse: bool,
+    ) -> Result<RegionIndex, CoreError> {
         let p = protected.len();
-        assert!(p >= 1, "need at least one protected attribute");
-        assert!(
-            p <= MAX_PROTECTED,
-            "at most {MAX_PROTECTED} protected attributes"
-        );
-        let n = data.len();
-        let mut keys = vec![0u128; n];
-        pack_keys(data, protected, &mut keys);
-        let scan = leaf_scan(&keys, data.labels(), true);
+        let max_arity = if sparse {
+            MAX_PROTECTED_SPARSE
+        } else {
+            MAX_PROTECTED
+        };
+        validate_columns(data, protected, max_arity)?;
         let cards: Vec<u32> = protected
             .iter()
             .map(|&a| data.schema().attribute(a).cardinality() as u32)
@@ -387,12 +487,36 @@ impl RegionIndex {
             .iter()
             .map(|&a| data.schema().attribute(a).is_ordered())
             .collect();
-        let hierarchy =
-            Hierarchy::from_leaf(protected.to_vec(), cards, ordered, scan.counts, scan.totals);
-        let full_mask: u32 = (1u32 << p) - 1;
-        RegionIndex {
-            hierarchy,
-            full_mask,
+        let codec = if sparse {
+            KeyCodec::for_cards(&cards)?
+        } else {
+            KeyCodec::bytes(p)
+        };
+        let n = data.len();
+        let mut keys = vec![0u128; n];
+        pack_keys(data, protected, &codec, &mut keys);
+        let scan = leaf_scan(&keys, data.labels(), true);
+        let lattice = if sparse {
+            Lattice::Sparse(SparseMeta {
+                protected: protected.to_vec(),
+                cards,
+                ordered,
+                codec,
+                leaf: scan.counts,
+                totals: scan.totals,
+            })
+        } else {
+            Lattice::Dense(Hierarchy::from_leaf(
+                protected.to_vec(),
+                cards,
+                ordered,
+                scan.counts,
+                scan.totals,
+            ))
+        };
+        Ok(RegionIndex {
+            lattice,
+            full_mask: full_mask_of(p),
             keys,
             labels: data.labels().to_vec(),
             alive: vec![true; n],
@@ -406,20 +530,104 @@ impl RegionIndex {
             },
             pending: FastMap::default(),
             batching: false,
-        }
+        })
+    }
+
+    /// Whether this index maintains only leaf counts (sparse mode).
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.lattice, Lattice::Sparse(_))
+    }
+
+    /// Number of protected attributes the index is keyed over.
+    pub fn arity(&self) -> usize {
+        self.full_mask.count_ones() as usize
     }
 
     /// The maintained hierarchy; its node maps always equal
     /// `Hierarchy::build_over` on the current dataset — provided any
     /// batched deltas have been flushed (see [`begin_deltas`]).
     ///
+    /// # Panics
+    ///
+    /// On a sparse index, which has no dense lattice to lend out; use
+    /// [`sparse_hierarchy`] there.
+    ///
     /// [`begin_deltas`]: RegionIndex::begin_deltas
+    /// [`sparse_hierarchy`]: RegionIndex::sparse_hierarchy
     pub fn hierarchy(&self) -> &Hierarchy {
         debug_assert!(
             self.pending.is_empty(),
             "flush_deltas() before reading batched counts"
         );
-        &self.hierarchy
+        match &self.lattice {
+            Lattice::Dense(h) => h,
+            Lattice::Sparse(meta) => panic!(
+                "{}",
+                CoreError::DenseUnavailable {
+                    arity: meta.protected.len()
+                }
+            ),
+        }
+    }
+
+    /// Enumerates the support-pruned lattice of the *current* counts —
+    /// complete region maps for every node with a region above
+    /// `support`, nothing else materialized. Works on either index kind:
+    /// a dense index donates its full-lattice leaf node, a sparse one
+    /// its maintained leaf map. Batched deltas must be flushed first.
+    pub fn sparse_hierarchy(&self, support: u64) -> Result<SparseHierarchy, CoreError> {
+        debug_assert!(
+            self.pending.is_empty(),
+            "flush_deltas() before reading batched counts"
+        );
+        match &self.lattice {
+            Lattice::Dense(h) => {
+                let p = h.arity();
+                let cards: Vec<u32> = (0..p).map(|j| h.cardinality(j)).collect();
+                let ordered: Vec<bool> = (0..p).map(|j| h.is_ordered(j)).collect();
+                SparseHierarchy::from_leaves(
+                    h.protected().to_vec(),
+                    cards,
+                    ordered,
+                    &KeyCodec::bytes(p),
+                    h.node(self.full_mask).regions.iter().map(|(&k, &c)| (k, c)),
+                    h.totals(),
+                    support,
+                )
+            }
+            Lattice::Sparse(meta) => SparseHierarchy::from_leaves(
+                meta.protected.clone(),
+                meta.cards.clone(),
+                meta.ordered.clone(),
+                &meta.codec,
+                meta.leaf.iter().map(|(&k, &c)| (k, c)),
+                meta.totals,
+                support,
+            ),
+        }
+    }
+
+    /// The complete region map of one node, projected on demand from the
+    /// maintained leaf counts — O(distinct leaves), nothing else
+    /// materialized. Canonical 8-bit region keys, so `mask` must span at
+    /// most [`MAX_PROTECTED`] attributes.
+    pub(crate) fn project_node(&self, mask: u32) -> FastMap<u128, Counts> {
+        debug_assert!(
+            self.pending.is_empty(),
+            "flush_deltas() before reading batched counts"
+        );
+        match &self.lattice {
+            Lattice::Dense(h) => h.node(mask).regions.clone(),
+            Lattice::Sparse(meta) => {
+                let mut out: FastMap<u128, Counts> = FastMap::default();
+                for (&full, &c) in &meta.leaf {
+                    out.entry(meta.codec.project(full, mask))
+                        .or_default()
+                        .add(c);
+                }
+                out
+            }
+        }
     }
 
     /// Switches the index into batched-delta mode: subsequent edits
@@ -499,12 +707,22 @@ impl RegionIndex {
     /// Cost is O(L·p + m·log n) for L distinct leaf keys and m matching
     /// rows — paid per *biased* region only, never per node.
     pub fn region_rows(&self, mask: u32, key: u128) -> Vec<usize> {
-        let slots: Vec<u32> = if mask == self.full_mask {
+        // on a wide sparse index the full-row bucket keys are not the
+        // canonical 8-bit region keys, so only narrow masks are served
+        let full_is_canonical = self.arity() <= MAX_PROTECTED;
+        let slots: Vec<u32> = if mask == self.full_mask && full_is_canonical {
             self.buckets.get(&key).cloned().unwrap_or_default()
         } else {
+            assert!(
+                mask.count_ones() as usize <= MAX_PROTECTED,
+                "{}",
+                CoreError::NodeTooDeep {
+                    level: mask.count_ones() as usize
+                }
+            );
             let mut v = Vec::new();
             for (&full, bucket) in &self.buckets {
-                if project_key(full, mask) == key {
+                if self.project_full(full, mask) == key {
                     v.extend_from_slice(bucket);
                 }
             }
@@ -610,24 +828,49 @@ impl RegionIndex {
         }
     }
 
-    /// Applies one row's count delta to every lattice node (and the
-    /// level-0 totals), evicting entries that reach `(0, 0)` so the
-    /// maintained maps stay equal to a from-scratch rebuild.
+    /// Projects a full bucket key onto `mask`'s canonical region key,
+    /// honoring the sparse bit layout when there is one.
+    fn project_full(&self, full: u128, mask: u32) -> u128 {
+        match &self.lattice {
+            Lattice::Dense(_) => project_key(full, mask),
+            Lattice::Sparse(meta) => meta.codec.project(full, mask),
+        }
+    }
+
+    /// Applies one row's count delta — to every dense lattice node (and
+    /// the level-0 totals), or to the single leaf entry in sparse mode —
+    /// evicting entries that reach `(0, 0)` so the maintained maps stay
+    /// equal to a from-scratch rebuild.
     fn update_nodes(&mut self, full_key: u128, dpos: i64, dneg: i64) {
-        for mask in 1..=self.full_mask {
-            let key = project_key(full_key, mask);
-            let node = self.hierarchy.node_mut(mask);
-            let entry = node.regions.entry(key).or_default();
-            entry.pos = (entry.pos as i64 + dpos) as u64;
-            entry.neg = (entry.neg as i64 + dneg) as u64;
-            if entry.pos == 0 && entry.neg == 0 {
-                node.regions.remove(&key);
+        match &mut self.lattice {
+            Lattice::Dense(h) => {
+                for mask in 1..=self.full_mask {
+                    let key = project_key(full_key, mask);
+                    let node = h.node_mut(mask);
+                    let entry = node.regions.entry(key).or_default();
+                    entry.pos = (entry.pos as i64 + dpos) as u64;
+                    entry.neg = (entry.neg as i64 + dneg) as u64;
+                    if entry.pos == 0 && entry.neg == 0 {
+                        node.regions.remove(&key);
+                    }
+                }
+                let totals = h.totals_mut();
+                totals.pos = (totals.pos as i64 + dpos) as u64;
+                totals.neg = (totals.neg as i64 + dneg) as u64;
+                self.tally.node_updates += u64::from(self.full_mask);
+            }
+            Lattice::Sparse(meta) => {
+                let entry = meta.leaf.entry(full_key).or_default();
+                entry.pos = (entry.pos as i64 + dpos) as u64;
+                entry.neg = (entry.neg as i64 + dneg) as u64;
+                if entry.pos == 0 && entry.neg == 0 {
+                    meta.leaf.remove(&full_key);
+                }
+                meta.totals.pos = (meta.totals.pos as i64 + dpos) as u64;
+                meta.totals.neg = (meta.totals.neg as i64 + dneg) as u64;
+                self.tally.node_updates += 1;
             }
         }
-        let totals = self.hierarchy.totals_mut();
-        totals.pos = (totals.pos as i64 + dpos) as u64;
-        totals.neg = (totals.neg as i64 + dneg) as u64;
-        self.tally.node_updates += u64::from(self.full_mask);
     }
 }
 
@@ -818,7 +1061,7 @@ mod tests {
             d.push_row(&[i % 4], u8::from(i % 3 == 0)).unwrap();
         }
         let mut keys = vec![0u128; d.len()];
-        pack_keys(&d, &[0], &mut keys);
+        pack_keys(&d, &[0], &KeyCodec::bytes(1), &mut keys);
         for (i, &k) in keys.iter().enumerate() {
             assert_eq!(k, u128::from(d.value(i, 0)));
         }
@@ -827,5 +1070,136 @@ mod tests {
         for (key, bucket) in &scan.buckets {
             assert!(bucket.windows(2).all(|w| w[0] < w[1]), "key {key}");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty tree")]
+    fn fenwick_select_panics_on_empty_tree() {
+        Fenwick::ones(0).select(0);
+    }
+
+    #[test]
+    fn fenwick_grows_from_empty() {
+        let mut f = Fenwick::ones(0);
+        assert_eq!(f.len(), 0);
+        f.push(true);
+        f.push(true);
+        assert_eq!(f.select(1), 1);
+        assert_eq!(f.rank(1), 1);
+    }
+
+    #[test]
+    fn empty_dataset_index_answers_empty() {
+        let schema = fixture().schema_arc();
+        let empty = Dataset::new(schema);
+        let index = RegionIndex::build(&empty);
+        assert!(index.is_empty());
+        assert_eq!(index.len(), 0);
+        for mask in 1..=index.full_mask {
+            assert!(index.region_rows(mask, 0).is_empty(), "mask {mask:#b}");
+        }
+        assert_eq!(index.hierarchy().totals(), Counts::default());
+    }
+
+    #[test]
+    fn fully_drained_index_answers_empty() {
+        let d = fixture();
+        let mut index = RegionIndex::build(&d);
+        let full = index.full_mask;
+        let keys: Vec<u128> = index
+            .hierarchy()
+            .node(full)
+            .regions
+            .keys()
+            .copied()
+            .collect();
+        index.apply_remove(&(0..d.len()).collect::<Vec<_>>());
+        assert!(index.is_empty());
+        for key in keys {
+            assert!(index.region_rows(full, key).is_empty());
+        }
+        assert!(index.hierarchy().node(full).regions.is_empty());
+    }
+
+    #[test]
+    fn sparse_index_tracks_dense_through_edits() {
+        let mut d = fixture();
+        let mut sparse = RegionIndex::try_build_sparse(&d).unwrap();
+        assert!(sparse.is_sparse());
+        let edits = [
+            RowEdit::Duplicate { src: 3 },
+            RowEdit::FlipLabel { row: 0 },
+            RowEdit::Remove { rows: vec![7, 2] },
+            RowEdit::Duplicate { src: 0 },
+        ];
+        for edit in &edits {
+            sparse.apply_edit(edit);
+            d.apply_edit(edit);
+            let dense = RegionIndex::build(&d);
+            // projected views equal the maintained dense lattice
+            for node in dense.hierarchy().nodes() {
+                assert_eq!(sparse.project_node(node.mask), node.regions);
+                for &key in node.regions.keys() {
+                    assert_eq!(
+                        sparse.region_rows(node.mask, key),
+                        dense.region_rows(node.mask, key),
+                        "node {:#b} after {edit:?}",
+                        node.mask
+                    );
+                }
+            }
+            // and a full sparse enumeration at support 0 matches too
+            let sh = sparse.sparse_hierarchy(0).unwrap();
+            let dh = dense.sparse_hierarchy(0).unwrap();
+            assert_eq!(sh.nodes().len(), dh.nodes().len());
+            for node in sh.nodes() {
+                assert_eq!(Some(&node.regions), dh.node(node.mask).map(|n| &n.regions));
+            }
+        }
+    }
+
+    #[test]
+    fn release_mode_guards_reject_bad_columns() {
+        // 17 protected columns: dense refuses, sparse accepts
+        let attrs: Vec<Attribute> = (0..17)
+            .map(|i| Attribute::from_strs(&format!("a{i}"), &["0", "1"]).protected())
+            .collect();
+        let mut d = Dataset::new(Schema::new(attrs, "y").into_shared());
+        d.push_row(&[0; 17], 1).unwrap();
+        match RegionIndex::try_build(&d) {
+            Err(CoreError::TooManyProtected { got: 17, max }) => {
+                assert_eq!(max, MAX_PROTECTED);
+            }
+            other => panic!("expected TooManyProtected, got {other:?}"),
+        }
+        assert!(RegionIndex::try_build_sparse(&d).is_ok());
+
+        // a 300-category protected column: both enumerations refuse
+        let wide_domain: Vec<String> = (0..300).map(|i| format!("v{i}")).collect();
+        let domain: Vec<&str> = wide_domain.iter().map(String::as_str).collect();
+        let schema =
+            Schema::new(vec![Attribute::from_strs("zip", &domain).protected()], "y").into_shared();
+        let mut d = Dataset::new(schema);
+        d.push_row(&[299], 0).unwrap();
+        for built in [
+            RegionIndex::try_build(&d),
+            RegionIndex::try_build_sparse(&d),
+        ] {
+            match built {
+                Err(CoreError::CardinalityOverflow {
+                    column,
+                    cardinality: 300,
+                }) => assert_eq!(column, "zip"),
+                other => panic!("expected CardinalityOverflow, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dense lattice unavailable")]
+    fn sparse_index_refuses_dense_hierarchy() {
+        let d = fixture();
+        let index = RegionIndex::try_build_sparse(&d).unwrap();
+        let _ = index.hierarchy();
     }
 }

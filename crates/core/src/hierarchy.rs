@@ -58,24 +58,38 @@ impl Hierarchy {
     /// from a previously-computed superset node, so each region's counts
     /// are touched once per lattice edge rather than once per row.
     pub fn build(data: &Dataset) -> Self {
+        Hierarchy::try_build(data).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Hierarchy::build`].
+    pub fn try_build(data: &Dataset) -> Result<Self, crate::error::CoreError> {
         let protected = data.schema().protected_indices();
-        Hierarchy::build_over(data, &protected)
+        Hierarchy::try_build_over(data, &protected)
     }
 
     /// Builds the hierarchy over an explicit set of protected columns
-    /// (used by the scalability experiments that extend the protected set).
+    /// (used by the scalability experiments that extend the protected
+    /// set), panicking on invalid columns (see
+    /// [`Hierarchy::try_build_over`]).
+    pub fn build_over(data: &Dataset, protected: &[usize]) -> Self {
+        Hierarchy::try_build_over(data, protected).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the hierarchy over an explicit set of protected columns,
+    /// rejecting sets the packed-key representation cannot carry — more
+    /// than [`MAX_PROTECTED`] columns or any column with over 255
+    /// categories — with a typed error even in release builds.
     ///
     /// The leaf cells come from one parallel pass through the shared
     /// counting seam ([`crate::counting`]): keys are packed once into a
     /// `u128` column and per-worker tallies are merged in chunk order, so
     /// the result is bit-identical to a single-threaded scan.
-    pub fn build_over(data: &Dataset, protected: &[usize]) -> Self {
+    pub fn try_build_over(
+        data: &Dataset,
+        protected: &[usize],
+    ) -> Result<Self, crate::error::CoreError> {
         let p = protected.len();
-        assert!(p >= 1, "need at least one protected attribute");
-        assert!(
-            p <= MAX_PROTECTED,
-            "at most {MAX_PROTECTED} protected attributes"
-        );
+        crate::error::validate_columns(data, protected, MAX_PROTECTED)?;
         let cards: Vec<u32> = protected
             .iter()
             .map(|&a| data.schema().attribute(a).cardinality() as u32)
@@ -86,9 +100,16 @@ impl Hierarchy {
             .collect();
 
         let mut keys = vec![0u128; data.len()];
-        crate::counting::pack_keys(data, protected, &mut keys);
+        let codec = crate::sparse::KeyCodec::bytes(p);
+        crate::counting::pack_keys(data, protected, &codec, &mut keys);
         let scan = crate::counting::leaf_scan(&keys, data.labels(), false);
-        Hierarchy::from_leaf(protected.to_vec(), cards, ordered, scan.counts, scan.totals)
+        Ok(Hierarchy::from_leaf(
+            protected.to_vec(),
+            cards,
+            ordered,
+            scan.counts,
+            scan.totals,
+        ))
     }
 
     /// Assembles the lattice from precomputed leaf counts: every
@@ -104,7 +125,7 @@ impl Hierarchy {
         totals: Counts,
     ) -> Self {
         let p = protected.len();
-        let full_mask: u32 = (1u32 << p) - 1;
+        let full_mask = crate::counting::full_mask_of(p);
         let mut nodes: Vec<Node> = (1..=full_mask)
             .map(|mask| Node {
                 mask,

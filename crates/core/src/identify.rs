@@ -16,12 +16,14 @@
 //! work from `(c−1)·d·T` to `d·T`, which §V-B5 (and our Fig 9a bench)
 //! shows is a substantial constant-factor win.
 
+use crate::error::CoreError;
 use crate::hierarchy::{Hierarchy, Node};
 use crate::neighbor_model::{NeighborModel, NeighborTally};
 use crate::neighborhood::Neighborhood;
 use crate::params::{IbsParamsBuilder, ParamError};
 use crate::scope::Scope;
 use crate::score::{imbalance, is_defined, Counts};
+use crate::sparse::SparseHierarchy;
 use remedy_dataset::{Dataset, Pattern};
 use remedy_obs::Scope as ObsScope;
 
@@ -32,6 +34,19 @@ pub enum Algorithm {
     Naive,
     /// Dominating-region count reuse (§III-B, Algorithm 1).
     Optimized,
+}
+
+/// How the region lattice is enumerated during identification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Enumeration {
+    /// Materialize every lattice node (the paper's method); limited to
+    /// [`crate::hierarchy::MAX_PROTECTED`] protected attributes.
+    #[default]
+    Dense,
+    /// Support-pruned lazy enumeration (Fairpriori-style): only nodes
+    /// with a region above `min_size` are ever counted. Byte-identical
+    /// results, and the only mode available past 16 attributes.
+    Pruned,
 }
 
 /// Parameters of IBS identification (Problem 1).
@@ -51,6 +66,8 @@ pub struct IbsParams {
     pub neighborhood: Neighborhood,
     /// Hierarchy levels to examine.
     pub scope: Scope,
+    /// Lattice enumeration strategy (dense by default).
+    pub enumeration: Enumeration,
 }
 
 impl Default for IbsParams {
@@ -60,6 +77,7 @@ impl Default for IbsParams {
             min_size: 30,
             neighborhood: Neighborhood::Unit,
             scope: Scope::Lattice,
+            enumeration: Enumeration::Dense,
         }
     }
 }
@@ -93,6 +111,13 @@ impl IbsParams {
             }
         }
         h.write_str(self.scope.name());
+        // appended only for the non-default mode, so every digest minted
+        // before the enumeration field existed still matches its dense
+        // parameters (pruned ≡ dense output makes sharing them sound
+        // regardless, but dense cache keys must stay replayable verbatim)
+        if self.enumeration == Enumeration::Pruned {
+            h.write_str("enumeration-pruned");
+        }
     }
 
     /// Stable 128-bit digest of the parameters (see [`stable_hash_into`]).
@@ -150,25 +175,73 @@ impl BiasedRegion {
     }
 }
 
-/// Identifies the IBS of a dataset (builds the hierarchy internally).
+/// Identifies the IBS of a dataset, honoring `params.enumeration`
+/// (builds the dense hierarchy or the support-pruned one internally).
+/// Panics on invalid protected columns; see [`try_identify`].
 pub fn identify(data: &Dataset, params: &IbsParams, algorithm: Algorithm) -> Vec<BiasedRegion> {
-    let hierarchy = Hierarchy::build(data);
-    identify_in(&hierarchy, params, algorithm)
+    try_identify(data, params, algorithm).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`identify`]: rejects protected sets the requested
+/// enumeration cannot carry with a typed error.
+pub fn try_identify(
+    data: &Dataset,
+    params: &IbsParams,
+    algorithm: Algorithm,
+) -> Result<Vec<BiasedRegion>, CoreError> {
+    let protected = data.schema().protected_indices();
+    try_identify_over(data, &protected, params, algorithm)
 }
 
 /// Identifies the IBS over an explicit protected-column set (used by the
 /// scalability experiments that grow `|X|` beyond the schema's default).
+/// Panics on invalid protected columns; see [`try_identify_over`].
 pub fn identify_over(
     data: &Dataset,
     protected: &[usize],
     params: &IbsParams,
     algorithm: Algorithm,
 ) -> Vec<BiasedRegion> {
-    let hierarchy = Hierarchy::build_over(data, protected);
-    identify_in(&hierarchy, params, algorithm)
+    try_identify_over(data, protected, params, algorithm).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Identifies the IBS over a prebuilt hierarchy.
+/// Fallible form of [`identify_over`], dispatching on
+/// `params.enumeration`: the pruned mode builds a [`SparseHierarchy`] at
+/// `support = min_size` — the exact threshold below which the dense scan
+/// ignores regions anyway, so results are byte-identical.
+pub fn try_identify_over(
+    data: &Dataset,
+    protected: &[usize],
+    params: &IbsParams,
+    algorithm: Algorithm,
+) -> Result<Vec<BiasedRegion>, CoreError> {
+    try_identify_over_with(data, protected, params, algorithm, &ObsScope::disabled())
+}
+
+/// [`try_identify_over`] with observability.
+pub fn try_identify_over_with(
+    data: &Dataset,
+    protected: &[usize],
+    params: &IbsParams,
+    algorithm: Algorithm,
+    obs: &ObsScope,
+) -> Result<Vec<BiasedRegion>, CoreError> {
+    match params.enumeration {
+        Enumeration::Dense => {
+            let hierarchy = Hierarchy::try_build_over(data, protected)?;
+            Ok(identify_in_with(&hierarchy, params, algorithm, obs))
+        }
+        Enumeration::Pruned => {
+            let sparse = SparseHierarchy::try_build_over(data, protected, params.min_size)?;
+            Ok(identify_in_sparse_with(&sparse, params, algorithm, obs))
+        }
+    }
+}
+
+/// Identifies the IBS over a prebuilt hierarchy. (A prebuilt hierarchy
+/// is already densely enumerated, so `params.enumeration` plays no role
+/// here — dispatch happens in [`try_identify_over`] and
+/// [`try_identify_in_index`].)
 pub fn identify_in(
     hierarchy: &Hierarchy,
     params: &IbsParams,
@@ -178,15 +251,117 @@ pub fn identify_in(
 }
 
 /// Identifies biased regions in a (possibly delta-maintained)
-/// [`RegionIndex`](crate::counting::RegionIndex). The index's hierarchy
-/// always equals a fresh build over its current rows, so this is
-/// [`identify_in`] without paying for a counting pass.
+/// [`RegionIndex`](crate::counting::RegionIndex). Panics when the index
+/// kind cannot serve the requested enumeration; see
+/// [`try_identify_in_index`].
 pub fn identify_in_index(
     index: &crate::counting::RegionIndex,
     params: &IbsParams,
     algorithm: Algorithm,
 ) -> Vec<BiasedRegion> {
-    identify_in(index.hierarchy(), params, algorithm)
+    try_identify_in_index(index, params, algorithm).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Identifies biased regions in a maintained index, honoring
+/// `params.enumeration`. A dense index serves the dense scan directly
+/// (its hierarchy always equals a fresh build over the current rows) and
+/// the pruned scan by enumerating from its leaf node; a sparse index
+/// serves only the pruned scan — asking it for a dense one is
+/// [`CoreError::DenseUnavailable`].
+pub fn try_identify_in_index(
+    index: &crate::counting::RegionIndex,
+    params: &IbsParams,
+    algorithm: Algorithm,
+) -> Result<Vec<BiasedRegion>, CoreError> {
+    try_identify_in_index_with(index, params, algorithm, &ObsScope::disabled())
+}
+
+/// [`try_identify_in_index`] with observability.
+pub fn try_identify_in_index_with(
+    index: &crate::counting::RegionIndex,
+    params: &IbsParams,
+    algorithm: Algorithm,
+    obs: &ObsScope,
+) -> Result<Vec<BiasedRegion>, CoreError> {
+    match params.enumeration {
+        Enumeration::Dense => {
+            if index.is_sparse() {
+                return Err(CoreError::DenseUnavailable {
+                    arity: index.arity(),
+                });
+            }
+            Ok(identify_in_with(index.hierarchy(), params, algorithm, obs))
+        }
+        Enumeration::Pruned => {
+            let sparse = index.sparse_hierarchy(params.min_size)?;
+            Ok(identify_in_sparse_with(&sparse, params, algorithm, obs))
+        }
+    }
+}
+
+/// Identifies the IBS over a prebuilt support-pruned hierarchy.
+///
+/// The hierarchy must have been pruned at `support ≤ min_size`;
+/// otherwise nodes the dense scan would score could be missing.
+pub fn identify_in_sparse(
+    sparse: &SparseHierarchy,
+    params: &IbsParams,
+    algorithm: Algorithm,
+) -> Vec<BiasedRegion> {
+    identify_in_sparse_with(sparse, params, algorithm, &ObsScope::disabled())
+}
+
+/// [`identify_in_sparse`] with observability: same counters and
+/// per-level timing histograms as the dense scan.
+pub fn identify_in_sparse_with(
+    sparse: &SparseHierarchy,
+    params: &IbsParams,
+    algorithm: Algorithm,
+    obs: &ObsScope,
+) -> Vec<BiasedRegion> {
+    assert!(
+        sparse.support() <= params.min_size,
+        "hierarchy pruned at support {} cannot serve identify at min_size {}",
+        sparse.support(),
+        params.min_size
+    );
+    let _span = obs.span("identify_in_sparse");
+    let mut result = Vec::new();
+    let total_levels = sparse.arity();
+    let mut masks: Vec<u32> = sparse
+        .nodes()
+        .iter()
+        .map(|n| n.mask)
+        .filter(|&m| params.scope.includes(m.count_ones() as usize, total_levels))
+        .collect();
+    masks.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
+    let mut i = 0;
+    while i < masks.len() {
+        let level = masks[i].count_ones();
+        let timer = obs.timer();
+        let mut tally = ScanTally::default();
+        while i < masks.len() && masks[i].count_ones() == level {
+            let mask = masks[i];
+            let node = sparse.node(mask).expect("enumerated mask");
+            let model = NeighborModel::for_sparse(sparse, node, params.neighborhood, algorithm);
+            scan_regions(
+                mask,
+                &node.regions,
+                &model,
+                params,
+                &mut tally,
+                &mut result,
+                |key| sparse.pattern_of(mask, key),
+            );
+            i += 1;
+        }
+        tally.flush(obs);
+        if timer.is_some() {
+            obs.observe_since(&format!("level{level}_us"), timer);
+        }
+    }
+    sort_regions(&mut result);
+    result
 }
 
 /// [`identify_in`] with observability: records regions scanned / skipped
@@ -291,7 +466,24 @@ fn scan_node(
     // one model per node: sibling projections / totals / distance table
     // are built once, then every region queries through the same seam
     let model = NeighborModel::for_node(hierarchy, node, params.neighborhood, algorithm);
-    for (&key, &counts) in &node.regions {
+    scan_regions(mask, &node.regions, &model, params, tally, result, |key| {
+        hierarchy.pattern_of(mask, key)
+    });
+}
+
+/// The per-region scoring loop, shared verbatim by the dense and
+/// support-pruned scans so Definition 5 cannot drift between them. Only
+/// the pattern decoder differs (dense keys vs. the sparse codec).
+fn scan_regions(
+    mask: u32,
+    regions: &crate::hash::FastMap<u128, Counts>,
+    model: &NeighborModel<'_>,
+    params: &IbsParams,
+    tally: &mut ScanTally,
+    result: &mut Vec<BiasedRegion>,
+    pattern_of: impl Fn(u128) -> Pattern,
+) {
+    for (&key, &counts) in regions {
         if counts.total() <= params.min_size {
             tally.skipped_min_size += 1;
             continue;
@@ -303,7 +495,7 @@ fn scan_node(
         if is_biased(ratio, neighbor_ratio, params.tau_c) {
             tally.flagged += 1;
             result.push(BiasedRegion {
-                pattern: hierarchy.pattern_of(mask, key),
+                pattern: pattern_of(key),
                 mask,
                 key,
                 counts,
@@ -822,5 +1014,131 @@ mod tests {
         let d = planted();
         let p = Pattern::from_terms([(0usize, 1u32), (1usize, 1u32)]);
         assert!((pattern_imbalance(&d, &p) - 4.0).abs() < 1e-12);
+    }
+
+    /// The tentpole parity invariant in miniature: support-pruned
+    /// identification returns *byte-identical* results to the dense scan
+    /// for every algorithm × neighborhood combination, because pruning at
+    /// `support = min_size` removes exactly the regions the dense scan
+    /// skips, and surviving nodes keep complete region maps.
+    #[test]
+    fn pruned_identify_equals_dense() {
+        for d in [planted(), planted_zero_negative()] {
+            for (tau_c, min_size) in [(0.05, 10), (0.3, 30), (0.01, 95)] {
+                for neighborhood in [
+                    Neighborhood::Unit,
+                    Neighborhood::Full,
+                    Neighborhood::OrderedRadius(1.0),
+                ] {
+                    for alg in [Algorithm::Naive, Algorithm::Optimized] {
+                        let dense = IbsParams {
+                            tau_c,
+                            min_size,
+                            neighborhood,
+                            ..IbsParams::default()
+                        };
+                        let pruned = IbsParams {
+                            enumeration: Enumeration::Pruned,
+                            ..dense.clone()
+                        };
+                        assert_eq!(
+                            identify(&d, &dense, alg),
+                            identify(&d, &pruned, alg),
+                            "{alg:?}/{neighborhood:?} τ={tau_c} k={min_size}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_identify_respects_scope() {
+        let d = planted();
+        for scope in [Scope::Top, Scope::Leaf] {
+            let dense = IbsParams {
+                tau_c: 0.05,
+                min_size: 10,
+                scope,
+                ..IbsParams::default()
+            };
+            let pruned = IbsParams {
+                enumeration: Enumeration::Pruned,
+                ..dense.clone()
+            };
+            assert_eq!(
+                identify(&d, &dense, Algorithm::Optimized),
+                identify(&d, &pruned, Algorithm::Optimized),
+            );
+        }
+    }
+
+    /// Both index kinds serve the pruned scan; only the dense index
+    /// serves the dense scan.
+    #[test]
+    fn pruned_identify_through_both_index_kinds() {
+        let d = planted();
+        let dense_params = IbsParams {
+            tau_c: 0.05,
+            min_size: 10,
+            ..IbsParams::default()
+        };
+        let pruned_params = IbsParams {
+            enumeration: Enumeration::Pruned,
+            ..dense_params.clone()
+        };
+        let want = identify(&d, &dense_params, Algorithm::Optimized);
+        let dense_idx = crate::counting::RegionIndex::build(&d);
+        let sparse_idx = crate::counting::RegionIndex::try_build_sparse(&d).unwrap();
+        for params in [&dense_params, &pruned_params] {
+            assert_eq!(
+                try_identify_in_index(&dense_idx, params, Algorithm::Optimized).unwrap(),
+                want
+            );
+        }
+        assert_eq!(
+            try_identify_in_index(&sparse_idx, &pruned_params, Algorithm::Optimized).unwrap(),
+            want
+        );
+        assert_eq!(
+            try_identify_in_index(&sparse_idx, &dense_params, Algorithm::Optimized),
+            Err(CoreError::DenseUnavailable { arity: 2 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot serve identify at min_size")]
+    fn undersupported_sparse_hierarchy_is_rejected() {
+        let d = planted();
+        let sparse = SparseHierarchy::try_build(&d, 100).unwrap();
+        identify_in_sparse(&sparse, &IbsParams::default(), Algorithm::Optimized);
+    }
+
+    #[test]
+    fn pruned_obs_counters_match_dense() {
+        let d = planted();
+        let params = IbsParams {
+            min_size: 10,
+            enumeration: Enumeration::Pruned,
+            ..IbsParams::default()
+        };
+        let sparse = SparseHierarchy::try_build(&d, params.min_size).unwrap();
+        let rec = remedy_obs::Recorder::enabled();
+        identify_in_sparse_with(
+            &sparse,
+            &params,
+            Algorithm::Optimized,
+            &rec.scope("identify"),
+        );
+        let snap = rec.snapshot();
+        // same tallies as the dense scan over the same data (see
+        // `obs_counters_track_the_scan`): every region survives k = 10
+        assert_eq!(snap.counter("identify", "regions_scanned"), Some(15));
+        assert_eq!(snap.counter("identify", "neighbor_lookups"), Some(24));
+        for level in 1..3 {
+            assert!(snap
+                .histogram("identify", &format!("level{level}_us"))
+                .is_some());
+        }
     }
 }

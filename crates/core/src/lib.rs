@@ -30,6 +30,7 @@
 //! ```
 
 pub mod counting;
+pub mod error;
 pub mod hash;
 pub mod hierarchy;
 pub mod hypothesis;
@@ -42,14 +43,18 @@ pub mod persist;
 pub mod remedy;
 pub mod scope;
 pub mod score;
+pub mod sparse;
 
 pub use counting::{CountingTally, RegionIndex};
+pub use error::{CoreError, MAX_CARDINALITY, MAX_PROTECTED_SPARSE};
 pub use hash::{stable_hash, StableHasher};
 pub use hierarchy::Hierarchy;
 pub use hypothesis::{validate_hypothesis, validate_on, HypothesisValidation, IbsMark};
 pub use identify::{
     identify, identify_in, identify_in_index, identify_in_parallel, identify_in_parallel_with,
-    identify_in_with, Algorithm, BiasedRegion, IbsParams,
+    identify_in_sparse, identify_in_sparse_with, identify_in_with, try_identify,
+    try_identify_in_index, try_identify_in_index_with, try_identify_over, try_identify_over_with,
+    Algorithm, BiasedRegion, Enumeration, IbsParams,
 };
 pub use iterative::{remedy_iterative, IterativeOutcome, IterativeParams};
 pub use neighbor_model::{NeighborModel, NeighborTally};
@@ -61,3 +66,4 @@ pub use remedy::{
 };
 pub use scope::Scope;
 pub use score::imbalance;
+pub use sparse::SparseHierarchy;

@@ -161,6 +161,56 @@ impl<'a> NeighborModel<'a> {
         NeighborModel { mode }
     }
 
+    /// Builds the model for one node of a support-pruned
+    /// [`SparseHierarchy`](crate::sparse::SparseHierarchy), arm for arm
+    /// identical to [`NeighborModel::for_node`], so a sparse scan scores
+    /// every surviving region with byte-identical neighbor counts.
+    ///
+    /// The dominating-unit parents are guaranteed present: the frequent
+    /// mask set is downward closed, so every parent of a surviving node
+    /// survives too (a frequent region projects onto a parent region of
+    /// at least the same support).
+    pub fn for_sparse(
+        sparse: &'a crate::sparse::SparseHierarchy,
+        node: &'a Node,
+        neighborhood: Neighborhood,
+        algorithm: Algorithm,
+    ) -> NeighborModel<'a> {
+        let mode = match (algorithm, neighborhood) {
+            (_, Neighborhood::OrderedRadius(t)) => Mode::Ordered {
+                table: node.regions.iter().map(|(&k, &c)| (k, c)).collect(),
+                ordered: node.attrs.iter().map(|&j| sparse.is_ordered(j)).collect(),
+                radius: t,
+            },
+            (Algorithm::Naive, Neighborhood::Unit) => Mode::NaiveUnit {
+                regions: &node.regions,
+                cards: node.attrs.iter().map(|&j| sparse.cardinality(j)).collect(),
+            },
+            (Algorithm::Naive, Neighborhood::Full) => Mode::NaiveFull {
+                regions: &node.regions,
+            },
+            (Algorithm::Optimized, Neighborhood::Unit) => Mode::DominatingUnit {
+                parents: (0..node.attrs.len())
+                    .map(|slot| {
+                        let parent_mask = node.mask & !(1 << node.attrs[slot]);
+                        if parent_mask == 0 {
+                            ParentCounts::Totals(sparse.totals())
+                        } else {
+                            let parent = sparse.node(parent_mask).unwrap_or_else(|| {
+                                panic!("pruned parent {parent_mask:#x} of a surviving node")
+                            });
+                            ParentCounts::Borrowed(&parent.regions)
+                        }
+                    })
+                    .collect(),
+            },
+            (Algorithm::Optimized, Neighborhood::Full) => Mode::TotalsFull {
+                totals: sparse.totals(),
+            },
+        };
+        NeighborModel { mode }
+    }
+
     /// Builds the model from a bare region-count map of one node — the
     /// remedy path, which re-counts the current (mutating) dataset per
     /// node. `ordered[slot]` flags which of the node's attribute slots are

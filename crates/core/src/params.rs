@@ -19,7 +19,7 @@
 //!   says so, so no builder can produce a ranker-less preferential
 //!   sampling or massaging run.
 
-use crate::identify::IbsParams;
+use crate::identify::{Enumeration, IbsParams};
 use crate::neighborhood::Neighborhood;
 use crate::remedy::{RemedyParams, Technique};
 use crate::scope::Scope;
@@ -104,6 +104,12 @@ impl IbsParamsBuilder {
         self
     }
 
+    /// Sets the lattice enumeration strategy.
+    pub fn enumeration(mut self, enumeration: Enumeration) -> Self {
+        self.params.enumeration = enumeration;
+        self
+    }
+
     /// Validates and returns the parameters.
     pub fn build(self) -> Result<IbsParams, ParamError> {
         self.params.validate()?;
@@ -158,6 +164,12 @@ impl RemedyParamsBuilder {
         self
     }
 
+    /// Sets the lattice enumeration strategy of the identification step.
+    pub fn enumeration(mut self, enumeration: Enumeration) -> Self {
+        self.params.enumeration = enumeration;
+        self
+    }
+
     /// Validates and returns the parameters.
     pub fn build(self) -> Result<RemedyParams, ParamError> {
         self.params.validate()?;
@@ -187,12 +199,14 @@ mod tests {
             .min_size(12)
             .neighborhood(Neighborhood::Full)
             .scope(Scope::Leaf)
+            .enumeration(Enumeration::Pruned)
             .build()
             .unwrap();
         assert_eq!(ibs.tau_c, 0.25);
         assert_eq!(ibs.min_size, 12);
         assert_eq!(ibs.neighborhood, Neighborhood::Full);
         assert_eq!(ibs.scope, Scope::Leaf);
+        assert_eq!(ibs.enumeration, Enumeration::Pruned);
 
         let remedy = RemedyParams::builder()
             .technique(Technique::Massaging)
@@ -201,11 +215,13 @@ mod tests {
             .neighborhood(Neighborhood::OrderedRadius(1.5))
             .scope(Scope::Top)
             .seed(9)
+            .enumeration(Enumeration::Pruned)
             .build()
             .unwrap();
         assert_eq!(remedy.technique, Technique::Massaging);
         assert_eq!(remedy.neighborhood, Neighborhood::OrderedRadius(1.5));
         assert_eq!(remedy.seed, 9);
+        assert_eq!(remedy.enumeration, Enumeration::Pruned);
     }
 
     #[test]
@@ -271,5 +287,12 @@ mod tests {
         assert_eq!(ibs.min_size, 7);
         assert_eq!(ibs.neighborhood, Neighborhood::OrderedRadius(2.0));
         assert_eq!(ibs.scope, Scope::Leaf);
+        assert_eq!(ibs.enumeration, Enumeration::Dense);
+
+        let pruned = RemedyParams::builder()
+            .enumeration(Enumeration::Pruned)
+            .build()
+            .unwrap();
+        assert_eq!(pruned.ibs_params().enumeration, Enumeration::Pruned);
     }
 }

@@ -20,7 +20,7 @@
 use crate::counting::RegionIndex;
 use crate::hash::FastMap;
 use crate::hierarchy::get_byte;
-use crate::identify::{is_biased, Algorithm, IbsParams};
+use crate::identify::{is_biased, Algorithm, Enumeration, IbsParams};
 use crate::neighbor_model::{NeighborModel, NeighborTally};
 use crate::neighborhood::Neighborhood;
 use crate::params::{ParamError, RemedyParamsBuilder};
@@ -96,6 +96,11 @@ pub struct RemedyParams {
     pub scope: Scope,
     /// Seed for uniform sampling choices.
     pub seed: u64,
+    /// Counting-engine enumeration strategy (dense by default). The
+    /// pruned mode serves per-node counts from a leaf-only sparse
+    /// [`RegionIndex`], projecting each node lazily instead of
+    /// maintaining every lattice node under the remedy's edits.
+    pub enumeration: Enumeration,
 }
 
 impl Default for RemedyParams {
@@ -107,6 +112,7 @@ impl Default for RemedyParams {
             neighborhood: Neighborhood::Unit,
             scope: Scope::Lattice,
             seed: 0x5EED,
+            enumeration: Enumeration::Dense,
         }
     }
 }
@@ -133,6 +139,7 @@ impl RemedyParams {
             min_size: self.min_size,
             neighborhood: self.neighborhood,
             scope: self.scope,
+            enumeration: self.enumeration,
         }
     }
 
@@ -216,16 +223,23 @@ pub fn remedy_over_with(
     obs: &ObsScope,
 ) -> RemedyOutcome {
     let _span = obs.span("remedy_over");
-    assert!(
-        !protected.is_empty(),
-        "need at least one protected attribute"
-    );
+    // the remedy walks every lattice node regardless of enumeration mode
+    // (a support-pruned frontier frozen at build time would go stale under
+    // the remedy's own edits), so both modes carry the dense arity ceiling
+    crate::error::validate_columns(data, protected, crate::hierarchy::MAX_PROTECTED)
+        .unwrap_or_else(|e| panic!("{e}"));
     let ranker = params
         .technique
         .needs_ranker()
         .then(|| NaiveBayes::fit(data));
     let build_timer = obs.timer();
-    let mut index = RegionIndex::build_over(data, protected);
+    let mut index = match params.enumeration {
+        Enumeration::Dense => RegionIndex::try_build_over(data, protected),
+        // leaf-only index: O(1) nodes touched per edit instead of O(2^p),
+        // each node's complete count map projected lazily at read time
+        Enumeration::Pruned => RegionIndex::try_build_sparse_over(data, protected),
+    }
+    .unwrap_or_else(|e| panic!("{e}"));
     obs.observe_since("index_build_us", build_timer);
     // a node's worth of edits collapses into one grouped flush at the
     // next node's count read
@@ -263,10 +277,8 @@ pub fn remedy_over_scan_with(
     obs: &ObsScope,
 ) -> RemedyOutcome {
     let _span = obs.span("remedy_over_scan");
-    assert!(
-        !protected.is_empty(),
-        "need at least one protected attribute"
-    );
+    crate::error::validate_columns(data, protected, crate::hierarchy::MAX_PROTECTED)
+        .unwrap_or_else(|e| panic!("{e}"));
     let ranker = params
         .technique
         .needs_ranker()
@@ -375,7 +387,8 @@ impl CountEngine for ScanEngine<'_> {
 }
 
 /// Incremental engine: counts come from the maintained [`RegionIndex`]
-/// and every edit is mirrored into it as an O(nodes) delta update.
+/// and every edit is mirrored into it as a delta update — O(nodes) per
+/// edit against a dense index, O(1) against a leaf-only sparse one.
 struct IndexEngine {
     d: Dataset,
     index: RegionIndex,
@@ -390,21 +403,31 @@ impl CountEngine for IndexEngine {
         &mut self,
         mask: u32,
         _attrs: &[usize],
-        _ordered: &[bool],
+        ordered: &[bool],
         params: &RemedyParams,
         obs: &ObsScope,
     ) -> (Vec<(u128, Counts, f64)>, NeighborTally) {
         let timer = obs.timer();
         self.index.flush_deltas();
-        let hierarchy = self.index.hierarchy();
-        let node = hierarchy.node(mask);
-        // the maintained hierarchy equals a fresh build of the current
-        // dataset, so for_node with the optimized algorithm answers the
-        // same counts for_snapshot derives from a scan — with the
-        // dominating projections borrowed instead of recomputed
-        let model =
-            NeighborModel::for_node(hierarchy, node, params.neighborhood, Algorithm::Optimized);
-        let out = biased_from_model(&node.regions, &model, params);
+        let out = if self.index.is_sparse() {
+            // leaf-only index: project this node's complete count map from
+            // the maintained leaves, then score it exactly like the scan
+            // path does — for_snapshot and for_node are proven equivalent
+            // by `index_and_scan_paths_agree`
+            let counts = self.index.project_node(mask);
+            let model = NeighborModel::for_snapshot(&counts, ordered, params.neighborhood);
+            biased_from_model(&counts, &model, params)
+        } else {
+            let hierarchy = self.index.hierarchy();
+            let node = hierarchy.node(mask);
+            // the maintained hierarchy equals a fresh build of the current
+            // dataset, so for_node with the optimized algorithm answers the
+            // same counts for_snapshot derives from a scan — with the
+            // dominating projections borrowed instead of recomputed
+            let model =
+                NeighborModel::for_node(hierarchy, node, params.neighborhood, Algorithm::Optimized);
+            biased_from_model(&node.regions, &model, params)
+        };
         obs.observe_since("node_counts_us", timer);
         self.index.note_node_served();
         out
@@ -456,7 +479,7 @@ fn remedy_driver<E: CountEngine>(
     let mut rng = StdRng::seed_from_u64(params.seed);
     let mut updates = Vec::new();
 
-    let full_mask: u32 = (1u32 << p) - 1;
+    let full_mask: u32 = crate::counting::full_mask_of(p);
     let mut masks: Vec<u32> = (1..=full_mask).collect();
     masks.sort_by_key(|m| (std::cmp::Reverse(m.count_ones()), *m));
 
@@ -1139,6 +1162,45 @@ mod tests {
             assert_eq!(fast.dataset, scan.dataset, "ordered {technique}");
             assert_eq!(fast.updates, scan.updates, "ordered {technique}");
         }
+    }
+
+    /// The pruned counting engine (leaf-only sparse index, lazy per-node
+    /// projection) must remedy to the byte like the dense one: same RNG
+    /// stream, same processing order, same rows.
+    #[test]
+    fn pruned_engine_matches_dense() {
+        let (d, _) = example_like();
+        let protected = d.schema().protected_indices();
+        for technique in Technique::ALL {
+            let dense = RemedyParams {
+                technique,
+                tau_c: 0.3,
+                ..RemedyParams::default()
+            };
+            let pruned = RemedyParams {
+                enumeration: Enumeration::Pruned,
+                ..dense.clone()
+            };
+            let a = remedy_over(&d, &protected, &dense);
+            let b = remedy_over(&d, &protected, &pruned);
+            assert_eq!(a.dataset, b.dataset, "{technique}");
+            assert_eq!(a.updates, b.updates, "{technique}");
+        }
+        let d = ordered_planted();
+        let protected = d.schema().protected_indices();
+        let dense = RemedyParams {
+            tau_c: 2.0,
+            neighborhood: Neighborhood::OrderedRadius(1.0),
+            ..RemedyParams::default()
+        };
+        let pruned = RemedyParams {
+            enumeration: Enumeration::Pruned,
+            ..dense.clone()
+        };
+        let a = remedy_over(&d, &protected, &dense);
+        let b = remedy_over(&d, &protected, &pruned);
+        assert_eq!(a.dataset, b.dataset, "ordered");
+        assert_eq!(a.updates, b.updates, "ordered");
     }
 
     /// One ordered protected attribute with five buckets; bucket 2 is

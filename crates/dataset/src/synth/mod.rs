@@ -16,10 +16,12 @@
 mod adult;
 mod compas;
 mod law;
+mod wide;
 
 pub use adult::{adult, adult_n, ADULT_PROTECTED, ADULT_SCALABILITY_PROTECTED, ADULT_SIZE};
 pub use compas::{compas, compas_n, COMPAS_PROTECTED, COMPAS_SIZE};
 pub use law::{law_school, law_school_n, LAW_PROTECTED, LAW_SIZE};
+pub use wide::{wide_n, WIDE_CARDINALITY};
 
 use crate::dataset::Dataset;
 use crate::pattern::Pattern;

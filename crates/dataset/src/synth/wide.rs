@@ -1,0 +1,101 @@
+//! Synthetic *wide* population: an arbitrary number of protected
+//! attributes for scalability experiments past the real datasets' 3–10.
+//!
+//! Every attribute is a uniform 32-category column, so at realistic row
+//! counts the region lattice is extremely sparse: level-1 regions hold
+//! `n/32` rows each, level-2 cells `n/1024`, and deeper intersections are
+//! almost all empty. A dense enumeration still materializes all `2^p − 1`
+//! nodes (and refuses past 16 attributes), while support pruning stops at
+//! the first level whose regions drop under `k` — which is what makes
+//! this the benchmark fixture for the support-pruned mode.
+//!
+//! Two level-1 region bumps plant an IBS so identification has something
+//! to find, and the first two columns are ordered so the ordered-radius
+//! neighborhood is exercised too.
+
+use super::{generate, SyntheticSpec};
+use crate::dataset::Dataset;
+use crate::pattern::Pattern;
+use crate::schema::{Attribute, Schema};
+
+/// Cardinality of every generated protected column.
+pub const WIDE_CARDINALITY: usize = 32;
+
+/// Generates `n` rows over `p` uniform protected attributes
+/// (`w00`, `w01`, …), all of [`WIDE_CARDINALITY`] categories.
+///
+/// # Panics
+///
+/// Panics when `p` is zero or exceeds 32 (the widest protected set any
+/// enumeration mode supports).
+pub fn wide_n(n: usize, p: usize, seed: u64) -> Dataset {
+    assert!((1..=32).contains(&p), "wide_n supports 1..=32 attributes");
+    let values: Vec<String> = (0..WIDE_CARDINALITY).map(|v| v.to_string()).collect();
+    let value_refs: Vec<&str> = values.iter().map(String::as_str).collect();
+    let attrs: Vec<Attribute> = (0..p)
+        .map(|j| {
+            let a = Attribute::from_strs(&format!("w{j:02}"), &value_refs).protected();
+            // first two columns ordered, so radius neighborhoods apply
+            if j < 2 {
+                a.ordered()
+            } else {
+                a
+            }
+        })
+        .collect();
+    let schema = Schema::new(attrs, "y").into_shared();
+
+    let marginals = vec![vec![1.0 / WIDE_CARDINALITY as f64; WIDE_CARDINALITY]; p];
+    // level-1 bumps: one over-positive region, one over-negative, both on
+    // the ordered columns so every neighborhood mode sees a planted IBS
+    let mut region_bumps = vec![(Pattern::from_terms([(0usize, 0u32)]), 1.2)];
+    if p > 1 {
+        region_bumps.push((Pattern::from_terms([(1usize, 1u32)]), -0.9));
+    }
+
+    let spec = SyntheticSpec {
+        schema,
+        marginals,
+        base_logit: -0.4,
+        coefficients: Vec::new(),
+        region_bumps,
+    };
+    spec.validate();
+    generate(&spec, n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_request() {
+        let d = wide_n(500, 20, 7);
+        assert_eq!(d.len(), 500);
+        assert_eq!(d.schema().len(), 20);
+        assert_eq!(d.schema().protected_len(), 20);
+        assert!(d.schema().attribute(0).is_ordered());
+        assert!(d.schema().attribute(1).is_ordered());
+        assert!(!d.schema().attribute(2).is_ordered());
+        assert_eq!(d.schema().attribute(0).cardinality(), WIDE_CARDINALITY);
+    }
+
+    #[test]
+    fn planted_level1_region_is_skewed() {
+        let d = wide_n(8_000, 6, 42);
+        let bumped = Pattern::from_terms([(0usize, 0u32)]);
+        let (pos, neg) = d.class_counts(&bumped);
+        let ratio = pos as f64 / neg as f64;
+        let (tp, tn) = d.class_counts(&Pattern::empty());
+        let overall = tp as f64 / tn as f64;
+        assert!(
+            ratio > overall + 0.3,
+            "planted bump missing: {ratio} vs {overall}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(wide_n(300, 18, 9), wide_n(300, 18, 9));
+    }
+}

@@ -20,7 +20,7 @@
 //! branches themselves are independent and run in parallel.
 
 use crate::error::PipelineError;
-use remedy_core::{IbsParams, Neighborhood, RemedyParams, Scope, Technique};
+use remedy_core::{Enumeration, IbsParams, Neighborhood, RemedyParams, Scope, Technique};
 use remedy_fairness::Statistic;
 use std::path::Path;
 
@@ -160,6 +160,7 @@ impl Plan {
                 "min-size" => plan.ibs.min_size = parse_num(idx, "min-size", value)?,
                 "neighborhood" => plan.ibs.neighborhood = parse_neighborhood(idx, value)?,
                 "scope" => plan.ibs.scope = parse_scope(idx, value)?,
+                "enumeration" => plan.ibs.enumeration = parse_enumeration(idx, value)?,
                 "stat" => plan.stat = parse_stat(idx, value)?,
                 "tau-d" => plan.tau_d = parse_num(idx, "tau-d", value)?,
                 "min-support" => plan.min_support = parse_num(idx, "min-support", value)?,
@@ -194,6 +195,7 @@ impl Plan {
             .neighborhood(branch.neighborhood.unwrap_or(self.ibs.neighborhood))
             .scope(self.ibs.scope)
             .seed(self.seed)
+            .enumeration(self.ibs.enumeration)
             .build()
             .map_err(|e| PipelineError::invalid_plan(format!("branch `{}`: {e}", branch.name)))
     }
@@ -283,6 +285,17 @@ fn parse_scope(idx: usize, value: &str) -> Result<Scope, PipelineError> {
         "leaf" => Ok(Scope::Leaf),
         "top" => Ok(Scope::Top),
         other => Err(at(idx, format!("scope `{other}` is not lattice|leaf|top"))),
+    }
+}
+
+fn parse_enumeration(idx: usize, value: &str) -> Result<Enumeration, PipelineError> {
+    match value {
+        "dense" => Ok(Enumeration::Dense),
+        "pruned" => Ok(Enumeration::Pruned),
+        other => Err(at(
+            idx,
+            format!("enumeration `{other}` is not dense|pruned"),
+        )),
     }
 }
 
@@ -401,6 +414,29 @@ branch ps technique=ps model=dt
         assert_eq!(params.neighborhood, Neighborhood::Unit);
         // the technique-less baseline has no remedy params
         assert!(plan.remedy_params(&plan.branches[0]).is_err());
+    }
+
+    #[test]
+    fn enumeration_key_selects_the_mode() {
+        let plan = Plan::parse(
+            "dataset compas\n\
+             enumeration pruned\n\
+             branch ps technique=ps model=dt\n",
+        )
+        .unwrap();
+        assert_eq!(plan.ibs.enumeration, Enumeration::Pruned);
+        // remedy branches inherit the shared enumeration mode
+        let params = plan.remedy_params(&plan.branches[0]).unwrap();
+        assert_eq!(params.enumeration, Enumeration::Pruned);
+        // default stays dense, so existing plans hash identically
+        assert_eq!(
+            Plan::parse(PLAN).unwrap().ibs.enumeration,
+            Enumeration::Dense
+        );
+        assert!(Plan::parse(
+            "dataset compas\nenumeration frobnicated\nbranch a technique=ps model=dt\n"
+        )
+        .is_err());
     }
 
     #[test]

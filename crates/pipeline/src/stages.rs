@@ -285,9 +285,20 @@ pub fn identify_stage(
             // the NeighborModel dispatches OrderedRadius to enumeration
             // internally, so Optimized is always the right entry point
             let algorithm = Algorithm::Optimized;
-            let hierarchy = Hierarchy::build(train_set);
-            let regions =
-                identify_in_parallel_with(&hierarchy, &params, algorithm, threads, &inner_obs);
+            let regions = match params.enumeration {
+                remedy_core::Enumeration::Dense => {
+                    let hierarchy = Hierarchy::try_build(train_set)
+                        .map_err(|e| PipelineError::invalid_plan(e.to_string()))?;
+                    identify_in_parallel_with(&hierarchy, &params, algorithm, threads, &inner_obs)
+                }
+                remedy_core::Enumeration::Pruned => {
+                    let protected = train_set.schema().protected_indices();
+                    remedy_core::try_identify_over_with(
+                        train_set, &protected, &params, algorithm, &inner_obs,
+                    )
+                    .map_err(|e| PipelineError::invalid_plan(e.to_string()))?
+                }
+            };
             Ok(ibs_persist::regions_to_text(&regions))
         },
     )

@@ -9,7 +9,7 @@
 //! pipeline error taxonomy.
 
 use remedy_classifiers::ModelKind;
-use remedy_core::{Algorithm, IbsParams, Neighborhood, Scope as IbsScope, Technique};
+use remedy_core::{Algorithm, Enumeration, IbsParams, Neighborhood, Scope as IbsScope, Technique};
 use remedy_dataset::RowEdit;
 use remedy_fairness::Statistic;
 use remedy_pipeline::json::{self, json_str, Value};
@@ -179,13 +179,19 @@ pub fn opt_bool(body: &Value, name: &str) -> Result<Option<bool>, PipelineError>
 }
 
 /// The identification parameters of a request: `tau`, `min_size`,
-/// `neighborhood`, `scope`, with the same defaults as the batch CLI.
+/// `neighborhood`, `scope`, and the `pruned` enumeration toggle, with
+/// the same defaults as the batch CLI.
 pub fn ibs_params(body: &Value) -> Result<IbsParams, PipelineError> {
     IbsParams::builder()
         .tau_c(opt_f64(body, "tau")?.unwrap_or(0.1))
         .min_size(opt_u64(body, "min_size")?.unwrap_or(30))
         .neighborhood(neighborhood(body)?)
         .scope(ibs_scope(body)?)
+        .enumeration(if opt_bool(body, "pruned")?.unwrap_or(false) {
+            Enumeration::Pruned
+        } else {
+            Enumeration::Dense
+        })
         .build()
         .map_err(|e| PipelineError::invalid_plan(e.to_string()))
 }

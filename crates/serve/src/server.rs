@@ -16,7 +16,7 @@
 use crate::protocol::{self, Fields, Request};
 use crate::session::{lock_session, Registry, Session};
 use remedy_classifiers::{accuracy, train};
-use remedy_core::{identify_in_with, remedy_with, RemedyParams};
+use remedy_core::{remedy_with, RemedyParams};
 use remedy_dataset::csv::{LoadOptions, RawTable};
 use remedy_dataset::split::train_test_split;
 use remedy_dataset::{synth, Dataset};
@@ -259,7 +259,7 @@ fn op_load(state: &Arc<State>, req: &Request, rec: &Recorder) -> Result<Fields, 
     let data = open_dataset(&req.body)?;
     let rows = data.len();
     rec.scope("load").add("rows_loaded", rows as u64);
-    let mut session = Session::open(data);
+    let mut session = Session::try_open(data)?;
     // the initial counting pass shows up as counting.rebuild.* counters
     session.index.flush_obs(&rec.scope("load"));
     state.registry.insert(name, session);
@@ -269,8 +269,9 @@ fn op_load(state: &Arc<State>, req: &Request, rec: &Recorder) -> Result<Fields, 
 }
 
 /// `"source"`: a built-in generator name (`adult|compas|law`, sized by
-/// `"rows"`, seeded by `"seed"`) or a CSV path (needs `"label"` and
-/// `"protected"`; accepts `"positive"` and `"bins"`).
+/// `"rows"`, seeded by `"seed"`; `wide` also takes `"arity"`) or a CSV
+/// path (needs `"label"` and `"protected"`; accepts `"positive"` and
+/// `"bins"`).
 fn open_dataset(body: &Value) -> Result<Dataset, PipelineError> {
     let source = body
         .str_field("source")
@@ -284,6 +285,14 @@ fn open_dataset(body: &Value) -> Result<Dataset, PipelineError> {
         ("compas", n) => return Ok(synth::compas_n(n, seed)),
         ("law", 0) => return Ok(synth::law_school(seed)),
         ("law", n) => return Ok(synth::law_school_n(n, seed)),
+        ("wide", n) => {
+            let arity = protocol::opt_u64(body, "arity")?.unwrap_or(20) as usize;
+            if !(1..=32).contains(&arity) {
+                return Err(PipelineError::invalid_plan("`arity` must be in 1..=32"));
+            }
+            let n = if n == 0 { 10_000 } else { n };
+            return Ok(synth::wide_n(n, arity, seed));
+        }
         _ => {}
     }
     let label = body
@@ -338,7 +347,8 @@ fn op_identify(state: &Arc<State>, req: &Request, rec: &Recorder) -> Result<Fiel
     failpoint::check("serve.locked", "identify")?;
     session.index.flush_deltas();
     let obs = rec.scope("identify");
-    let regions = identify_in_with(session.index.hierarchy(), &params, algorithm, &obs);
+    let regions = remedy_core::try_identify_in_index_with(&session.index, &params, algorithm, &obs)
+        .map_err(|e| PipelineError::invalid_plan(e.to_string()))?;
     // the persisted-regions text is the canonical, bit-exact encoding:
     // comparing it against a batch run is how byte-identity is asserted
     let text = remedy_core::persist::regions_to_text(&regions);

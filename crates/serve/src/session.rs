@@ -27,15 +27,25 @@ pub struct Session {
 
 impl Session {
     /// Builds the index and switches it to batched delta maintenance.
+    /// Panics on protected columns no index kind can carry; servers
+    /// should prefer [`Session::try_open`].
     pub fn open(data: Dataset) -> Session {
-        let mut index = RegionIndex::build(&data);
+        Session::try_open(data).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Session::open`]: picks the index kind automatically —
+    /// dense within the dense arity ceiling, leaf-only sparse for wider
+    /// protected sets (which then serve only `pruned` identify requests).
+    pub fn try_open(data: Dataset) -> Result<Session, PipelineError> {
+        let mut index = RegionIndex::try_build_auto(&data)
+            .map_err(|e| PipelineError::invalid_plan(e.to_string()))?;
         index.begin_deltas();
-        Session {
+        Ok(Session {
             data,
             index,
             edits: 0,
             batches: 0,
-        }
+        })
     }
 
     /// Applies one edit batch atomically: the whole batch is validated
@@ -60,9 +70,11 @@ impl Session {
 
     /// Replaces the dataset wholesale (a remedy with `"apply":true`).
     /// The new index is built *before* either field is assigned, so a
-    /// panic mid-build leaves the old dataset/index pair intact.
+    /// panic mid-build leaves the old dataset/index pair intact. The
+    /// schema is unchanged by a remedy, so the build cannot fail after a
+    /// successful [`Session::try_open`].
     pub fn replace(&mut self, data: Dataset) {
-        let mut index = RegionIndex::build(&data);
+        let mut index = RegionIndex::try_build_auto(&data).unwrap_or_else(|e| panic!("{e}"));
         index.begin_deltas();
         self.index = index;
         self.data = data;

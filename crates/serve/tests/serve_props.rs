@@ -297,3 +297,67 @@ fn sessions_serve_concurrent_connections_independently() {
     a.call("{\"op\":\"shutdown\"}").unwrap();
     handle.join().unwrap().unwrap();
 }
+
+#[test]
+fn pruned_identify_round_trips_byte_identically() {
+    let (addr, handle) = start_server();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // a dense-indexed session answers pruned requests identically to the
+    // dense ones — and to a cold batch run
+    client
+        .call("{\"op\":\"load\",\"session\":\"c\",\"source\":\"compas\",\"rows\":500,\"seed\":5}")
+        .unwrap();
+    let mirror = synth::compas_n(500, 5);
+    let dense = client
+        .call("{\"op\":\"identify\",\"session\":\"c\",\"tau\":0.05,\"min_size\":10}")
+        .unwrap();
+    let pruned = client
+        .call(
+            "{\"op\":\"identify\",\"session\":\"c\",\"tau\":0.05,\"min_size\":10,\"pruned\":true}",
+        )
+        .unwrap();
+    let params = IbsParams::builder()
+        .tau_c(0.05)
+        .min_size(10)
+        .build()
+        .unwrap();
+    let cold = regions_to_text(&identify(&mirror, &params, Algorithm::Optimized));
+    assert_eq!(dense.str_field("text").unwrap(), cold);
+    assert_eq!(pruned.str_field("text").unwrap(), cold);
+
+    // a session past the dense arity ceiling opens with a sparse index:
+    // pruned requests are served, dense ones are typed invalid-plan errors
+    client
+        .call(
+            "{\"op\":\"load\",\"session\":\"w\",\"source\":\"wide\",\"rows\":2000,\
+             \"arity\":20,\"seed\":7}",
+        )
+        .unwrap();
+    let wide = synth::wide_n(2_000, 20, 7);
+    let pruned_params = IbsParams::builder()
+        .enumeration(remedy_core::Enumeration::Pruned)
+        .build()
+        .unwrap();
+    let cold_wide = regions_to_text(
+        &remedy_core::try_identify_over(
+            &wide,
+            &wide.schema().protected_indices(),
+            &pruned_params,
+            Algorithm::Optimized,
+        )
+        .unwrap(),
+    );
+    let live = client
+        .call("{\"op\":\"identify\",\"session\":\"w\",\"pruned\":true}")
+        .unwrap();
+    assert_eq!(live.str_field("text").unwrap(), cold_wide);
+    let err = client
+        .call("{\"op\":\"identify\",\"session\":\"w\"}")
+        .unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::InvalidPlan);
+    assert!(err.message().contains("dense lattice unavailable"), "{err}");
+
+    client.call("{\"op\":\"shutdown\"}").unwrap();
+    handle.join().unwrap().unwrap();
+}

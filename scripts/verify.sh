@@ -19,6 +19,11 @@ cargo test -q -p remedy-core --test counting_props
 # ... and the release-mode timing smoke check: the incremental remedy
 # must not be slower than the per-node scan it replaced
 cargo test -q --release -p remedy-core --test counting_props -- --ignored
+# support-pruned enumeration: byte-parity with dense in release mode
+# (where the debug overflow checks that caught the packed-key wrap are
+# off), plus the sub-second p=24 identify the dense lattice refuses
+cargo test -q --release -p remedy-core --test pruned_props
+cargo test -q --release -p remedy-core --test pruned_props -- --ignored
 cargo clippy --workspace -- -D warnings
 cargo fmt --check
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
@@ -37,6 +42,22 @@ if printf '%s\n' "$warm" | grep -q '^computed'; then
     exit 1
 fi
 target/release/remedy cache gc --cache "$cache" --max-bytes 0 >/dev/null
+
+# past the dense arity ceiling (16) only the pruned enumeration answers:
+# p=20 identify must succeed with --pruned and refuse without it
+target/release/remedy identify wide --arity 20 --rows 5000 --pruned >/dev/null
+if target/release/remedy identify wide --arity 20 --rows 5000 2>/dev/null; then
+    echo "verify: FAIL — dense identify accepted 20 protected attributes" >&2
+    exit 1
+fi
+# pruned-parity smoke on a dense-servable dataset: both modes must print
+# identical region reports
+dense_out="$(target/release/remedy identify compas --tau 0.05 --min-size 20)"
+pruned_out="$(target/release/remedy identify compas --tau 0.05 --min-size 20 --pruned)"
+if [ "$dense_out" != "$pruned_out" ]; then
+    echo "verify: FAIL — pruned identify diverged from dense output" >&2
+    exit 1
+fi
 
 # corrupt-then-recover: flip one byte in a cached artifact; the next run
 # must quarantine the damaged entry and recompute, still exiting 0
