@@ -1,6 +1,7 @@
 //! Dataset registry for the experiment binaries.
 
-use remedy_dataset::{synth, Dataset};
+use remedy_dataset::{store, synth, Dataset, Format};
+use std::path::{Path, PathBuf};
 
 /// The three evaluation datasets (Table II).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +72,22 @@ pub fn load_n(spec: DatasetSpec, n: usize, seed: u64) -> Dataset {
         DatasetSpec::Compas => synth::compas_n(n, seed),
         DatasetSpec::LawSchool => synth::law_school_n(n, seed),
     }
+}
+
+/// Writes `data` under `dir` in both persisted encodings and returns the
+/// `(text, binary)` paths. Cold-load benchmarks and scripts use this to
+/// stage identical inputs for the two decoders.
+pub fn materialize(data: &Dataset, dir: &Path, stem: &str) -> std::io::Result<(PathBuf, PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let text = dir.join(format!("{stem}.remedy"));
+    let binary = dir.join(format!("{stem}.bin"));
+    store::save(data, &text, Format::Text).map_err(io_err)?;
+    store::save(data, &binary, Format::Binary).map_err(io_err)?;
+    Ok((text, binary))
+}
+
+fn io_err(e: remedy_dataset::DatasetError) -> std::io::Error {
+    std::io::Error::other(e.to_string())
 }
 
 #[cfg(test)]

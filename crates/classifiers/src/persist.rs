@@ -25,10 +25,11 @@ use crate::linear::LogisticRegression;
 use crate::model::Model;
 use crate::naive_bayes::NaiveBayes;
 use crate::tree::{DecisionTree, Node};
+use remedy_dataset::format::Magic;
 use std::fmt::Write as _;
 use std::path::Path;
 
-const MAGIC: &str = "remedy-model v1";
+const MAGIC: Magic = Magic::new("remedy-model", 1);
 
 /// Errors from loading a model file.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,7 +92,7 @@ impl SavedModel {
 
 /// Serializes a decision tree.
 pub fn tree_to_text(tree: &DecisionTree) -> String {
-    let mut out = format!("{MAGIC}\nkind decision-tree\n");
+    let mut out = format!("{}\nkind decision-tree\n", MAGIC.line());
     write_tree_body(tree, &mut out);
     out
 }
@@ -107,7 +108,8 @@ fn write_tree_body(tree: &DecisionTree, out: &mut String) {
 /// Serializes a random forest.
 pub fn forest_to_text(forest: &RandomForest) -> String {
     let mut out = format!(
-        "{MAGIC}\nkind random-forest\ntrees {}\n",
+        "{}\nkind random-forest\ntrees {}\n",
+        MAGIC.line(),
         forest.trees.len()
     );
     for tree in &forest.trees {
@@ -118,7 +120,7 @@ pub fn forest_to_text(forest: &RandomForest) -> String {
 
 /// Serializes a logistic-regression model.
 pub fn logistic_to_text(model: &LogisticRegression) -> String {
-    let mut out = format!("{MAGIC}\nkind logistic-regression\n");
+    let mut out = format!("{}\nkind logistic-regression\n", MAGIC.line());
     let _ = writeln!(out, "bias {}", model.bias);
     let _ = writeln!(
         out,
@@ -145,7 +147,7 @@ pub fn logistic_to_text(model: &LogisticRegression) -> String {
 
 /// Serializes a naive-Bayes model.
 pub fn naive_bayes_to_text(model: &NaiveBayes) -> String {
-    let mut out = format!("{MAGIC}\nkind naive-bayes\n");
+    let mut out = format!("{}\nkind naive-bayes\n", MAGIC.line());
     let _ = writeln!(out, "prior {} {}", model.log_prior[0], model.log_prior[1]);
     for (class, conds) in model.log_cond.iter().enumerate() {
         let _ = writeln!(out, "class {class} attrs {}", conds.len());
@@ -167,9 +169,9 @@ pub fn naive_bayes_to_text(model: &NaiveBayes) -> String {
 /// Deserializes any supported model from its text form.
 pub fn from_text(text: &str) -> Result<SavedModel, PersistError> {
     let mut lines = text.lines();
-    if lines.next() != Some(MAGIC) {
-        return Err(PersistError::BadHeader);
-    }
+    MAGIC
+        .expect(lines.next())
+        .map_err(|_| PersistError::BadHeader)?;
     let kind_line = lines
         .next()
         .ok_or_else(|| PersistError::Malformed("missing kind".into()))?;

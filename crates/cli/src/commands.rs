@@ -13,8 +13,9 @@ use remedy_core::{
     Algorithm, Enumeration, Hierarchy, IbsParams, Neighborhood, RemedyParams, Scope, Technique,
 };
 use remedy_dataset::csv::{self, LoadOptions, RawTable};
+use remedy_dataset::persist as data_persist;
 use remedy_dataset::split::train_test_split;
-use remedy_dataset::{synth, Dataset};
+use remedy_dataset::{store, synth, Dataset, Format};
 use remedy_fairness::{
     audit, fairness_index, AuditConfig, Explorer, FairnessIndexParams, Statistic,
 };
@@ -30,6 +31,7 @@ COMMANDS:
     identify   find the Implicit Biased Set of a dataset
     remedy     rewrite a dataset so biased regions match their neighborhood
     audit      train a model and report unfair subgroups
+    convert    re-encode a dataset (CSV / exact text / binary columnar)
     pipeline   run a declarative plan as a cached, parallel stage DAG
     serve      run a resident fairness service over TCP (line-JSON protocol)
     client     send request lines to a running serve daemon
@@ -51,6 +53,7 @@ pub fn run(command: &str, raw: Vec<String>) -> Result<(), CliError> {
         "identify" => cmd_identify(raw),
         "remedy" => cmd_remedy(raw),
         "audit" => cmd_audit(raw),
+        "convert" => cmd_convert(raw),
         "pipeline" => cmd_pipeline(raw),
         "serve" => cmd_serve(raw),
         "client" => cmd_client(raw),
@@ -69,20 +72,29 @@ pub fn run(command: &str, raw: Vec<String>) -> Result<(), CliError> {
     }
 }
 
-const DATA_OPTS: [&str; 7] = [
+const DATA_OPTS: [&str; 8] = [
     "label",
     "protected",
     "positive",
     "bins",
     "arity",
     "rows",
+    "format",
     "help",
 ];
 
-/// Loads a dataset from a CSV path or a built-in generator name.
+/// Loads a dataset from a file path or a built-in generator name, honoring
+/// the subcommand's `--format` flag.
 fn load_input(args: &Args) -> Result<Dataset, CliError> {
+    load_input_as(args, args.get("format").unwrap_or("auto"))
+}
+
+/// Loads a dataset with an explicit input-format policy: `auto` sniffs
+/// dataset artifacts (binary columnar or exact text) by magic and falls
+/// back to CSV; `binary`/`text`/`csv` demand that encoding.
+fn load_input_as(args: &Args, format: &str) -> Result<Dataset, CliError> {
     let source = args.positional(0).ok_or_else(|| {
-        CliError("expected a CSV path or dataset name (adult|compas|law|wide)".into())
+        CliError("expected a dataset path or dataset name (adult|compas|law|wide)".into())
     })?;
     match source {
         "adult" => return Ok(synth::adult(42)),
@@ -100,12 +112,51 @@ fn load_input(args: &Args) -> Result<Dataset, CliError> {
         }
         _ => {}
     }
+    let bytes =
+        std::fs::read(source).map_err(|e| CliError(format!("cannot read {source}: {e}")))?;
+    let sniffed = store::sniff(&bytes);
+    match format {
+        "auto" if sniffed.is_some() => {
+            return store::from_bytes_unpacked(&bytes)
+                .map(|stored| stored.data)
+                .map_err(|e| CliError(format!("{source}: {e}")))
+        }
+        "auto" | "csv" => {} // fall through to the CSV reader
+        "binary" => {
+            if sniffed != Some(Format::Binary) {
+                return Err(CliError(format!(
+                    "{source} is not a remedy-columnar artifact (--format binary)"
+                )));
+            }
+            return store::from_bytes_unpacked(&bytes)
+                .map(|stored| stored.data)
+                .map_err(|e| CliError(format!("{source}: {e}")));
+        }
+        "text" => {
+            if sniffed != Some(Format::Text) {
+                return Err(CliError(format!(
+                    "{source} is not a remedy-dataset text artifact (--format text)"
+                )));
+            }
+            let text = std::str::from_utf8(&bytes)
+                .map_err(|_| CliError(format!("{source} is not UTF-8 text")))?;
+            return data_persist::dataset_from_text(text)
+                .map_err(|e| CliError(format!("{source}: {e}")));
+        }
+        other => {
+            return Err(CliError(format!(
+                "--format: `{other}` is not auto|text|binary|csv"
+            )))
+        }
+    }
     let label = args.require("label")?;
     let protected = args.get_list("protected");
     if protected.is_empty() {
         return Err(CliError("CSV input needs --protected attr1,attr2,…".into()));
     }
-    let table = RawTable::from_path(source).map_err(|e| CliError(e.to_string()))?;
+    let text =
+        String::from_utf8(bytes).map_err(|_| CliError(format!("{source} is not UTF-8 text")))?;
+    let table = RawTable::parse_str(&text).map_err(|e| CliError(e.to_string()))?;
     let mut opts = LoadOptions::new(label);
     opts.protected = protected;
     opts.positive_value = args.get("positive").map(String::from);
@@ -369,6 +420,44 @@ fn cmd_audit(raw: Vec<String>) -> Result<(), CliError> {
             report.support
         );
     }
+    Ok(())
+}
+
+fn cmd_convert(raw: Vec<String>) -> Result<(), CliError> {
+    let args = Args::parse(raw)?;
+    if args.flag("help") || args.positional_count() == 0 {
+        println!(
+            "remedy convert <in> <out> [--format text|binary|csv] \
+             [--label Y --protected a,b] [--positive v] [--bins 4]\n\n\
+             Re-encodes a dataset. The input format is sniffed by magic:\n\
+             remedy-columnar binary, remedy-dataset exact text, else CSV\n\
+             (CSV needs --label/--protected). The default output format is\n\
+             binary — the zero-copy columnar store with precomputed region\n\
+             keys. text↔binary conversion is lossless and byte-exact."
+        );
+        return Ok(());
+    }
+    args.check_known(&DATA_OPTS)?;
+    // the input encoding is always sniffed here; `--format` names the
+    // *output* encoding for this subcommand
+    let data = load_input_as(&args, "auto")?;
+    let out = args
+        .positional(1)
+        .ok_or_else(|| CliError("convert needs an output path".into()))?;
+    let format = args.get("format").unwrap_or("binary");
+    match format {
+        "csv" => csv::write_path(&data, out).map_err(|e| CliError(e.to_string()))?,
+        _ => {
+            let fmt = Format::parse(format)
+                .ok_or_else(|| CliError(format!("--format: `{format}` is not text|binary|csv")))?;
+            store::save(&data, out, fmt).map_err(|e| CliError(e.to_string()))?;
+        }
+    }
+    println!(
+        "wrote {} rows × {} attributes to {out} as {format}",
+        data.len(),
+        data.schema().len()
+    );
     Ok(())
 }
 
@@ -833,10 +922,13 @@ fn cmd_validate(raw: Vec<String>) -> Result<(), CliError> {
 fn cmd_generate(raw: Vec<String>) -> Result<(), CliError> {
     let args = Args::parse(raw)?;
     if args.flag("help") || args.positional_count() == 0 {
-        println!("remedy generate <adult|compas|law> --out data.csv [--rows N] [--seed 42]");
+        println!(
+            "remedy generate <adult|compas|law|wide> --out data.csv [--rows N] \
+             [--arity 20] [--seed 42] [--format csv|text|binary]"
+        );
         return Ok(());
     }
-    args.check_known(&["out", "rows", "seed", "help"])?;
+    args.check_known(&["out", "rows", "arity", "seed", "format", "help"])?;
     let name = args.positional(0).unwrap();
     let seed = args.get_parsed("seed", 42u64)?;
     let rows = args.get_parsed("rows", 0usize)?;
@@ -847,11 +939,26 @@ fn cmd_generate(raw: Vec<String>) -> Result<(), CliError> {
         ("compas", n) => synth::compas_n(n, seed),
         ("law", 0) => synth::law_school(seed),
         ("law", n) => synth::law_school_n(n, seed),
+        ("wide", n) => {
+            let arity = args.get_parsed("arity", 20usize)?;
+            if !(1..=32).contains(&arity) {
+                return Err(CliError("--arity must be in 1..=32".into()));
+            }
+            synth::wide_n(if n == 0 { 10_000 } else { n }, arity, seed)
+        }
         _ => return Err(CliError(format!("unknown dataset `{name}`"))),
     };
     let out_path = args.require("out")?;
-    csv::write_path(&data, out_path).map_err(|e| CliError(e.to_string()))?;
-    println!("wrote {} rows to {out_path}", data.len());
+    let format = args.get("format").unwrap_or("csv");
+    match format {
+        "csv" => csv::write_path(&data, out_path).map_err(|e| CliError(e.to_string()))?,
+        _ => {
+            let fmt = Format::parse(format)
+                .ok_or_else(|| CliError(format!("--format: `{format}` is not csv|text|binary")))?;
+            store::save(&data, out_path, fmt).map_err(|e| CliError(e.to_string()))?;
+        }
+    }
+    println!("wrote {} rows to {out_path} as {format}", data.len());
     Ok(())
 }
 
@@ -934,6 +1041,130 @@ mod tests {
             ],
         )
         .unwrap();
+    }
+
+    #[test]
+    fn convert_roundtrips_all_encodings() {
+        let dir = std::env::temp_dir().join("remedy_cli_convert");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = synth::compas_n(400, 11);
+        let text_path = dir.join("data.txt");
+        data_persist::save_dataset(&data, &text_path).unwrap();
+
+        // text → binary (the default output format)
+        let bin_path = dir.join("data.bin");
+        run(
+            "convert",
+            vec![
+                text_path.to_string_lossy().into_owned(),
+                bin_path.to_string_lossy().into_owned(),
+            ],
+        )
+        .unwrap();
+        let loaded = Dataset::open(&bin_path).unwrap();
+        assert_eq!(
+            data_persist::dataset_to_text(&loaded),
+            data_persist::dataset_to_text(&data)
+        );
+
+        // dataset artifacts are sniffed by every load-bearing subcommand:
+        // identify runs off the binary file with no --label/--protected
+        run("identify", vec![bin_path.to_string_lossy().into_owned()]).unwrap();
+
+        // binary → text reproduces the original file byte-for-byte
+        let back_path = dir.join("back.txt");
+        run(
+            "convert",
+            vec![
+                bin_path.to_string_lossy().into_owned(),
+                back_path.to_string_lossy().into_owned(),
+                "--format".into(),
+                "text".into(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&text_path).unwrap(),
+            std::fs::read(&back_path).unwrap()
+        );
+
+        // binary → csv → binary (CSV re-ingest needs the schema flags)
+        let csv_path = dir.join("data.csv");
+        run(
+            "convert",
+            vec![
+                bin_path.to_string_lossy().into_owned(),
+                csv_path.to_string_lossy().into_owned(),
+                "--format".into(),
+                "csv".into(),
+            ],
+        )
+        .unwrap();
+        run(
+            "convert",
+            vec![
+                csv_path.to_string_lossy().into_owned(),
+                dir.join("from_csv.bin").to_string_lossy().into_owned(),
+                "--label".into(),
+                "recid".into(),
+                "--protected".into(),
+                "age,race,sex".into(),
+            ],
+        )
+        .unwrap();
+
+        // a missing output path is a clean error
+        assert!(run("convert", vec![text_path.to_string_lossy().into_owned()]).is_err());
+    }
+
+    #[test]
+    fn generate_writes_binary_artifacts() {
+        let dir = std::env::temp_dir().join("remedy_cli_generate_bin");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("wide.bin");
+        run(
+            "generate",
+            vec![
+                "wide".into(),
+                "--rows".into(),
+                "500".into(),
+                "--arity".into(),
+                "18".into(),
+                "--format".into(),
+                "binary".into(),
+                "--out".into(),
+                out.to_string_lossy().into_owned(),
+            ],
+        )
+        .unwrap();
+        let data = Dataset::open(&out).unwrap();
+        assert_eq!(data.len(), 500);
+        assert_eq!(data.schema().protected_indices().len(), 18);
+        // past the dense ceiling, identify needs --pruned even from a file
+        let path = out.to_string_lossy().into_owned();
+        assert!(run("identify", vec![path.clone()]).is_err());
+        run("identify", vec![path, "--pruned".into()]).unwrap();
+    }
+
+    #[test]
+    fn format_flag_polices_input_encoding() {
+        let dir = std::env::temp_dir().join("remedy_cli_format");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let text_path = dir.join("data.txt");
+        data_persist::save_dataset(&synth::compas_n(200, 3), &text_path).unwrap();
+        let p = text_path.to_string_lossy().into_owned();
+        assert!(load_input(&args(&[&p, "--format", "text"])).is_ok());
+        let err = load_input(&args(&[&p, "--format", "binary"])).unwrap_err();
+        assert!(
+            err.0.contains("not a remedy-columnar artifact"),
+            "{}",
+            err.0
+        );
+        let err = load_input(&args(&[&p, "--format", "zz"])).unwrap_err();
+        assert!(err.0.contains("auto|text|binary|csv"), "{}", err.0);
     }
 
     #[test]

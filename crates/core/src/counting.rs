@@ -32,7 +32,7 @@ use crate::hash::FastMap;
 use crate::hierarchy::{Hierarchy, MAX_PROTECTED};
 use crate::score::Counts;
 use crate::sparse::{KeyCodec, SparseHierarchy};
-use remedy_dataset::{Dataset, RowEdit};
+use remedy_dataset::{Dataset, PackedKeys, RowEdit};
 use remedy_obs::Scope as ObsScope;
 
 /// Bitmask with the low `p` bits set — the full-lattice node mask. Total
@@ -435,7 +435,7 @@ impl RegionIndex {
     /// parallel packing pass, one parallel leaf tally, then node-to-node
     /// projection down the lattice.
     pub fn try_build_over(data: &Dataset, protected: &[usize]) -> Result<RegionIndex, CoreError> {
-        RegionIndex::build_inner(data, protected, false)
+        RegionIndex::build_inner(data, protected, false, None)
     }
 
     /// Builds a sparse (leaf-only) index over the schema-declared
@@ -452,7 +452,7 @@ impl RegionIndex {
         data: &Dataset,
         protected: &[usize],
     ) -> Result<RegionIndex, CoreError> {
-        RegionIndex::build_inner(data, protected, true)
+        RegionIndex::build_inner(data, protected, true, None)
     }
 
     /// Dense when the arity allows it, sparse beyond — the right default
@@ -467,10 +467,69 @@ impl RegionIndex {
         }
     }
 
+    /// Builds an index from a persisted packed-key column (the binary
+    /// store's [`PackedKeys`] sidecar), skipping the packing pass
+    /// entirely — the bulk-load path for artifacts opened through
+    /// `Dataset::open`. Dense or sparse is chosen by arity exactly as
+    /// [`try_build_auto`] does.
+    ///
+    /// The persisted layout (column set and per-slot bit widths) must be
+    /// the one this build would pack itself; any disagreement — stale
+    /// keys after a schema change, a foreign column order, a different
+    /// width rule — is rejected with [`CoreError::PackedLayoutMismatch`]
+    /// instead of silently producing wrong counts.
+    ///
+    /// [`try_build_auto`]: RegionIndex::try_build_auto
+    pub fn try_build_from_packed(
+        data: &Dataset,
+        packed: PackedKeys,
+    ) -> Result<RegionIndex, CoreError> {
+        let protected = data.schema().protected_indices();
+        let sparse = protected.len() > MAX_PROTECTED;
+        let max_arity = if sparse {
+            MAX_PROTECTED_SPARSE
+        } else {
+            MAX_PROTECTED
+        };
+        validate_columns(data, &protected, max_arity)?;
+        let mismatch = |detail: String| CoreError::PackedLayoutMismatch { detail };
+        if packed.keys.len() != data.len() {
+            return Err(mismatch(format!(
+                "{} persisted keys for {} rows",
+                packed.keys.len(),
+                data.len()
+            )));
+        }
+        let cols: Vec<usize> = packed.cols.iter().map(|&c| c as usize).collect();
+        if cols != protected {
+            return Err(mismatch(format!(
+                "persisted columns {cols:?} != protected columns {protected:?}"
+            )));
+        }
+        let cards: Vec<u32> = protected
+            .iter()
+            .map(|&a| data.schema().attribute(a).cardinality() as u32)
+            .collect();
+        let codec = if sparse {
+            KeyCodec::for_cards(&cards)?
+        } else {
+            KeyCodec::bytes(protected.len())
+        };
+        if codec.widths() != packed.widths {
+            return Err(mismatch(format!(
+                "persisted slot widths {:?} != expected {:?}",
+                packed.widths,
+                codec.widths()
+            )));
+        }
+        RegionIndex::build_inner(data, &protected, sparse, Some(packed.keys))
+    }
+
     fn build_inner(
         data: &Dataset,
         protected: &[usize],
         sparse: bool,
+        premade: Option<Vec<u128>>,
     ) -> Result<RegionIndex, CoreError> {
         let p = protected.len();
         let max_arity = if sparse {
@@ -493,8 +552,17 @@ impl RegionIndex {
             KeyCodec::bytes(p)
         };
         let n = data.len();
-        let mut keys = vec![0u128; n];
-        pack_keys(data, protected, &codec, &mut keys);
+        let keys = match premade {
+            Some(keys) => {
+                debug_assert_eq!(keys.len(), n);
+                keys
+            }
+            None => {
+                let mut keys = vec![0u128; n];
+                pack_keys(data, protected, &codec, &mut keys);
+                keys
+            }
+        };
         let scan = leaf_scan(&keys, data.labels(), true);
         let lattice = if sparse {
             Lattice::Sparse(SparseMeta {
@@ -912,6 +980,95 @@ mod tests {
                 assert_eq!(Some(c), nb.regions.get(key), "node {:#b}", na.mask);
             }
         }
+    }
+
+    #[test]
+    fn packed_sidecar_matches_pack_keys_exactly() {
+        // the dataset store's pack_protected must reproduce this crate's
+        // packing bit-for-bit, dense layout and minimal-width layout both
+        for data in [
+            remedy_dataset::synth::compas_n(400, 11),
+            remedy_dataset::synth::wide_n(200, 20, 5),
+        ] {
+            let packed = remedy_dataset::store::pack_protected(&data).expect("layout exists");
+            let protected = data.schema().protected_indices();
+            let cards: Vec<u32> = protected
+                .iter()
+                .map(|&a| data.schema().attribute(a).cardinality() as u32)
+                .collect();
+            let codec = if protected.len() <= MAX_PROTECTED {
+                KeyCodec::bytes(protected.len())
+            } else {
+                KeyCodec::for_cards(&cards).unwrap()
+            };
+            assert_eq!(codec.widths(), packed.widths, "width rule drifted");
+            let mut keys = vec![0u128; data.len()];
+            pack_keys(&data, &protected, &codec, &mut keys);
+            assert_eq!(keys, packed.keys, "packed keys drifted");
+        }
+    }
+
+    #[test]
+    fn build_from_packed_matches_regular_build() {
+        for data in [
+            remedy_dataset::synth::compas_n(600, 3),
+            remedy_dataset::synth::wide_n(300, 20, 7),
+        ] {
+            let packed = remedy_dataset::store::pack_protected(&data).unwrap();
+            let from_packed = RegionIndex::try_build_from_packed(&data, packed).unwrap();
+            let regular = RegionIndex::try_build_auto(&data).unwrap();
+            assert_eq!(from_packed.is_sparse(), regular.is_sparse());
+            assert_eq!(from_packed.keys, regular.keys);
+            assert_eq!(from_packed.labels, regular.labels);
+            if !regular.is_sparse() {
+                assert_hierarchy_eq(from_packed.hierarchy(), regular.hierarchy());
+            }
+        }
+    }
+
+    #[test]
+    fn build_from_packed_stays_editable() {
+        let data = fixture();
+        let packed = remedy_dataset::store::pack_protected(&data).unwrap();
+        let mut live = RegionIndex::try_build_from_packed(&data, packed).unwrap();
+        let mut edited = data.clone();
+        for edit in [
+            RowEdit::Duplicate { src: 3 },
+            RowEdit::FlipLabel { row: 0 },
+            RowEdit::Remove { rows: vec![5, 1] },
+        ] {
+            live.apply_edit(&edit);
+            edited.apply_edit(&edit);
+        }
+        let rebuilt = RegionIndex::build(&edited);
+        assert_hierarchy_eq(live.hierarchy(), rebuilt.hierarchy());
+    }
+
+    #[test]
+    fn build_from_packed_rejects_foreign_layouts() {
+        let data = fixture();
+        let good = remedy_dataset::store::pack_protected(&data).unwrap();
+        // wrong row count
+        let mut p = good.clone();
+        p.keys.pop();
+        assert!(matches!(
+            RegionIndex::try_build_from_packed(&data, p),
+            Err(CoreError::PackedLayoutMismatch { .. })
+        ));
+        // wrong column set
+        let mut p = good.clone();
+        p.cols = vec![0];
+        assert!(matches!(
+            RegionIndex::try_build_from_packed(&data, p),
+            Err(CoreError::PackedLayoutMismatch { .. })
+        ));
+        // wrong slot widths
+        let mut p = good.clone();
+        p.widths = vec![4, 4];
+        assert!(matches!(
+            RegionIndex::try_build_from_packed(&data, p),
+            Err(CoreError::PackedLayoutMismatch { .. })
+        ));
     }
 
     #[test]

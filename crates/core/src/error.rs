@@ -62,6 +62,13 @@ pub enum CoreError {
         /// Level at which enumeration had to stop.
         level: usize,
     },
+    /// A persisted packed-key column disagrees with the layout this
+    /// build would pack (stale keys, different column set, or different
+    /// slot widths).
+    PackedLayoutMismatch {
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -98,6 +105,10 @@ impl std::fmt::Display for CoreError {
                 f,
                 "support pruning kept a frequent node at level {level}; \
                  region keys address at most {MAX_PROTECTED} attributes"
+            ),
+            CoreError::PackedLayoutMismatch { detail } => write!(
+                f,
+                "persisted packed keys don't match the index layout: {detail}"
             ),
         }
     }
@@ -161,5 +172,9 @@ mod tests {
         assert!(CoreError::NodeTooDeep { level: 17 }
             .to_string()
             .contains("17"));
+        let e = CoreError::PackedLayoutMismatch {
+            detail: "3 keys for 4 rows".into(),
+        };
+        assert!(e.to_string().contains("3 keys for 4 rows"), "{e}");
     }
 }

@@ -203,6 +203,24 @@ mod tests {
     }
 
     #[test]
+    fn stable_hash_matches_dataset_content_digest() {
+        // the dataset crate restates FNV-1a/128 for binary-store headers
+        // (it sits below this crate); the two must never drift
+        for input in [
+            &b""[..],
+            b"a",
+            b"remedy-dataset v1\nlabel y\n",
+            &[0u8, 0xff, 0x80, 0x1f],
+        ] {
+            assert_eq!(
+                stable_hash(input),
+                remedy_dataset::format::content_digest(input),
+                "digest divergence on {input:?}"
+            );
+        }
+    }
+
+    #[test]
     fn stable_hash_framing_disambiguates() {
         let mut a = StableHasher::new();
         a.write_str("ab");

@@ -15,9 +15,10 @@
 
 use crate::identify::BiasedRegion;
 use crate::score::Counts;
+use remedy_dataset::format::Magic;
 use remedy_dataset::Pattern;
 
-const MAGIC: &str = "remedy-ibs v1";
+const MAGIC: Magic = Magic::new("remedy-ibs", 1);
 
 /// Errors from reading an IBS artifact.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,7 +32,7 @@ pub enum IbsPersistError {
 impl std::fmt::Display for IbsPersistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            IbsPersistError::BadHeader => write!(f, "not a {MAGIC} file"),
+            IbsPersistError::BadHeader => write!(f, "not a {} file", MAGIC.line()),
             IbsPersistError::Malformed(msg) => write!(f, "malformed IBS file: {msg}"),
         }
     }
@@ -41,7 +42,7 @@ impl std::error::Error for IbsPersistError {}
 
 /// Serializes identification output.
 pub fn regions_to_text(regions: &[BiasedRegion]) -> String {
-    let mut out = format!("{MAGIC}\nregions {}\n", regions.len());
+    let mut out = format!("{}\nregions {}\n", MAGIC.line(), regions.len());
     for r in regions {
         out.push_str(&format!(
             "region {} {:x} {} {} {:016x} {:016x}",
@@ -63,9 +64,9 @@ pub fn regions_to_text(regions: &[BiasedRegion]) -> String {
 /// Parses identification output written by [`regions_to_text`].
 pub fn regions_from_text(text: &str) -> Result<Vec<BiasedRegion>, IbsPersistError> {
     let mut lines = text.lines();
-    if lines.next() != Some(MAGIC) {
-        return Err(IbsPersistError::BadHeader);
-    }
+    MAGIC
+        .expect(lines.next())
+        .map_err(|_| IbsPersistError::BadHeader)?;
     let count_line = lines
         .next()
         .ok_or_else(|| IbsPersistError::Malformed("missing regions count".into()))?;

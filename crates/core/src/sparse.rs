@@ -87,6 +87,12 @@ impl KeyCodec {
         self.widths.len()
     }
 
+    /// Per-column slot widths — what a persisted packed-key layout is
+    /// validated against before its keys are trusted.
+    pub(crate) fn widths(&self) -> &[u32] {
+        &self.widths
+    }
+
     /// Bit offset of column slot `j` (the packing loop's shift amount).
     #[inline]
     pub(crate) fn offset(&self, j: usize) -> u32 {

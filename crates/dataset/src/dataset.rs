@@ -71,6 +71,26 @@ impl Dataset {
         }
     }
 
+    /// Assembles a dataset directly from validated columnar parts — the
+    /// bulk-load path of the binary store, which has already checked
+    /// codes against the schema and sized every column to `labels.len()`.
+    pub(crate) fn from_parts(
+        schema: Arc<Schema>,
+        columns: Vec<Vec<u32>>,
+        labels: Vec<u8>,
+        weights: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(columns.len(), schema.len());
+        debug_assert!(columns.iter().all(|c| c.len() == labels.len()));
+        debug_assert_eq!(weights.len(), labels.len());
+        Dataset {
+            schema,
+            columns,
+            labels,
+            weights,
+        }
+    }
+
     /// The shared schema.
     pub fn schema(&self) -> &Schema {
         &self.schema

@@ -41,6 +41,13 @@ pub enum DatasetError {
     Io(String),
     /// A request was inconsistent with the dataset (e.g. empty split).
     Invalid(String),
+    /// A section of a binary dataset artifact failed to decode.
+    Corrupt {
+        /// Which section of the artifact was being read.
+        section: &'static str,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for DatasetError {
@@ -66,6 +73,9 @@ impl fmt::Display for DatasetError {
             }
             DatasetError::Io(msg) => write!(f, "io error: {msg}"),
             DatasetError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+            DatasetError::Corrupt { section, detail } => {
+                write!(f, "corrupt dataset artifact ({section} section): {detail}")
+            }
         }
     }
 }

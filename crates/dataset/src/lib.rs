@@ -19,6 +19,11 @@
 //! * [`split`] — seeded (optionally stratified) train/test splitting.
 //! * [`encode`] — one-hot and ordinal feature encodings for downstream
 //!   classifiers.
+//! * [`persist`] / [`store`] — dataset persistence: exact canonical text
+//!   plus a binary columnar form with persisted packed region keys, both
+//!   behind `Dataset::open` / `store::save` with format autodetection.
+//! * [`mod@format`] — the magic/version header, escaping, and content-digest
+//!   helpers every `remedy-*` artifact family shares.
 //! * [`synth`] — seeded synthetic generators mirroring the three evaluation
 //!   datasets (Adult, ProPublica/COMPAS, Law School) with planted
 //!   representation bias, used when the real CSVs are unavailable.
@@ -29,11 +34,13 @@ pub mod dataset;
 pub mod discretize;
 pub mod encode;
 pub mod error;
+pub mod format;
 pub mod pattern;
 pub mod persist;
 pub mod profile;
 pub mod schema;
 pub mod split;
+pub mod store;
 pub mod synth;
 
 pub use collapse::collapse_rare;
@@ -42,3 +49,4 @@ pub use error::DatasetError;
 pub use pattern::Pattern;
 pub use profile::{profile, DatasetProfile};
 pub use schema::{Attribute, Schema};
+pub use store::{Format, PackedKeys, Stored};

@@ -14,56 +14,37 @@
 //! <code> <code> ... <label> <weight:bits>
 //! ```
 //!
-//! Names and domain values are percent-encoded (space, `%`, and control
-//! characters), weights are stored as `f64::to_bits` hex.
+//! Names and domain values are percent-encoded (space, `%`, control
+//! characters, and non-ASCII bytes), weights are stored as
+//! `f64::to_bits` hex. The binary columnar sibling of this format lives
+//! in [`crate::store`]; this one stays the canonical, diffable form the
+//! pipeline hashes.
 
 use crate::dataset::Dataset;
 use crate::error::DatasetError;
+use crate::format::{self, Magic};
 use crate::schema::{Attribute, Schema};
 use std::path::Path;
 
-const MAGIC: &str = "remedy-dataset v1";
+/// Magic of the exact text format.
+pub const DATASET: Magic = Magic::new("remedy-dataset", 1);
 
-/// Percent-encodes whitespace, `%`, and control characters.
+/// Percent-encodes whitespace, `%`, control characters, and non-ASCII
+/// bytes (see [`format::escape`] for why the last group matters).
 fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for b in s.bytes() {
-        if b == b'%' || b.is_ascii_whitespace() || b.is_ascii_control() {
-            out.push_str(&format!("%{b:02x}"));
-        } else {
-            out.push(b as char);
-        }
-    }
-    out
+    format::escape(s)
 }
 
 /// Reverses [`esc`].
 fn unesc(s: &str) -> Result<String, DatasetError> {
-    let mut bytes = Vec::with_capacity(s.len());
-    let raw = s.as_bytes();
-    let mut i = 0;
-    while i < raw.len() {
-        if raw[i] == b'%' {
-            let hex = raw
-                .get(i + 1..i + 3)
-                .ok_or_else(|| DatasetError::Invalid(format!("truncated escape in `{s}`")))?;
-            let code = u8::from_str_radix(std::str::from_utf8(hex).unwrap_or("zz"), 16)
-                .map_err(|_| DatasetError::Invalid(format!("bad escape in `{s}`")))?;
-            bytes.push(code);
-            i += 3;
-        } else {
-            bytes.push(raw[i]);
-            i += 1;
-        }
-    }
-    String::from_utf8(bytes).map_err(|_| DatasetError::Invalid(format!("non-UTF8 data in `{s}`")))
+    format::unescape(s).map_err(|e| DatasetError::Invalid(e.to_string()))
 }
 
 /// Serializes a dataset exactly: schema, codes, labels, and weights all
 /// survive a round trip through [`dataset_from_text`] unchanged.
 pub fn dataset_to_text(data: &Dataset) -> String {
     let schema = data.schema();
-    let mut out = format!("{MAGIC}\nlabel {}\n", esc(schema.label_name()));
+    let mut out = format!("{}\nlabel {}\n", DATASET.line(), esc(schema.label_name()));
     for attr in schema.attributes() {
         out.push_str("attr ");
         out.push(if attr.is_protected() { 'p' } else { '-' });
@@ -94,9 +75,9 @@ pub fn dataset_to_text(data: &Dataset) -> String {
 /// Parses a dataset written by [`dataset_to_text`].
 pub fn dataset_from_text(text: &str) -> Result<Dataset, DatasetError> {
     let mut lines = text.lines();
-    if lines.next() != Some(MAGIC) {
-        return Err(DatasetError::Invalid(format!("missing `{MAGIC}` header")));
-    }
+    DATASET
+        .expect(lines.next())
+        .map_err(|e| DatasetError::Invalid(e.to_string()))?;
     let label_line = lines
         .next()
         .ok_or_else(|| DatasetError::Invalid("missing label line".into()))?;
@@ -227,6 +208,31 @@ mod tests {
     fn escaping_survives_hostile_names() {
         assert_eq!(unesc(&esc("a b%c\td\n")).unwrap(), "a b%c\td\n");
         assert_eq!(esc("plain"), "plain");
+    }
+
+    #[test]
+    fn non_ascii_names_survive_a_save_load_cycle() {
+        // regression: esc used to push bytes >= 0x80 through `char`,
+        // which re-encoded them as two UTF-8 bytes each — a second
+        // encoding pass the byte-level unesc cannot undo.
+        let schema = Schema::new(
+            vec![
+                Attribute::from_strs("âge", &["≤25", "26–45", "46+"]).protected(),
+                Attribute::from_strs("città", &["São Paulo", "Zürich", "東京"]),
+            ],
+            "étiquette",
+        )
+        .into_shared();
+        let mut d = Dataset::new(schema);
+        d.push_row(&[0, 2], 1).unwrap();
+        d.push_row(&[2, 0], 0).unwrap();
+        let text = dataset_to_text(&d);
+        assert!(text.is_ascii(), "escaped artifact must be pure ASCII");
+        let back = dataset_from_text(&text).unwrap();
+        assert_eq!(back.schema(), d.schema());
+        assert_eq!(back.schema().attribute(0).name(), "âge");
+        assert_eq!(back.schema().attribute(1).domain()[2], "東京");
+        assert_eq!(dataset_to_text(&back), text);
     }
 
     #[test]

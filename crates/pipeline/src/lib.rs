@@ -60,5 +60,5 @@ pub use cache::{ArtifactCache, CacheKey, GcPolicy, GcStats};
 pub use engine::{run, run_with, PipelineOptions};
 pub use error::{ErrorKind, PipelineError};
 pub use manifest::{BranchFailure, BranchOutcome, RunManifest, RunStatus, StageRecord};
-pub use plan::{BranchSpec, ModelFamily, Plan};
+pub use plan::{BranchSpec, ModelFamily, Plan, SourceFormat};
 pub use retry::RetryPolicy;

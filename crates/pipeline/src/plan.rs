@@ -65,6 +65,23 @@ impl ModelFamily {
     }
 }
 
+/// How a file `dataset` source is decoded by the Load stage.
+///
+/// Whatever the on-disk form, the stage's artifact (and therefore its
+/// cache key) is always the canonical text bytes, so converting a
+/// source between text and binary never invalidates a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SourceFormat {
+    /// Sniff the magic line: binary columnar, exact dataset text, else
+    /// CSV. The default — existing plans behave identically.
+    #[default]
+    Auto,
+    /// Decode as text (exact dataset text or CSV), never binary.
+    Text,
+    /// Require the binary columnar artifact format.
+    Binary,
+}
+
 /// One leg of the fan-out: a remedy technique (or none) plus a model.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BranchSpec {
@@ -100,6 +117,9 @@ pub struct Plan {
     pub positive: Option<String>,
     /// Quantile buckets for continuous CSV columns.
     pub bins: usize,
+    /// On-disk format of a file source (`format text|binary`; defaults
+    /// to autodetection).
+    pub format: SourceFormat,
     /// Identification parameters shared by every branch.
     pub ibs: IbsParams,
     /// Audit statistic γ.
@@ -123,6 +143,7 @@ impl Default for Plan {
             protected: Vec::new(),
             positive: None,
             bins: 4,
+            format: SourceFormat::Auto,
             ibs: IbsParams::default(),
             stat: Statistic::Fpr,
             tau_d: 0.1,
@@ -156,6 +177,7 @@ impl Plan {
                 }
                 "positive" => plan.positive = Some(value.to_string()),
                 "bins" => plan.bins = parse_num(idx, "bins", value)?,
+                "format" => plan.format = parse_format(idx, value)?,
                 "tau" => plan.ibs.tau_c = parse_num(idx, "tau", value)?,
                 "min-size" => plan.ibs.min_size = parse_num(idx, "min-size", value)?,
                 "neighborhood" => plan.ibs.neighborhood = parse_neighborhood(idx, value)?,
@@ -239,12 +261,21 @@ impl Plan {
             )));
         }
         let is_builtin = matches!(self.source.as_str(), "adult" | "compas" | "law");
-        if !is_builtin && self.label.is_none() {
+        if is_builtin && self.format == SourceFormat::Binary {
+            return Err(PipelineError::invalid_plan(
+                "`format binary` needs a file dataset source, not a builtin",
+            ));
+        }
+        // a binary columnar artifact carries its own schema, so the
+        // label/protected lines raw CSV needs are only enforced when the
+        // source could be CSV (auto or text format)
+        let schemaless = !is_builtin && self.format != SourceFormat::Binary;
+        if schemaless && self.label.is_none() {
             return Err(PipelineError::invalid_plan(
                 "CSV sources need a `label` line (and `protected`)",
             ));
         }
-        if !is_builtin && self.protected.is_empty() {
+        if schemaless && self.protected.is_empty() {
             return Err(PipelineError::invalid_plan(
                 "CSV sources need a `protected` line",
             ));
@@ -296,6 +327,15 @@ fn parse_enumeration(idx: usize, value: &str) -> Result<Enumeration, PipelineErr
             idx,
             format!("enumeration `{other}` is not dense|pruned"),
         )),
+    }
+}
+
+fn parse_format(idx: usize, value: &str) -> Result<SourceFormat, PipelineError> {
+    match value {
+        "auto" => Ok(SourceFormat::Auto),
+        "text" => Ok(SourceFormat::Text),
+        "binary" => Ok(SourceFormat::Binary),
+        other => Err(at(idx, format!("format `{other}` is not auto|text|binary"))),
     }
 }
 
@@ -437,6 +477,33 @@ branch ps technique=ps model=dt
             "dataset compas\nenumeration frobnicated\nbranch a technique=ps model=dt\n"
         )
         .is_err());
+    }
+
+    #[test]
+    fn format_key_selects_the_decoder() {
+        // default stays Auto, so existing plans parse and hash identically
+        assert_eq!(Plan::parse(PLAN).unwrap().format, SourceFormat::Auto);
+        let plan = Plan::parse(
+            "dataset data.bin\n\
+             format binary\n\
+             branch a technique=ps model=dt\n",
+        )
+        .unwrap();
+        assert_eq!(plan.format, SourceFormat::Binary);
+        // binary artifacts carry a schema: no label/protected lines needed
+        assert_eq!(plan.label, None);
+        // text/auto file sources still demand CSV schema lines
+        assert!(
+            Plan::parse("dataset data.csv\nformat text\nbranch a technique=ps model=dt\n").is_err()
+        );
+        // builtins never read a file, so `format binary` is a mistake
+        assert!(
+            Plan::parse("dataset compas\nformat binary\nbranch a technique=ps model=dt\n").is_err()
+        );
+        assert!(
+            Plan::parse("dataset compas\nformat parquet\nbranch a technique=ps model=dt\n")
+                .is_err()
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::cache::{ArtifactCache, CacheKey};
 use crate::error::{panic_message, PipelineError};
 use crate::failpoint;
 use crate::manifest::StageRecord;
-use crate::plan::{ModelFamily, Plan};
+use crate::plan::{ModelFamily, Plan, SourceFormat};
 use remedy_classifiers::persist as model_persist;
 use remedy_classifiers::{
     accuracy, DecisionTree, DecisionTreeParams, LogisticRegression, LogisticRegressionParams,
@@ -27,7 +27,7 @@ use remedy_core::{
 use remedy_dataset::csv::{LoadOptions, RawTable};
 use remedy_dataset::persist as data_persist;
 use remedy_dataset::split::train_test_split;
-use remedy_dataset::{synth, Dataset};
+use remedy_dataset::{format as data_format, store, synth, Dataset, Format};
 use remedy_fairness::{fairness_index, Explorer, FairnessIndexParams, MetricsSummary};
 use remedy_obs::Scope as ObsScope;
 use std::time::Instant;
@@ -128,9 +128,13 @@ fn is_builtin(source: &str) -> bool {
 /// Load: raw bytes into the pipeline.
 ///
 /// Built-in sources generate their synthetic dataset (keyed by name, row
-/// count, and seed) and emit it as an exact dataset artifact. CSV sources
-/// emit the file's raw text, keyed by its *content* hash so editing the
-/// file invalidates everything downstream while renaming it does not.
+/// count, and seed) and emit it as an exact dataset artifact. File sources
+/// emit text, keyed by its *content* hash so editing the file invalidates
+/// everything downstream while renaming it does not. A binary columnar
+/// source (`format binary`, or autodetected by magic) is decoded and
+/// re-emitted as its canonical text form — byte-identical to the text
+/// file it was converted from — so the stage key, the artifact, and every
+/// downstream cache entry are exactly those of the original text run.
 pub fn load_stage(
     plan: &Plan,
     cache: &ArtifactCache,
@@ -167,8 +171,32 @@ pub fn load_stage(
             },
         )
     } else {
-        let text = std::fs::read_to_string(&plan.source)
+        let bytes = std::fs::read(&plan.source)
             .map_err(|e| PipelineError::fatal(format!("cannot read {}: {e}", plan.source)))?;
+        let is_columnar = store::sniff(&bytes) == Some(Format::Binary);
+        if plan.format == SourceFormat::Binary && !is_columnar {
+            return Err(PipelineError::fatal(format!(
+                "{} is not a remedy-columnar artifact (plan says `format binary`)",
+                plan.source
+            )));
+        }
+        let text = if is_columnar && plan.format != SourceFormat::Text {
+            let stored = store::from_bytes_unpacked(&bytes)
+                .map_err(|e| PipelineError::fatal(format!("cannot decode {}: {e}", plan.source)))?;
+            let text = data_persist::dataset_to_text(&stored.data);
+            // the header pins the canonical text's digest; a mismatch
+            // means the reconstruction would not replay text-keyed caches
+            if data_format::content_digest(text.as_bytes()) != stored.digest {
+                return Err(PipelineError::fatal(format!(
+                    "{}: canonical-text digest mismatch in the columnar header",
+                    plan.source
+                )));
+            }
+            text
+        } else {
+            String::from_utf8(bytes)
+                .map_err(|_| PipelineError::fatal(format!("{} is not UTF-8 text", plan.source)))?
+        };
         h.write_str("csv");
         h.write(text.as_bytes());
         let key = CacheKey::from_hasher(&h);

@@ -248,6 +248,64 @@ fn unit_vs_ordered_radius_ablation_fans_out_and_replays() {
     assert_eq!(first.branches, second.branches);
 }
 
+/// Converting a plan's file source from exact text to binary columnar
+/// must not invalidate a single cache entry: the binary decoder
+/// reconstructs the canonical text byte-for-byte (checked against the
+/// digest pinned in the columnar header), so the load key — and every
+/// key downstream of it — is unchanged and a warm re-run replays
+/// everywhere.
+#[test]
+fn converting_the_source_to_binary_replays_the_text_cache() {
+    let cache = fresh_cache("convert");
+    let dir = std::env::temp_dir().join("remedy_pipeline_convert_src");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let source = dir.join("data.remedy");
+    let data = synth::compas_n(600, 9);
+    remedy_dataset::persist::save_dataset(&data, &source).unwrap();
+    let plan = Plan::parse(&format!(
+        "dataset {}\nseed 9\nsplit 0.7\ntau 0.1\nmin-size 30\n\
+         label recid\nprotected age,race,sex\n\
+         branch ps technique=ps model=dt\n",
+        source.display()
+    ))
+    .unwrap();
+
+    let cold = run(&plan, &opts(&cache)).unwrap();
+    for stage in &cold.stages {
+        assert!(!stage.cache_hit, "cold run hit cache: {stage:?}");
+    }
+
+    // convert the source file in place: text → binary columnar
+    remedy_dataset::store::save(&data, &source, remedy_dataset::Format::Binary).unwrap();
+    assert_eq!(
+        remedy_dataset::store::sniff(&std::fs::read(&source).unwrap()),
+        Some(remedy_dataset::Format::Binary)
+    );
+
+    let warm = run(&plan, &opts(&cache)).unwrap();
+    for stage in &warm.stages {
+        assert!(
+            stage.cache_hit || stage.skipped,
+            "binary source missed a text-populated cache entry: {stage:?}"
+        );
+    }
+    assert_eq!(cold.branches, warm.branches);
+    for (a, b) in cold.stages.iter().zip(&warm.stages) {
+        assert_eq!(a.key, b.key, "stage {} key drifted", a.stage);
+        assert_eq!(a.artifact_hash, b.artifact_hash);
+    }
+
+    // and pinning `format binary` in the plan still replays (the format
+    // key itself is not hashed; the reconstructed artifact is)
+    let mut pinned = plan.clone();
+    pinned.format = remedy_pipeline::SourceFormat::Binary;
+    let third = run(&pinned, &opts(&cache)).unwrap();
+    for stage in &third.stages {
+        assert!(stage.cache_hit || stage.skipped, "{stage:?}");
+    }
+}
+
 /// The manifest serializes and reports what ran.
 #[test]
 fn manifest_json_written() {

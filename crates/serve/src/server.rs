@@ -19,7 +19,7 @@ use remedy_classifiers::{accuracy, train};
 use remedy_core::{remedy_with, RemedyParams};
 use remedy_dataset::csv::{LoadOptions, RawTable};
 use remedy_dataset::split::train_test_split;
-use remedy_dataset::{synth, Dataset};
+use remedy_dataset::{store, synth, Dataset};
 use remedy_fairness::{fairness_index, Explorer, FairnessIndexParams};
 use remedy_obs::Recorder;
 use remedy_pipeline::error::panic_message;
@@ -256,10 +256,26 @@ fn session_name(req: &Request) -> Result<&str, PipelineError> {
 
 fn op_load(state: &Arc<State>, req: &Request, rec: &Recorder) -> Result<Fields, PipelineError> {
     let name = session_name(req)?;
-    let data = open_dataset(&req.body)?;
-    let rows = data.len();
-    rec.scope("load").add("rows_loaded", rows as u64);
-    let mut session = Session::try_open(data)?;
+    let source = req
+        .body
+        .str_field("source")
+        .map_err(|_| PipelineError::invalid_plan("missing string field `source`"))?;
+    // dataset-artifact files (binary columnar or exact text, recognized
+    // by magic) open directly; binary ones hand their persisted packed
+    // keys to the index so the initial counting pass skips re-packing
+    let mut session = match stored_artifact(source)? {
+        Some(stored) => {
+            rec.scope("load")
+                .add("rows_loaded", stored.data.len() as u64);
+            Session::try_open_stored(stored)?
+        }
+        None => {
+            let data = open_dataset(&req.body)?;
+            rec.scope("load").add("rows_loaded", data.len() as u64);
+            Session::try_open(data)?
+        }
+    };
+    let rows = session.data.len();
     // the initial counting pass shows up as counting.rebuild.* counters
     session.index.flush_obs(&rec.scope("load"));
     state.registry.insert(name, session);
@@ -268,9 +284,28 @@ fn op_load(state: &Arc<State>, req: &Request, rec: &Recorder) -> Result<Fields, 
     Ok(fields)
 }
 
+/// Reads `source` as a persisted dataset artifact, or `None` when it is
+/// a builtin generator name or not an artifact file (CSV falls through
+/// to [`open_dataset`]).
+fn stored_artifact(source: &str) -> Result<Option<remedy_dataset::Stored>, PipelineError> {
+    if matches!(source, "adult" | "compas" | "law" | "wide") {
+        return Ok(None);
+    }
+    let Ok(bytes) = std::fs::read(source) else {
+        return Ok(None);
+    };
+    if store::sniff(&bytes).is_none() {
+        return Ok(None);
+    }
+    store::from_bytes(&bytes)
+        .map(Some)
+        .map_err(|e| PipelineError::invalid_plan(format!("{source}: {e}")))
+}
+
 /// `"source"`: a built-in generator name (`adult|compas|law`, sized by
-/// `"rows"`, seeded by `"seed"`; `wide` also takes `"arity"`) or a CSV
-/// path (needs `"label"` and `"protected"`; accepts `"positive"` and
+/// `"rows"`, seeded by `"seed"`; `wide` also takes `"arity"`), a dataset
+/// artifact path (handled by [`stored_artifact`] before this runs), or a
+/// CSV path (needs `"label"` and `"protected"`; accepts `"positive"` and
 /// `"bins"`).
 fn open_dataset(body: &Value) -> Result<Dataset, PipelineError> {
     let source = body

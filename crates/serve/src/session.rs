@@ -1,7 +1,7 @@
 //! Resident sessions: a named dataset plus its maintained region index.
 
 use remedy_core::RegionIndex;
-use remedy_dataset::{Dataset, RowEdit};
+use remedy_dataset::{Dataset, RowEdit, Stored};
 use remedy_pipeline::PipelineError;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -46,6 +46,28 @@ impl Session {
             edits: 0,
             batches: 0,
         })
+    }
+
+    /// Opens from a persisted [`Stored`] artifact. When the artifact
+    /// carries a packed-key sidecar matching the index layout (binary
+    /// columnar files always do, within packing limits), the initial
+    /// counting pass reuses it and skips re-packing every row; a missing
+    /// or foreign sidecar falls back to a regular [`Session::try_open`]
+    /// build, so the result is identical either way.
+    pub fn try_open_stored(stored: Stored) -> Result<Session, PipelineError> {
+        let Stored { data, packed, .. } = stored;
+        if let Some(packed) = packed {
+            if let Ok(mut index) = RegionIndex::try_build_from_packed(&data, packed) {
+                index.begin_deltas();
+                return Ok(Session {
+                    data,
+                    index,
+                    edits: 0,
+                    batches: 0,
+                });
+            }
+        }
+        Session::try_open(data)
     }
 
     /// Applies one edit batch atomically: the whole batch is validated
@@ -202,6 +224,29 @@ mod tests {
         let params = IbsParams::default();
         let live = identify_in_index(&session.index, &params, Algorithm::Optimized);
         let cold = identify(&session.data, &params, Algorithm::Optimized);
+        assert_eq!(live, cold);
+    }
+
+    #[test]
+    fn stored_artifact_session_matches_fresh_build_and_stays_live() {
+        let data = synth::compas_n(300, 5);
+        let stored =
+            remedy_dataset::store::from_binary(&remedy_dataset::store::to_binary(&data)).unwrap();
+        assert!(stored.packed.is_some(), "compas packs within dense limits");
+        let mut from_artifact = Session::try_open_stored(stored).unwrap();
+        let fresh = Session::open(data);
+        let params = IbsParams::default();
+        assert_eq!(
+            identify_in_index(&from_artifact.index, &params, Algorithm::Optimized),
+            identify_in_index(&fresh.index, &params, Algorithm::Optimized),
+        );
+        // the packed-key fast path must leave the index fully live
+        from_artifact
+            .ingest(&[RowEdit::FlipLabel { row: 1 }, RowEdit::Duplicate { src: 2 }])
+            .unwrap();
+        from_artifact.index.flush_deltas();
+        let live = identify_in_index(&from_artifact.index, &params, Algorithm::Optimized);
+        let cold = identify(&from_artifact.data, &params, Algorithm::Optimized);
         assert_eq!(live, cold);
     }
 

@@ -135,6 +135,43 @@ fn streamed_ingest_identify_matches_cold_batch_byte_for_byte() {
 }
 
 #[test]
+fn load_from_binary_artifact_answers_like_a_builtin_session() {
+    let dir = std::env::temp_dir().join("remedy_serve_artifact");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = synth::compas_n(400, 11);
+    let path = dir.join("compas.bin");
+    remedy_dataset::store::save(&data, &path, remedy_dataset::Format::Binary).unwrap();
+
+    let (addr, handle) = start_server();
+    let mut client = Client::connect(&addr).unwrap();
+    let response = client
+        .call(&format!(
+            "{{\"op\":\"load\",\"session\":\"art\",\"source\":{}}}",
+            remedy_pipeline::json::json_str(&path.to_string_lossy())
+        ))
+        .unwrap();
+    assert_eq!(response.u64_field("rows").unwrap() as usize, data.len());
+
+    // the artifact-backed session (built from persisted packed keys)
+    // answers byte-identically to a cold batch run over the same rows
+    let response = client
+        .call("{\"op\":\"identify\",\"session\":\"art\"}")
+        .unwrap();
+    let cold = identify(&data, &IbsParams::default(), Algorithm::Optimized);
+    assert_eq!(response.str_field("text").unwrap(), regions_to_text(&cold));
+
+    // and it accepts ingest like any other session
+    let response = client
+        .call("{\"op\":\"ingest\",\"session\":\"art\",\"edits\":[{\"kind\":\"flip\",\"row\":0}]}")
+        .unwrap();
+    assert_eq!(response.u64_field("rows").unwrap() as usize, data.len());
+
+    client.call("{\"op\":\"shutdown\"}").unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
 fn errors_are_structured_and_the_connection_survives() {
     let (addr, handle) = start_server();
     let mut client = Client::connect(&addr).unwrap();

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Runs the Criterion benches (identify, remedy, pipeline, serve) and records the
-# median time of every benchmark into BENCH_core.json, tagged with the git
-# revision and UTC date. Extra arguments are forwarded to `cargo bench`
+# Runs the Criterion benches (identify, remedy, pipeline, serve, persist) and
+# records the median time of every benchmark into BENCH_core.json, tagged with
+# the git revision and UTC date. The persist bench contributes the
+# dataset_cold_load_ms comparison (text parse vs binary columnar decode of a
+# 1M-row synthetic). Extra arguments are forwarded to `cargo bench`
 # (e.g. `scripts/bench.sh remedy_large` to filter).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -10,7 +12,7 @@ out=BENCH_core.json
 log=$(mktemp)
 trap 'rm -f "$log"' EXIT
 
-for bench in identify remedy pipeline serve; do
+for bench in identify remedy pipeline serve persist; do
     cargo bench -p remedy-bench --bench "$bench" -- "$@" | tee -a "$log"
 done
 
@@ -42,7 +44,18 @@ awk -v rev="$rev" -v date="$date" '
             id = ids[i]
             printf "    \"%s\": %.0f%s\n", id, medians[id], (i < n - 1 ? "," : "")
         }
-        printf "  }\n}\n"
+        text = medians["persist/cold_load_text_1m"]
+        binary = medians["persist/cold_load_binary_1m"]
+        if (text > 0 && binary > 0) {
+            printf "  },\n  \"dataset_cold_load_ms\": {\n"
+            printf "    \"rows\": 1000000,\n"
+            printf "    \"text\": %.3f,\n", text / 1e6
+            printf "    \"binary\": %.3f,\n", binary / 1e6
+            printf "    \"speedup\": %.1f\n", text / binary
+            printf "  }\n}\n"
+        } else {
+            printf "  }\n}\n"
+        }
     }
 ' "$log" > "$out"
 

@@ -43,6 +43,47 @@ if printf '%s\n' "$warm" | grep -q '^computed'; then
 fi
 target/release/remedy cache gc --cache "$cache" --max-bytes 0 >/dev/null
 
+# persistence: populate a cache from an exact-text source, convert the
+# source file to binary columnar in place, and require the warm run to
+# replay every stage — a conversion must never invalidate a cache
+conv="$(mktemp -d)"
+trap 'rm -rf "$cache" "$conv"' EXIT
+target/release/remedy generate compas --rows 800 --out "$conv/data.csv" >/dev/null
+target/release/remedy convert "$conv/data.csv" "$conv/data.remedy" \
+    --format text --label recid --protected age,race,sex >/dev/null
+cat > "$conv/plan.txt" <<EOF
+dataset $conv/data.remedy
+seed 7
+label recid
+protected age,race,sex
+branch base technique=none model=dt
+branch ps technique=ps model=dt
+EOF
+target/release/remedy pipeline "$conv/plan.txt" --cache "$conv/cache" >/dev/null
+target/release/remedy convert "$conv/data.remedy" "$conv/data.remedy" \
+    --format binary >/dev/null
+head -c 18 "$conv/data.remedy" | grep -q 'remedy-columnar' || {
+    echo "verify: FAIL — convert did not write a columnar artifact" >&2
+    exit 1
+}
+warm="$(target/release/remedy pipeline "$conv/plan.txt" --cache "$conv/cache")"
+if printf '%s\n' "$warm" | grep -q '^computed'; then
+    echo "verify: FAIL — binary-converted source recomputed a cached stage:" >&2
+    printf '%s\n' "$warm" >&2
+    exit 1
+fi
+
+# binary cold-load smoke past the dense ceiling: a wide dataset written
+# as a columnar artifact identifies straight off the file (the artifact
+# carries its schema, so no --label/--protected), pruned only
+target/release/remedy generate wide --rows 5000 --arity 20 \
+    --format binary --out "$conv/wide.bin" >/dev/null
+target/release/remedy identify "$conv/wide.bin" --pruned >/dev/null
+if target/release/remedy identify "$conv/wide.bin" 2>/dev/null; then
+    echo "verify: FAIL — dense identify accepted a 20-wide artifact" >&2
+    exit 1
+fi
+
 # past the dense arity ceiling (16) only the pruned enumeration answers:
 # p=20 identify must succeed with --pruned and refuse without it
 target/release/remedy identify wide --arity 20 --rows 5000 --pruned >/dev/null
