@@ -1,11 +1,81 @@
-//! Criterion micro-benchmark of the resident service: warm `identify`
-//! round-trips through the line-delimited JSON protocol against an
-//! in-process server holding a maintained RegionIndex. Measures the
-//! full wire path (serialize, TCP, dispatch, render), so the number is
-//! directly comparable to the in-memory `identify` benches.
+//! Criterion micro-benchmarks of the resident service.
+//!
+//! `serve_identify_p50_us`: warm `identify` round-trips through the
+//! line-delimited JSON protocol against an in-process server holding a
+//! maintained RegionIndex. Measures the full wire path (serialize, TCP,
+//! dispatch, render), so the number is directly comparable to the
+//! in-memory `identify` benches.
+//!
+//! `serve/serve_recover_1m`: crash recovery of a durable 1M-row session
+//! with a non-trivial WAL tail — snapshot decode, packed-key index
+//! rebuild, and replay of 64 edit batches. The session directory is
+//! staged once in a child process (same rationale as the persist bench:
+//! synthesizing 1M rows churns the allocator, and recovery should be
+//! measured on a clean heap). `scripts/bench.sh` records the median as
+//! `serve_recover_ms` in `BENCH_core.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use remedy_serve::{Client, ServeOptions, Server};
+use remedy_dataset::{synth, RowEdit};
+use remedy_serve::durable::{self, Durable, DurableConfig, DurablePolicy};
+use remedy_serve::{Client, ServeOptions, Server, Session};
+use std::path::Path;
+
+const ROWS: usize = 1_000_000;
+const WAL_BATCHES: u64 = 64;
+const STAGE_ENV: &str = "REMEDY_SERVE_STAGE";
+
+fn recover_config(root: &Path) -> DurableConfig {
+    DurableConfig {
+        root: root.to_path_buf(),
+        // the tail must survive staging: no rotation before the bench
+        policy: DurablePolicy {
+            snapshot_every: 1_000_000,
+            wal_backlog: 2_000_000,
+        },
+    }
+}
+
+/// Child-process entry: build the 1M-row session, snapshot it, and
+/// stream 64 batches into its WAL, then exit before any benchmark runs.
+fn stage(root: &Path) {
+    let config = recover_config(root);
+    let obs = remedy_obs::Scope::disabled();
+    let mut session = Session::try_open(synth::adult_n(ROWS, 42)).expect("open 1M-row session");
+    session.durable =
+        Some(Durable::create(&config, "adult1m", &session, &obs).expect("stage session dir"));
+    for i in 0..WAL_BATCHES {
+        let row = (i as usize * 7919) % ROWS;
+        session
+            .ingest_with(
+                &[
+                    RowEdit::FlipLabel { row },
+                    RowEdit::Duplicate { src: row / 2 },
+                ],
+                &obs,
+            )
+            .expect("stage WAL batch");
+    }
+}
+
+/// Ensures the staged session directory exists and matches the current
+/// layout (re-staging in a child process when it doesn't).
+fn staged_session(root: &Path) {
+    let config = recover_config(root);
+    let ok = durable::recover_session(&config, "adult1m")
+        .map(|(s, stats)| {
+            s.data.len() == ROWS + WAL_BATCHES as usize && stats.replayed == WAL_BATCHES
+        })
+        .unwrap_or(false);
+    if ok {
+        return;
+    }
+    let me = std::env::current_exe().expect("bench executable path");
+    let status = std::process::Command::new(me)
+        .env(STAGE_ENV, "1")
+        .status()
+        .expect("spawn staging child");
+    assert!(status.success(), "staging child failed");
+}
 
 fn bench_serve(c: &mut Criterion) {
     let server = Server::bind(ServeOptions::default()).expect("bind ephemeral port");
@@ -29,5 +99,30 @@ fn bench_serve(c: &mut Criterion) {
     handle.join().expect("server thread").expect("clean exit");
 }
 
-criterion_group!(benches, bench_serve);
+fn bench_recover(c: &mut Criterion) {
+    let root = std::env::temp_dir().join("remedy_bench_serve_recover");
+    if std::env::var_os(STAGE_ENV).is_some() {
+        let _ = std::fs::remove_dir_all(&root);
+        stage(&root);
+        std::process::exit(0);
+    }
+    staged_session(&root);
+    let config = recover_config(&root);
+
+    let mut group = c.benchmark_group("serve");
+    // one sample is a full 1M-row recovery; three samples bound wall time
+    group.sample_size(3);
+    group.bench_function("serve_recover_1m", |b| {
+        b.iter(|| {
+            let (session, stats) =
+                durable::recover_session(std::hint::black_box(&config), "adult1m")
+                    .expect("recover staged session");
+            assert_eq!(stats.replayed, WAL_BATCHES);
+            session
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve, bench_recover);
 criterion_main!(benches);

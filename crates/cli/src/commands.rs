@@ -574,24 +574,48 @@ fn cmd_serve(raw: Vec<String>) -> Result<(), CliError> {
     if args.flag("help") {
         println!(
             "remedy serve [--addr 127.0.0.1:7878] [--deadline-ms 0] \
-             [--trace trace.jsonl]\n\n\
+             [--data-dir DIR] [--snapshot-every 64] [--wal-backlog 1024] \
+             [--max-conns 0] [--drain-ms 2000] [--trace trace.jsonl]\n\n\
              Long-lived daemon holding named datasets with maintained region\n\
              indexes in memory, answering line-delimited JSON over TCP (ops:\n\
              load|ingest|identify|audit|remedy|stats|shutdown). Port 0 picks\n\
              an ephemeral port; the bound address is printed on startup.\n\
-             Drive it with `remedy client`."
+             Drive it with `remedy client`.\n\n\
+             With --data-dir, sessions are durable: every accepted edit batch\n\
+             is fsync'd to a per-session WAL before it is acknowledged, the\n\
+             dataset is checkpointed as a columnar snapshot every\n\
+             --snapshot-every batches, and on restart every session under the\n\
+             directory is recovered (snapshot + WAL replay) before the daemon\n\
+             accepts. --max-conns and --wal-backlog shed load with a typed\n\
+             transient `overloaded` error instead of stalling."
         );
         return Ok(());
     }
-    args.check_known(&["addr", "deadline-ms", "trace", "help"])?;
+    args.check_known(&[
+        "addr",
+        "deadline-ms",
+        "data-dir",
+        "snapshot-every",
+        "wal-backlog",
+        "max-conns",
+        "drain-ms",
+        "trace",
+        "help",
+    ])?;
     let recorder = match args.get("trace") {
         Some(path) => remedy_obs::Recorder::to_path(path)
             .map_err(|e| CliError(format!("cannot open trace {path}: {e}")))?,
         None => remedy_obs::Recorder::enabled(),
     };
+    let defaults = remedy_serve::ServeOptions::default();
     let options = remedy_serve::ServeOptions {
         addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
         deadline_ms: args.get_parsed("deadline-ms", 0u64)?,
+        data_dir: args.get("data-dir").map(std::path::PathBuf::from),
+        snapshot_every: args.get_parsed("snapshot-every", defaults.snapshot_every)?,
+        wal_backlog: args.get_parsed("wal-backlog", defaults.wal_backlog)?,
+        max_conns: args.get_parsed("max-conns", defaults.max_conns)?,
+        drain_ms: args.get_parsed("drain-ms", defaults.drain_ms)?,
         recorder: recorder.clone(),
     };
     let server =
@@ -617,7 +641,10 @@ fn cmd_client(raw: Vec<String>) -> Result<(), CliError> {
     }
     args.check_known(&["help"])?;
     let addr = args.positional(0).unwrap();
-    let mut client = remedy_serve::Client::connect(addr)
+    // a freshly exec'd daemon may not be accepting yet: retry the
+    // connect with the pipeline's bounded deterministic backoff
+    let policy = remedy_pipeline::RetryPolicy::new(5, 20, 42);
+    let mut client = remedy_serve::Client::connect_with_retry(addr, &policy)
         .map_err(|e| CliError(format!("cannot connect to {addr}: {e}")))?;
     let mut failed = 0usize;
     for i in 1..args.positional_count() {

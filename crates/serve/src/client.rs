@@ -1,8 +1,9 @@
 //! A blocking line-protocol client, used by `remedy client`, the smoke
 //! test, and the serve benchmarks.
 
+use remedy_obs::Scope as ObsScope;
 use remedy_pipeline::json::{self, Value};
-use remedy_pipeline::{ErrorKind, PipelineError};
+use remedy_pipeline::{ErrorKind, PipelineError, RetryPolicy};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
@@ -22,6 +23,18 @@ impl Client {
         writer.set_nodelay(true)?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Client { reader, writer })
+    }
+
+    /// [`Client::connect`] with bounded exponential backoff: a refused
+    /// or unreachable address is retried under the given
+    /// [`RetryPolicy`] (deterministically jittered, same schedule the
+    /// pipeline engine uses), so callers racing daemon startup — the
+    /// CLI client, smoke tests — don't need hand-rolled sleep loops.
+    pub fn connect_with_retry(addr: &str, policy: &RetryPolicy) -> Result<Client, PipelineError> {
+        policy.run("client.connect", &ObsScope::disabled(), || {
+            Client::connect(addr)
+                .map_err(|e| PipelineError::transient(format!("connect {addr}: {e}")))
+        })
     }
 
     /// Sends one request line and returns the raw response line.

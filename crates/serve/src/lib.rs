@@ -38,13 +38,28 @@
 //! session and connection — keeps serving. Mutating operations validate
 //! their whole input before touching any state, which is what makes
 //! poisoned-lock recovery sound (see [`session::lock_session`]).
+//!
+//! ## Durability
+//!
+//! With a `--data-dir`, each named session owns an on-disk directory:
+//! an append-only, fsync'd write-ahead log of edit batches ([`wal`])
+//! layered over periodic columnar snapshots ([`durable`]). A mutation
+//! is acknowledged only after it is durable; on restart the server
+//! recovers every session — newest valid snapshot plus WAL tail replay —
+//! byte-identical to one that never crashed. The front door sheds load
+//! instead of stalling: past `--max-conns`, or when a session's WAL
+//! backlog hits its bound with checkpoints failing, clients get a typed
+//! transient `overloaded` error and can back off and retry.
 
 pub mod client;
+pub mod durable;
 pub mod protocol;
 pub mod server;
 pub mod session;
+pub mod wal;
 
 pub use client::Client;
+pub use durable::{Durable, DurableConfig, DurablePolicy};
 pub use protocol::Request;
 pub use server::{ServeOptions, Server};
-pub use session::{Registry, Session};
+pub use session::{Registry, Session, SessionSummary};

@@ -6,6 +6,13 @@
 //! a structured `stage-panic` response; the connection, every sibling
 //! connection, and the resident sessions keep working.
 //!
+//! With a `--data-dir`, sessions are durable: `bind` recovers every
+//! session directory before the accept loop starts, `load` creates a
+//! WAL + snapshot directory per session, and mutations reach the fsync'd
+//! WAL before they are acknowledged (see the `durable` module). The
+//! front door sheds load instead of stalling: past `--max-conns` a new
+//! connection gets one transient `overloaded` error line and is closed.
+//!
 //! Per-request metrics are recorded into a short-lived
 //! [`Recorder`] and folded into the resident one in a single
 //! [`Recorder::merge_from`] at request end, so concurrent requests never
@@ -13,6 +20,7 @@
 //! snapshot; with a `--trace` sink attached, each request additionally
 //! emits a `serve`-scoped span.
 
+use crate::durable::{self, Durable, DurableConfig, DurablePolicy};
 use crate::protocol::{self, Fields, Request};
 use crate::session::{lock_session, Registry, Session};
 use remedy_classifiers::{accuracy, train};
@@ -24,10 +32,11 @@ use remedy_fairness::{fairness_index, Explorer, FairnessIndexParams};
 use remedy_obs::Recorder;
 use remedy_pipeline::error::panic_message;
 use remedy_pipeline::json::{json_f64, json_str, Value};
-use remedy_pipeline::{failpoint, PipelineError};
+use remedy_pipeline::{failpoint, ErrorKind, PipelineError};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
@@ -40,15 +49,36 @@ pub struct ServeOptions {
     /// Default per-request deadline in milliseconds (0 = none). A
     /// request's own `deadline_ms` field overrides it.
     pub deadline_ms: u64,
+    /// Root directory for durable sessions (`None` = in-memory only).
+    /// Sessions found under it are recovered before the server accepts.
+    pub data_dir: Option<PathBuf>,
+    /// Durable mode: snapshot a session once this many edit batches
+    /// accumulate past its last checkpoint.
+    pub snapshot_every: u64,
+    /// Durable mode: shed `ingest` with a transient `overloaded` error
+    /// when the un-checkpointed WAL backlog reaches this bound and an
+    /// emergency checkpoint fails.
+    pub wal_backlog: u64,
+    /// Accept gate: connections past this are refused with one
+    /// transient `overloaded` error line (0 = unlimited).
+    pub max_conns: usize,
+    /// How long `run` waits for in-flight connections after `shutdown`.
+    pub drain_ms: u64,
     /// The resident recorder. Give it a sink to stream request spans.
     pub recorder: Recorder,
 }
 
 impl Default for ServeOptions {
     fn default() -> ServeOptions {
+        let policy = DurablePolicy::default();
         ServeOptions {
             addr: "127.0.0.1:0".to_string(),
             deadline_ms: 0,
+            data_dir: None,
+            snapshot_every: policy.snapshot_every,
+            wal_backlog: policy.wal_backlog,
+            max_conns: 0,
+            drain_ms: 2000,
             recorder: Recorder::enabled(),
         }
     }
@@ -59,6 +89,9 @@ struct State {
     registry: Registry,
     recorder: Recorder,
     default_deadline_ms: u64,
+    durable: Option<DurableConfig>,
+    max_conns: usize,
+    drain_ms: u64,
     shutdown: AtomicBool,
     active: AtomicUsize,
     local_addr: SocketAddr,
@@ -72,16 +105,41 @@ pub struct Server {
 
 impl Server {
     /// Binds the listener (so the ephemeral port is known before the
-    /// accept loop starts).
+    /// accept loop starts) and, in durable mode, recovers every session
+    /// directory under the data dir — so by the time the address is
+    /// printed, every surviving session is already serving.
     pub fn bind(options: ServeOptions) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&options.addr)?;
         let local_addr = listener.local_addr()?;
+        let durable = match options.data_dir {
+            Some(root) => {
+                std::fs::create_dir_all(&root)?;
+                Some(DurableConfig {
+                    root,
+                    policy: DurablePolicy {
+                        snapshot_every: options.snapshot_every.max(1),
+                        wal_backlog: options.wal_backlog.max(1),
+                    },
+                })
+            }
+            None => None,
+        };
+        let registry = Registry::default();
+        if let Some(config) = &durable {
+            let recovered = durable::recover_all(config, &options.recorder.scope("serve"));
+            for (name, session) in recovered {
+                registry.insert(&name, session);
+            }
+        }
         Ok(Server {
             listener,
             state: Arc::new(State {
-                registry: Registry::default(),
+                registry,
                 recorder: options.recorder,
                 default_deadline_ms: options.deadline_ms,
+                durable,
+                max_conns: options.max_conns,
+                drain_ms: options.drain_ms,
                 shutdown: AtomicBool::new(false),
                 active: AtomicUsize::new(0),
                 local_addr,
@@ -95,13 +153,19 @@ impl Server {
     }
 
     /// Serves until a `shutdown` request, then drains in-flight
-    /// connections (bounded wait).
+    /// connections (bounded wait, `--drain-ms`).
     pub fn run(self) -> std::io::Result<()> {
         for conn in self.listener.incoming() {
             if self.state.shutdown.load(Ordering::SeqCst) {
                 break;
             }
             let Ok(stream) = conn else { continue };
+            if self.state.max_conns > 0
+                && self.state.active.load(Ordering::SeqCst) >= self.state.max_conns
+            {
+                shed_conn(&self.state, stream);
+                continue;
+            }
             let state = Arc::clone(&self.state);
             state.active.fetch_add(1, Ordering::SeqCst);
             thread::spawn(move || {
@@ -112,12 +176,39 @@ impl Server {
         // bounded drain: connections that are mid-request get a moment
         // to write their response; ones blocked on an idle client die
         // with the process
-        let deadline = Instant::now() + Duration::from_secs(2);
+        let deadline = Instant::now() + Duration::from_millis(self.state.drain_ms);
         while self.state.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
             thread::sleep(Duration::from_millis(10));
         }
+        let abandoned = self.state.active.load(Ordering::SeqCst);
+        if abandoned > 0 {
+            self.state
+                .recorder
+                .scope("serve")
+                .add("drain.abandoned", abandoned as u64);
+        }
         Ok(())
     }
+}
+
+/// The accept gate: past `--max-conns`, a new connection is answered
+/// with a single transient `overloaded` error line and closed — clients
+/// with retry backoff get a clean signal instead of a stalled socket.
+fn shed_conn(state: &Arc<State>, stream: TcpStream) {
+    state.recorder.scope("serve").add("shed.conns", 1);
+    let mut writer = stream;
+    let _ = writer.set_nodelay(true);
+    let line = protocol::render_err(
+        None,
+        ErrorKind::Transient,
+        &format!(
+            "overloaded: connection limit reached ({} active)",
+            state.max_conns
+        ),
+    );
+    let _ = writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"));
 }
 
 fn handle_conn(state: &Arc<State>, stream: TcpStream) {
@@ -189,7 +280,12 @@ fn respond(state: &Arc<State>, line: &str) -> String {
 
 /// Runs the handler on a worker thread and gives up after the deadline.
 /// The worker is detached on timeout: it still finishes (releasing any
-/// session lock it holds) but its result is discarded.
+/// session lock it holds) but its result is discarded — so a timed-out
+/// *mutation* may still land. That escape is observable, not silent:
+/// the abandonment is counted, and because every mutating response and
+/// `stats` echo the session's monotonic `epoch`, a client can compare
+/// the epoch it last saw against the session's current one to learn
+/// whether the abandoned batch applied.
 fn execute_with_deadline(
     state: &Arc<State>,
     req: &Request,
@@ -199,16 +295,19 @@ fn execute_with_deadline(
     let (tx, rx) = mpsc::channel();
     let state = Arc::clone(state);
     let worker_req = req.clone();
-    let req_rec = req_rec.clone();
+    let worker_rec = req_rec.clone();
     thread::spawn(move || {
-        let _ = tx.send(execute(&state, &worker_req, &req_rec));
+        let _ = tx.send(execute(&state, &worker_req, &worker_rec));
     });
     match rx.recv_timeout(Duration::from_millis(deadline_ms)) {
         Ok(result) => result,
-        Err(_) => Err(
-            PipelineError::transient(format!("deadline exceeded after {deadline_ms}ms"))
-                .in_stage(&req.op),
-        ),
+        Err(_) => {
+            req_rec.scope("serve").add("deadline.abandoned", 1);
+            Err(
+                PipelineError::transient(format!("deadline exceeded after {deadline_ms}ms"))
+                    .in_stage(&req.op),
+            )
+        }
     }
 }
 
@@ -240,8 +339,13 @@ fn dispatch(state: &Arc<State>, req: &Request, rec: &Recorder) -> Result<Fields,
         "stats" => op_stats(state),
         "shutdown" => {
             state.shutdown.store(true, Ordering::SeqCst);
+            // this connection is one of `active`; the rest are drained
+            let draining = state.active.load(Ordering::SeqCst).saturating_sub(1);
             let mut fields = Fields::new();
-            fields.raw("stopping", true);
+            fields
+                .raw("stopping", true)
+                .raw("draining", draining)
+                .raw("drain_ms", state.drain_ms);
             Ok(fields)
         }
         other => Err(PipelineError::invalid_plan(format!("unknown op `{other}`"))),
@@ -275,12 +379,26 @@ fn op_load(state: &Arc<State>, req: &Request, rec: &Recorder) -> Result<Fields, 
             Session::try_open(data)?
         }
     };
+    if let Some(config) = &state.durable {
+        // (re)loading a name wipes and re-creates its directory: the
+        // initial snapshot IS the session's durable state from here on
+        session.durable = Some(Durable::create(
+            config,
+            name,
+            &session,
+            &rec.scope("serve"),
+        )?);
+    }
     let rows = session.data.len();
+    let epoch = session.epoch;
     // the initial counting pass shows up as counting.rebuild.* counters
     session.index.flush_obs(&rec.scope("load"));
     state.registry.insert(name, session);
     let mut fields = Fields::new();
-    fields.str("session", name).raw("rows", rows);
+    fields
+        .str("session", name)
+        .raw("rows", rows)
+        .raw("epoch", epoch);
     Ok(fields)
 }
 
@@ -362,7 +480,9 @@ fn op_ingest(state: &Arc<State>, req: &Request, rec: &Recorder) -> Result<Fields
     let edits = protocol::edits(&req.body)?;
     let mut session = lock_session(&session);
     failpoint::check("serve.locked", "ingest")?;
-    session.ingest(&edits)?;
+    // wal.*/snapshot.*/shed.* durability counters land in the serve
+    // scope next to req.* — `stats` reports them all from one place
+    session.ingest_with(&edits, &rec.scope("serve"))?;
     // per-batch delta work (counting.delta.* counters)
     session.index.flush_obs(&rec.scope("ingest"));
     let mut fields = Fields::new();
@@ -370,7 +490,8 @@ fn op_ingest(state: &Arc<State>, req: &Request, rec: &Recorder) -> Result<Fields
         .raw("applied", edits.len())
         .raw("rows", session.data.len())
         .raw("edits", session.edits)
-        .raw("batches", session.batches);
+        .raw("batches", session.batches)
+        .raw("epoch", session.epoch);
     Ok(fields)
 }
 
@@ -483,17 +604,20 @@ fn op_remedy(state: &Arc<State>, req: &Request, rec: &Recorder) -> Result<Fields
             )
         })
         .collect();
+    if apply {
+        // durable mode checkpoints the remedied dataset before the
+        // in-memory swap; a failure leaves the session unchanged
+        session.try_replace(outcome.dataset, &rec.scope("serve"))?;
+        session.index.flush_obs(&rec.scope("remedy"));
+    }
     let mut fields = Fields::new();
     fields
         .str("technique", &params.technique.to_string())
         .raw("rows_before", rows_before)
         .raw("rows_after", rows_after)
         .raw("applied", apply)
+        .raw("epoch", session.epoch)
         .raw("updates", format!("[{}]", updates.join(",")));
-    if apply {
-        session.replace(outcome.dataset);
-        session.index.flush_obs(&rec.scope("remedy"));
-    }
     Ok(fields)
 }
 
@@ -502,10 +626,16 @@ fn op_stats(state: &Arc<State>) -> Result<Fields, PipelineError> {
         .registry
         .summaries()
         .into_iter()
-        .map(|(name, rows, edits, batches)| {
+        .map(|s| {
             format!(
-                "{{\"name\":{},\"rows\":{rows},\"edits\":{edits},\"batches\":{batches}}}",
-                json_str(&name)
+                "{{\"name\":{},\"rows\":{},\"edits\":{},\"batches\":{},\
+                 \"epoch\":{},\"durable\":{}}}",
+                json_str(&s.name),
+                s.rows,
+                s.edits,
+                s.batches,
+                s.epoch,
+                s.durable
             )
         })
         .collect();

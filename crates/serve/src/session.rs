@@ -1,7 +1,9 @@
 //! Resident sessions: a named dataset plus its maintained region index.
 
+use crate::durable::Durable;
 use remedy_core::RegionIndex;
 use remedy_dataset::{Dataset, RowEdit, Stored};
+use remedy_obs::Scope as ObsScope;
 use remedy_pipeline::PipelineError;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -23,6 +25,14 @@ pub struct Session {
     pub edits: u64,
     /// Total ingest batches accepted.
     pub batches: u64,
+    /// Monotonic mutation counter: bumps once per accepted edit batch
+    /// and once per applied remedy. Echoed in every mutating response
+    /// and in `stats`, so a client whose mutation timed out can tell
+    /// whether it landed; in durable mode it is also the WAL sequence
+    /// number and the snapshot generation.
+    pub epoch: u64,
+    /// Durable half (WAL + snapshots), present in `--data-dir` mode.
+    pub durable: Option<Durable>,
 }
 
 impl Session {
@@ -45,6 +55,8 @@ impl Session {
             index,
             edits: 0,
             batches: 0,
+            epoch: 0,
+            durable: None,
         })
     }
 
@@ -64,18 +76,75 @@ impl Session {
                     index,
                     edits: 0,
                     batches: 0,
+                    epoch: 0,
+                    durable: None,
                 });
             }
         }
         Session::try_open(data)
     }
 
+    /// [`Session::ingest_with`] without observability (tests, tools).
+    pub fn ingest(&mut self, edits: &[RowEdit]) -> Result<(), PipelineError> {
+        self.ingest_with(edits, &ObsScope::disabled())
+    }
+
     /// Applies one edit batch atomically: the whole batch is validated
     /// against simulated row counts first, so a batch naming a removed
     /// or never-existing row is rejected with `invalid-plan` before the
     /// dataset or the index mutates at all.
-    pub fn ingest(&mut self, edits: &[RowEdit]) -> Result<(), PipelineError> {
+    ///
+    /// In durable mode the batch is WAL-appended and fsync'd *before*
+    /// any in-memory state changes — a batch is either durable and
+    /// applied, or refused with no trace. Two more durable outcomes are
+    /// possible first: if the un-checkpointed backlog has hit the
+    /// `wal_backlog` bound and an emergency checkpoint fails, the batch
+    /// is shed with a transient `overloaded` error; and once applied,
+    /// every `snapshot_every` batches a checkpoint is attempted (its
+    /// failure is counted, not surfaced — the batch is already durable
+    /// in the WAL).
+    pub fn ingest_with(&mut self, edits: &[RowEdit], obs: &ObsScope) -> Result<(), PipelineError> {
         validate_batch(self.data.len(), edits)?;
+        let seq = self.epoch + 1;
+        if let Some(durable) = self.durable.as_mut() {
+            let backlog = durable.backlog(self.epoch);
+            if backlog >= durable.policy().wal_backlog {
+                if let Err(e) =
+                    durable.snapshot(&self.data, self.epoch, self.edits, self.batches, obs)
+                {
+                    obs.add("shed.backlog", 1);
+                    return Err(PipelineError::transient(format!(
+                        "overloaded: WAL backlog at bound ({backlog} un-checkpointed \
+                         batches) and checkpoint failed: {}",
+                        e.message()
+                    )));
+                }
+            }
+            durable.append(seq, edits, obs)?;
+        }
+        self.apply_validated(edits)?;
+        if let Some(durable) = self.durable.as_mut() {
+            if durable.backlog(self.epoch) >= durable.policy().snapshot_every
+                && durable
+                    .snapshot(&self.data, self.epoch, self.edits, self.batches, obs)
+                    .is_err()
+            {
+                // the batch is already WAL-durable; a failed periodic
+                // checkpoint only grows the backlog
+                obs.add("snapshot.err", 1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Replays one already-durable batch during recovery: same
+    /// validate-then-apply path as live ingest, minus the WAL append.
+    pub(crate) fn replay_batch(&mut self, edits: &[RowEdit]) -> Result<(), PipelineError> {
+        validate_batch(self.data.len(), edits)?;
+        self.apply_validated(edits)
+    }
+
+    fn apply_validated(&mut self, edits: &[RowEdit]) -> Result<(), PipelineError> {
         for edit in edits {
             // validated above; the typed path is belt and braces so a
             // validator bug can never desync dataset and index
@@ -87,19 +156,36 @@ impl Session {
         self.index.flush_deltas();
         self.edits += edits.len() as u64;
         self.batches += 1;
+        self.epoch += 1;
         Ok(())
     }
 
     /// Replaces the dataset wholesale (a remedy with `"apply":true`).
-    /// The new index is built *before* either field is assigned, so a
-    /// panic mid-build leaves the old dataset/index pair intact. The
-    /// schema is unchanged by a remedy, so the build cannot fail after a
-    /// successful [`Session::try_open`].
-    pub fn replace(&mut self, data: Dataset) {
-        let mut index = RegionIndex::try_build_auto(&data).unwrap_or_else(|e| panic!("{e}"));
+    /// The new index is built — and in durable mode the new dataset is
+    /// checkpointed — *before* any field is assigned, so a failure at
+    /// any step leaves the session, in memory and on disk, unchanged.
+    pub fn try_replace(&mut self, data: Dataset, obs: &ObsScope) -> Result<(), PipelineError> {
+        let mut index = RegionIndex::try_build_auto(&data)
+            .map_err(|e| PipelineError::invalid_plan(e.to_string()))?;
         index.begin_deltas();
+        let epoch = self.epoch + 1;
+        if let Some(durable) = self.durable.as_mut() {
+            durable.snapshot(&data, epoch, self.edits, self.batches, obs)?;
+        }
         self.index = index;
         self.data = data;
+        self.epoch = epoch;
+        Ok(())
+    }
+
+    /// Infallible [`Session::try_replace`] for in-memory sessions. The
+    /// schema is unchanged by a remedy, so the index build cannot fail
+    /// after a successful [`Session::try_open`]; panics if it somehow
+    /// does (or if a durable checkpoint fails — servers should prefer
+    /// [`Session::try_replace`]).
+    pub fn replace(&mut self, data: Dataset) {
+        self.try_replace(data, &ObsScope::disabled())
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -141,6 +227,18 @@ fn validate_batch(start_len: usize, edits: &[RowEdit]) -> Result<(), PipelineErr
     Ok(())
 }
 
+/// One row of `stats` output: a session's name, size, and counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSummary {
+    pub name: String,
+    pub rows: usize,
+    pub edits: u64,
+    pub batches: u64,
+    pub epoch: u64,
+    /// Whether the session has a WAL + snapshot directory behind it.
+    pub durable: bool,
+}
+
 /// The server's table of named sessions. Each session sits behind its
 /// own mutex, so a slow request (a big identify) blocks only its own
 /// session; the registry lock is held just long enough to clone an
@@ -166,8 +264,8 @@ impl Registry {
             })
     }
 
-    /// `(name, rows, edits, batches)` per session, for `stats`.
-    pub fn summaries(&self) -> Vec<(String, usize, u64, u64)> {
+    /// Per-session [`SessionSummary`] rows, for `stats`.
+    pub fn summaries(&self) -> Vec<SessionSummary> {
         let sessions: Vec<(String, Arc<Mutex<Session>>)> = lock_recover(&self.sessions)
             .iter()
             .map(|(name, session)| (name.clone(), Arc::clone(session)))
@@ -176,7 +274,14 @@ impl Registry {
             .into_iter()
             .map(|(name, session)| {
                 let s = lock_session(&session);
-                (name, s.data.len(), s.edits, s.batches)
+                SessionSummary {
+                    name,
+                    rows: s.data.len(),
+                    edits: s.edits,
+                    batches: s.batches,
+                    epoch: s.epoch,
+                    durable: s.durable.is_some(),
+                }
             })
             .collect()
     }
@@ -188,7 +293,7 @@ impl Registry {
 /// poisons any session mutex it held. Recovery is sound here because
 /// every mutating operation validates its whole input before touching
 /// state ([`Session::ingest`]) or prepares its replacement fully before
-/// assigning ([`Session::replace`]) — so a poisoned session is
+/// assigning ([`Session::try_replace`]) — so a poisoned session is
 /// observationally intact, and refusing to serve it would turn one
 /// contained panic into a permanently wedged session.
 pub fn lock_session(session: &Arc<Mutex<Session>>) -> MutexGuard<'_, Session> {
@@ -221,6 +326,7 @@ mod tests {
         assert_eq!(session.data.len(), 399);
         assert_eq!(session.index.len(), 399);
         assert_eq!((session.edits, session.batches), (3, 1));
+        assert_eq!(session.epoch, 1, "one accepted batch bumps the epoch once");
         let params = IbsParams::default();
         let live = identify_in_index(&session.index, &params, Algorithm::Optimized);
         let cold = identify(&session.data, &params, Algorithm::Optimized);
@@ -265,6 +371,7 @@ mod tests {
         assert!(err.message().starts_with("edits[1]:"), "{err}");
         assert_eq!(session.data, data);
         assert_eq!((session.edits, session.batches), (0, 0));
+        assert_eq!(session.epoch, 0, "rejected batches leave the epoch alone");
         // removes shrink the simulated count: a duplicate of a row that
         // no longer exists after the remove is rejected too
         let remove_then_touch = [
@@ -285,8 +392,12 @@ mod tests {
         registry.insert("a", Session::open(synth::compas_n(60, 1)));
         let summary = registry.summaries();
         assert_eq!(summary.len(), 2);
-        assert_eq!(summary[0].0, "a");
-        assert_eq!(summary[0].1, 60, "reload replaces the session");
-        assert_eq!(summary[1].1, 80);
+        assert_eq!(summary[0].name, "a");
+        assert_eq!(summary[0].rows, 60, "reload replaces the session");
+        assert_eq!(summary[1].rows, 80);
+        assert!(
+            !summary[0].durable,
+            "in-memory sessions report durable=false"
+        );
     }
 }

@@ -7,11 +7,12 @@
 #![cfg(feature = "failpoints")]
 
 use remedy_core::persist::regions_to_text;
-use remedy_core::{identify, Algorithm, IbsParams};
-use remedy_dataset::synth;
+use remedy_core::{identify, identify_in_index, Algorithm, IbsParams};
+use remedy_dataset::{synth, RowEdit};
 use remedy_pipeline::failpoint::{self, Action};
 use remedy_pipeline::ErrorKind;
-use remedy_serve::{Client, ServeOptions, Server};
+use remedy_serve::durable::{self, Durable, DurableConfig, DurablePolicy};
+use remedy_serve::{Client, ServeOptions, Server, Session};
 
 // The fail-point registry is process-global; tests that arm faults
 // serialize on this lock so parallel test threads don't trip each
@@ -143,4 +144,160 @@ fn injected_transient_fault_reports_its_kind_and_retries_cleanly() {
     failpoint::clear();
     client.call("{\"op\":\"shutdown\"}").unwrap();
     handle.join().unwrap().unwrap();
+}
+
+fn matrix_dir(site: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("remedy_fp_{}", site.replace('.', "_")));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn live_text(session: &Session) -> String {
+    regions_to_text(&identify_in_index(
+        &session.index,
+        &IbsParams::default(),
+        Algorithm::Optimized,
+    ))
+}
+
+/// The crash-point matrix of the acceptance criteria: for every
+/// durability fail-point, inject the fault mid-stream, "crash" (drop
+/// the session with no shutdown step), recover, and demand the
+/// recovered `identify` text be byte-identical to the reference the
+/// acknowledgement protocol implies — batches refused at the WAL sites
+/// never happened, batches whose *checkpoint* failed are still durable.
+#[test]
+fn crash_point_matrix_recovers_byte_identically_at_every_durability_step() {
+    let _guard = lock();
+    failpoint::clear();
+    let obs = remedy_obs::Scope::disabled();
+    let batch = |i: usize| {
+        vec![
+            RowEdit::FlipLabel { row: i },
+            RowEdit::Duplicate { src: 2 * i },
+        ]
+    };
+    for site in [
+        "serve.wal.append",
+        "serve.wal.fsync",
+        "serve.snapshot.write",
+        "serve.snapshot.rename",
+    ] {
+        let config = DurableConfig {
+            root: matrix_dir(site),
+            policy: DurablePolicy {
+                snapshot_every: 2,
+                wal_backlog: 1000,
+            },
+        };
+        let mut mirror = synth::compas_n(300, 9);
+        let mut session = Session::try_open(mirror.clone()).unwrap();
+        session.durable = Some(Durable::create(&config, "m", &session, &obs).unwrap());
+        // three clean batches: a rotated snapshot at epoch 2 plus a WAL
+        // tail, so recovery crosses every layer
+        for i in 0..3 {
+            for edit in &batch(i) {
+                mirror.apply_edit(edit);
+            }
+            session.ingest_with(&batch(i), &obs).unwrap();
+        }
+        // batch 4 trips the armed fault. At the WAL sites the batch is
+        // refused before any state changes; at the snapshot sites the
+        // batch is acknowledged (it is WAL-durable) and only the
+        // periodic checkpoint fails.
+        failpoint::set(site, Action::Err, 1);
+        let result = session.ingest_with(&batch(3), &obs);
+        let wal_site = site.starts_with("serve.wal");
+        if wal_site {
+            let err = result.expect_err("WAL faults must refuse the batch");
+            assert_eq!(err.kind(), ErrorKind::Transient, "{site}: {err}");
+            assert_eq!(session.epoch, 3, "{site}: refused batch must not apply");
+        } else {
+            result.unwrap_or_else(|e| panic!("{site}: checkpoint faults are absorbed: {e}"));
+            for edit in &batch(3) {
+                mirror.apply_edit(edit);
+            }
+            assert_eq!(session.epoch, 4);
+        }
+        failpoint::clear();
+        let expected = live_text(&session);
+        drop(session); // the crash: no flush, no shutdown
+
+        let (mut recovered, _stats) = durable::recover_session(&config, "m").unwrap();
+        assert_eq!(
+            live_text(&recovered),
+            expected,
+            "{site}: recovery diverges from the acknowledged state"
+        );
+        let cold = identify(&mirror, &IbsParams::default(), Algorithm::Optimized);
+        assert_eq!(
+            live_text(&recovered),
+            regions_to_text(&cold),
+            "{site}: recovery diverges from a cold rebuild of the mirror"
+        );
+        // the faulted step leaves a fully writable session behind: the
+        // next batch (a retry, at the WAL sites) lands normally
+        for edit in &batch(7) {
+            mirror.apply_edit(edit);
+        }
+        recovered.ingest_with(&batch(7), &obs).unwrap();
+        let cold = identify(&mirror, &IbsParams::default(), Algorithm::Optimized);
+        assert_eq!(live_text(&recovered), regions_to_text(&cold), "{site}");
+    }
+}
+
+/// The WAL backlog bound: when checkpoints keep failing and the
+/// un-checkpointed backlog reaches `wal_backlog`, ingest sheds with a
+/// typed transient `overloaded` error instead of growing the log
+/// forever — and drains normally once checkpoints succeed again.
+#[test]
+fn wal_backlog_bound_sheds_ingest_until_a_checkpoint_lands() {
+    let _guard = lock();
+    failpoint::clear();
+    let recorder = remedy_obs::Recorder::enabled();
+    let obs = recorder.scope("serve");
+    let config = DurableConfig {
+        root: matrix_dir("backlog"),
+        policy: DurablePolicy {
+            snapshot_every: 1000,
+            wal_backlog: 3,
+        },
+    };
+    let mut session = Session::try_open(synth::compas_n(200, 1)).unwrap();
+    session.durable = Some(Durable::create(&config, "b", &session, &obs).unwrap());
+    failpoint::set("serve.snapshot.write", Action::Err, 100);
+    let edit = [RowEdit::FlipLabel { row: 0 }];
+    for _ in 0..3 {
+        session.ingest_with(&edit, &obs).unwrap();
+    }
+    // backlog is now 3 = the bound; the emergency checkpoint fails, so
+    // the batch is shed and nothing applied
+    let err = session.ingest_with(&edit, &obs).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Transient);
+    assert!(err.message().contains("overloaded"), "{err}");
+    assert_eq!(session.epoch, 3, "shed batches must not apply");
+    let shed = recorder
+        .snapshot()
+        .counters
+        .iter()
+        .find(|(scope, name, _)| scope == "serve" && name == "shed.backlog")
+        .map(|(_, _, v)| *v);
+    assert_eq!(shed, Some(1));
+    // once the disk heals, the same ingest checkpoints and drains
+    failpoint::clear();
+    session.ingest_with(&edit, &obs).unwrap();
+    assert_eq!(session.epoch, 4);
+    if let Some(durable) = &session.durable {
+        assert_eq!(
+            durable.snapshot_epoch(),
+            3,
+            "the emergency checkpoint covered the backlog"
+        );
+    }
+    // and the whole episode is crash-safe
+    let expected = live_text(&session);
+    drop(session);
+    let (recovered, _) = durable::recover_session(&config, "b").unwrap();
+    assert_eq!(live_text(&recovered), expected);
 }

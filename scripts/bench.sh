@@ -44,18 +44,26 @@ awk -v rev="$rev" -v date="$date" '
             id = ids[i]
             printf "    \"%s\": %.0f%s\n", id, medians[id], (i < n - 1 ? "," : "")
         }
+        printf "  }"
         text = medians["persist/cold_load_text_1m"]
         binary = medians["persist/cold_load_binary_1m"]
         if (text > 0 && binary > 0) {
-            printf "  },\n  \"dataset_cold_load_ms\": {\n"
+            printf ",\n  \"dataset_cold_load_ms\": {\n"
             printf "    \"rows\": 1000000,\n"
             printf "    \"text\": %.3f,\n", text / 1e6
             printf "    \"binary\": %.3f,\n", binary / 1e6
             printf "    \"speedup\": %.1f\n", text / binary
-            printf "  }\n}\n"
-        } else {
-            printf "  }\n}\n"
+            printf "  }"
         }
+        recover = medians["serve/serve_recover_1m"]
+        if (recover > 0) {
+            printf ",\n  \"serve_recover_ms\": {\n"
+            printf "    \"rows\": 1000000,\n"
+            printf "    \"wal_batches\": 64,\n"
+            printf "    \"median\": %.3f\n", recover / 1e6
+            printf "  }"
+        }
+        printf "\n}\n"
     }
 ' "$log" > "$out"
 

@@ -143,4 +143,68 @@ if ! wait "$serve_pid"; then
     exit 1
 fi
 
+# crash-recovery smoke: stream edits into a durable (--data-dir) daemon,
+# SIGKILL it with no shutdown step, restart it over the same directory,
+# and require the recovered identify output to be byte-identical to an
+# in-memory daemon replaying the same load + edit history from scratch
+ddir="$(mktemp -d)"
+trap 'rm -rf "$cache" "$cache2" "$serve_log" "$ddir"' EXIT
+serve_addr() { # <logfile> — poll for the printed ephemeral address
+    local log="$1" addr="" i
+    for i in $(seq 1 100); do
+        addr="$(sed -n 's/^remedy-serve listening on //p' "$log")"
+        [ -n "$addr" ] && { echo "$addr"; return 0; }
+        sleep 0.1
+    done
+    return 1
+}
+crash_history=(
+    '{"op":"load","session":"crash","source":"compas","rows":300,"seed":7}'
+    '{"op":"ingest","session":"crash","edits":[{"kind":"flip","row":0},{"kind":"duplicate","src":1}]}'
+    '{"op":"ingest","session":"crash","edits":[{"kind":"remove","rows":[2,3]}]}'
+    '{"op":"ingest","session":"crash","edits":[{"kind":"flip","row":5}]}'
+)
+# --snapshot-every 2 puts a rotated snapshot at epoch 2 and leaves the
+# third batch in the WAL tail, so recovery exercises both layers
+target/release/remedy serve --addr 127.0.0.1:0 --data-dir "$ddir/sessions" \
+    --snapshot-every 2 >"$ddir/serve1.log" &
+crash_pid=$!
+addr="$(serve_addr "$ddir/serve1.log")" || {
+    echo "verify: FAIL — durable serve never reported its address" >&2
+    exit 1
+}
+target/release/remedy client "$addr" "${crash_history[@]}" >/dev/null
+kill -9 "$crash_pid"
+wait "$crash_pid" 2>/dev/null || true
+target/release/remedy serve --addr 127.0.0.1:0 --data-dir "$ddir/sessions" \
+    >"$ddir/serve2.log" &
+recover_pid=$!
+addr="$(serve_addr "$ddir/serve2.log")" || {
+    echo "verify: FAIL — recovering serve never reported its address" >&2
+    exit 1
+}
+recovered="$(target/release/remedy client "$addr" \
+    '{"op":"identify","session":"crash"}')"
+target/release/remedy client "$addr" '{"op":"shutdown"}' >/dev/null
+if ! wait "$recover_pid"; then
+    echo "verify: FAIL — recovering serve exited non-zero after shutdown" >&2
+    exit 1
+fi
+target/release/remedy serve --addr 127.0.0.1:0 >"$ddir/serve3.log" &
+ref_pid=$!
+addr="$(serve_addr "$ddir/serve3.log")" || {
+    echo "verify: FAIL — reference serve never reported its address" >&2
+    exit 1
+}
+target/release/remedy client "$addr" "${crash_history[@]}" >/dev/null
+reference="$(target/release/remedy client "$addr" \
+    '{"op":"identify","session":"crash"}')"
+target/release/remedy client "$addr" '{"op":"shutdown"}' >/dev/null
+wait "$ref_pid" || true
+if [ "$recovered" != "$reference" ]; then
+    echo "verify: FAIL — recovered identify diverged from the cold rebuild" >&2
+    printf 'recovered: %s\nreference: %s\n' "$recovered" "$reference" >&2
+    exit 1
+fi
+
 echo "verify: OK"
