@@ -1,0 +1,200 @@
+//! End-to-end sharded execution through the real binary: `remedy pipeline
+//! --shards N` spawns `remedy pipeline-worker` subprocesses, and the
+//! identify artifact it produces is byte-identical — same cache key, same
+//! artifact text, same recorded hash — to a single-process run.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("remedy_cli_sharded_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const PLAN: &str = "dataset compas\nrows 800\nseed 11\ntau 0.1\nmin-size 25\n\
+     branch base technique=none model=dt\n";
+
+fn remedy(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_remedy"))
+        .args(args)
+        .output()
+        .unwrap()
+}
+
+/// Finds the single `identify-<key>` entry in a cache and returns
+/// `(dir-name, artifact bytes, recorded hash)`.
+fn identify_entry(cache: &Path) -> (String, Vec<u8>, String) {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(cache).unwrap() {
+        let entry = entry.unwrap();
+        let name = entry.file_name().into_string().unwrap();
+        if name.starts_with("identify-") {
+            found.push(name);
+        }
+    }
+    assert_eq!(found.len(), 1, "want one identify entry, got {found:?}");
+    let dir = cache.join(&found[0]);
+    let artifact = std::fs::read(dir.join("artifact")).unwrap();
+    let hash = std::fs::read_to_string(dir.join("hash")).unwrap();
+    (found.remove(0), artifact, hash)
+}
+
+#[test]
+fn sharded_subprocess_run_matches_single_process_byte_for_byte() {
+    let dir = workdir("parity");
+    let plan = dir.join("plan.txt");
+    std::fs::write(&plan, PLAN).unwrap();
+    let (cache1, cache4) = (dir.join("cache1"), dir.join("cache4"));
+
+    let single = remedy(&[
+        "pipeline",
+        plan.to_str().unwrap(),
+        "--cache",
+        cache1.to_str().unwrap(),
+        "--shards",
+        "1",
+    ]);
+    assert!(
+        single.status.success(),
+        "single-process run failed: {}",
+        String::from_utf8_lossy(&single.stderr)
+    );
+
+    let sharded = remedy(&[
+        "pipeline",
+        plan.to_str().unwrap(),
+        "--cache",
+        cache4.to_str().unwrap(),
+        "--shards",
+        "4",
+        "--threads",
+        "4",
+    ]);
+    assert!(
+        sharded.status.success(),
+        "sharded run failed: {}",
+        String::from_utf8_lossy(&sharded.stderr)
+    );
+
+    let (key1, art1, hash1) = identify_entry(&cache1);
+    let (key4, art4, hash4) = identify_entry(&cache4);
+    assert_eq!(key1, key4, "identify cache key must ignore sharding");
+    assert_eq!(art1, art4, "identify artifact must be byte-identical");
+    assert_eq!(hash1, hash4);
+
+    // the sharded cache also holds the per-shard dataset and count artifacts
+    let names: Vec<String> = std::fs::read_dir(&cache4)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    let shards = names.iter().filter(|n| n.starts_with("shard-")).count();
+    let counts = names.iter().filter(|n| n.starts_with("count-")).count();
+    assert_eq!(shards, 4, "want 4 shard artifacts, got {names:?}");
+    assert_eq!(counts, 4, "want 4 count artifacts, got {names:?}");
+
+    // the shard/count stage records surface in the progress report
+    let stdout = String::from_utf8(sharded.stdout).unwrap();
+    assert!(
+        stdout.contains("s0/shard"),
+        "missing shard stages: {stdout}"
+    );
+    assert!(
+        stdout.contains("s3/count"),
+        "missing count stages: {stdout}"
+    );
+}
+
+#[test]
+fn sharded_rerun_replays_the_whole_prefix_from_cache() {
+    let dir = workdir("replay");
+    let plan = dir.join("plan.txt");
+    std::fs::write(&plan, PLAN).unwrap();
+    let cache = dir.join("cache");
+    let args = [
+        "pipeline",
+        plan.to_str().unwrap(),
+        "--cache",
+        cache.to_str().unwrap(),
+        "--shards",
+        "3",
+    ];
+
+    let cold = remedy(&args);
+    assert!(cold.status.success());
+
+    // warm rerun: the identify artifact is cached, so no shards are cut
+    // and no workers are spawned — the identify stage reports `cached`
+    let warm = remedy(&args);
+    assert!(warm.status.success());
+    let stdout = String::from_utf8(warm.stdout).unwrap();
+    assert!(
+        stdout
+            .lines()
+            .any(|l| l.contains("cached") && l.contains("identify")),
+        "identify should replay from cache: {stdout}"
+    );
+    assert!(
+        !stdout.contains("s0/shard"),
+        "warm run re-cut shards: {stdout}"
+    );
+}
+
+#[test]
+fn worker_rejects_malformed_keys_with_fatal_exit() {
+    let dir = workdir("badkey");
+    let out = remedy(&[
+        "pipeline-worker",
+        "--cache",
+        dir.to_str().unwrap(),
+        "--shard-key",
+        "not-hex",
+        "--count-key",
+        "0",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "malformed keys must exit WORKER_EXIT_FATAL: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn worker_treats_missing_shard_artifact_as_fatal() {
+    let dir = workdir("missing_shard");
+    let out = remedy(&[
+        "pipeline-worker",
+        "--cache",
+        dir.to_str().unwrap(),
+        "--shard-key",
+        "deadbeef",
+        "--count-key",
+        "c0ffee",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "a vanished shard artifact cannot be fixed by retrying: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn zero_shards_is_rejected() {
+    let dir = workdir("zero");
+    let plan = dir.join("plan.txt");
+    std::fs::write(&plan, PLAN).unwrap();
+    let out = remedy(&[
+        "pipeline",
+        plan.to_str().unwrap(),
+        "--cache",
+        dir.join("cache").to_str().unwrap(),
+        "--shards",
+        "0",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--shards"), "unexpected: {stderr}");
+}

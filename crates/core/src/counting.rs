@@ -47,12 +47,22 @@ pub(crate) fn full_mask_of(p: usize) -> u32 {
 /// scan runs single-threaded (identical results either way).
 const MIN_CHUNK: usize = 8 * 1024;
 
-/// `[start, end)` row ranges splitting `n` rows across the available
-/// cores, each at least [`MIN_CHUNK`] long.
-fn chunk_bounds(n: usize) -> Vec<(usize, usize)> {
-    let threads = std::thread::available_parallelism()
+/// `[start, end)` row ranges splitting `n` rows across at most
+/// `threads` workers (`0` means "all available cores"), each at least
+/// [`MIN_CHUNK`] long. Sharded execution hands each worker a thread
+/// budget of `max(1, threads / shards)` through this cap so
+/// `--shards N --threads T` never oversubscribes the machine. The
+/// chunk count never changes results — per-worker tallies are merged
+/// in chunk order, so every cap is bit-identical.
+fn chunk_bounds_capped(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    let avail = std::thread::available_parallelism()
         .map(|t| t.get())
         .unwrap_or(1);
+    let threads = if threads == 0 {
+        avail
+    } else {
+        threads.min(avail)
+    };
     let chunks = threads.min(n.div_ceil(MIN_CHUNK)).max(1);
     let per = n.div_ceil(chunks).max(1);
     (0..chunks)
@@ -71,10 +81,21 @@ fn chunk_bounds(n: usize) -> Vec<(usize, usize)> {
 /// before keys are packed, so the layout can never silently truncate a
 /// code in release builds.
 pub(crate) fn pack_keys(data: &Dataset, cols: &[usize], codec: &KeyCodec, out: &mut [u128]) {
+    pack_keys_capped(data, cols, codec, out, 0)
+}
+
+/// [`pack_keys`] under an explicit worker-thread cap (`0` = all cores).
+pub(crate) fn pack_keys_capped(
+    data: &Dataset,
+    cols: &[usize],
+    codec: &KeyCodec,
+    out: &mut [u128],
+    threads: usize,
+) {
     debug_assert_eq!(out.len(), data.len());
     debug_assert_eq!(cols.len(), codec.arity());
     let col_slices: Vec<&[u32]> = cols.iter().map(|&c| data.column(c)).collect();
-    let bounds = chunk_bounds(out.len());
+    let bounds = chunk_bounds_capped(out.len(), threads);
     if bounds.len() <= 1 {
         pack_chunk(&col_slices, codec, 0, out);
         return;
@@ -115,8 +136,18 @@ pub(crate) struct LeafScan {
 /// column in one parallel pass; per-worker maps are merged in chunk
 /// order, so bucket slot lists come out ascending.
 pub(crate) fn leaf_scan(keys: &[u128], labels: &[u8], with_buckets: bool) -> LeafScan {
+    leaf_scan_capped(keys, labels, with_buckets, 0)
+}
+
+/// [`leaf_scan`] under an explicit worker-thread cap (`0` = all cores).
+pub(crate) fn leaf_scan_capped(
+    keys: &[u128],
+    labels: &[u8],
+    with_buckets: bool,
+    threads: usize,
+) -> LeafScan {
     debug_assert_eq!(keys.len(), labels.len());
-    let bounds = chunk_bounds(keys.len());
+    let bounds = chunk_bounds_capped(keys.len(), threads);
     let mut parts: Vec<LeafScan> = if bounds.len() <= 1 {
         vec![scan_chunk(keys, labels, 0, keys.len(), with_buckets)]
     } else {
@@ -195,6 +226,245 @@ pub(crate) fn node_snapshot(
         .map(|(k, v)| (k, v.into_iter().map(|s| s as usize).collect()))
         .collect();
     (scan.counts, rows)
+}
+
+/// Mergeable leaf-level region counts over one dataset shard — the seam
+/// sharded pipeline execution sums per-worker results through.
+///
+/// Region counts are row sums, so accumulators merge *exactly*: merging
+/// the `ShardCounts` of any row partition of a dataset yields the same
+/// leaf map — and therefore the same dense [`Hierarchy`] or
+/// support-pruned [`SparseHierarchy`] — as one whole-dataset scan.
+/// Exactness holds under **any** partition; stratifying shards by packed
+/// key only balances per-shard work, it is not needed for correctness.
+///
+/// Shards carry **unpruned** leaf counts. Support pruning happens once,
+/// globally, inside [`ShardCounts::into_sparse`]: pruning per shard
+/// would be unsound, since a region frequent over the whole dataset can
+/// sit below the support threshold in every individual shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardCounts {
+    protected: Vec<usize>,
+    cards: Vec<u32>,
+    ordered: Vec<bool>,
+    leaves: FastMap<u128, Counts>,
+    totals: Counts,
+}
+
+impl ShardCounts {
+    /// Scans a shard over its schema-declared protected columns with at
+    /// most `threads` worker threads (`0` = all cores).
+    pub fn scan(data: &Dataset, threads: usize) -> Result<ShardCounts, CoreError> {
+        let protected = data.schema().protected_indices();
+        ShardCounts::scan_over(data, &protected, threads)
+    }
+
+    /// Scans a shard over an explicit protected-column set.
+    pub fn scan_over(
+        data: &Dataset,
+        protected: &[usize],
+        threads: usize,
+    ) -> Result<ShardCounts, CoreError> {
+        validate_columns(data, protected, MAX_PROTECTED_SPARSE)?;
+        let codec = codec_for(data, protected)?;
+        let mut keys = vec![0u128; data.len()];
+        pack_keys_capped(data, protected, &codec, &mut keys, threads);
+        ShardCounts::from_keys(data, protected, &keys, threads)
+    }
+
+    /// Scans a shard from a persisted packed-key sidecar (the
+    /// `remedy-columnar v1` layout), skipping the packing pass. The
+    /// sidecar is validated against the layout this scan would pack —
+    /// row count, column set, and slot widths — and rejected with
+    /// [`CoreError::PackedLayoutMismatch`] on any disagreement.
+    pub fn scan_packed(
+        data: &Dataset,
+        packed: &PackedKeys,
+        threads: usize,
+    ) -> Result<ShardCounts, CoreError> {
+        let protected = data.schema().protected_indices();
+        validate_columns(data, &protected, MAX_PROTECTED_SPARSE)?;
+        let mismatch = |detail: String| CoreError::PackedLayoutMismatch { detail };
+        if packed.keys.len() != data.len() {
+            return Err(mismatch(format!(
+                "{} persisted keys for {} rows",
+                packed.keys.len(),
+                data.len()
+            )));
+        }
+        let cols: Vec<usize> = packed.cols.iter().map(|&c| c as usize).collect();
+        if cols != protected {
+            return Err(mismatch(format!(
+                "persisted columns {cols:?} != protected columns {protected:?}"
+            )));
+        }
+        let codec = codec_for(data, &protected)?;
+        if codec.widths() != packed.widths {
+            return Err(mismatch(format!(
+                "persisted slot widths {:?} != expected {:?}",
+                packed.widths,
+                codec.widths()
+            )));
+        }
+        ShardCounts::from_keys(data, &protected, &packed.keys, threads)
+    }
+
+    fn from_keys(
+        data: &Dataset,
+        protected: &[usize],
+        keys: &[u128],
+        threads: usize,
+    ) -> Result<ShardCounts, CoreError> {
+        let scan = leaf_scan_capped(keys, data.labels(), false, threads);
+        Ok(ShardCounts {
+            protected: protected.to_vec(),
+            cards: protected
+                .iter()
+                .map(|&a| data.schema().attribute(a).cardinality() as u32)
+                .collect(),
+            ordered: protected
+                .iter()
+                .map(|&a| data.schema().attribute(a).is_ordered())
+                .collect(),
+            leaves: scan.counts,
+            totals: scan.totals,
+        })
+    }
+
+    /// Reassembles an accumulator from persisted parts (see
+    /// [`crate::persist::counts_from_text`]).
+    pub(crate) fn from_parts(
+        protected: Vec<usize>,
+        cards: Vec<u32>,
+        ordered: Vec<bool>,
+        leaves: FastMap<u128, Counts>,
+        totals: Counts,
+    ) -> ShardCounts {
+        ShardCounts {
+            protected,
+            cards,
+            ordered,
+            leaves,
+            totals,
+        }
+    }
+
+    /// Folds another shard's counts into this one. Merging is pure
+    /// summation — associative and commutative — but only meaningful
+    /// between shards of the same dataset, so disagreeing protected
+    /// layouts are rejected with [`CoreError::MergeMismatch`].
+    pub fn merge(&mut self, other: &ShardCounts) -> Result<(), CoreError> {
+        check_merge_layout(
+            (&self.protected, &self.cards, &self.ordered),
+            (&other.protected, &other.cards, &other.ordered),
+        )?;
+        for (&key, &c) in &other.leaves {
+            self.leaves.entry(key).or_default().add(c);
+        }
+        self.totals.add(other.totals);
+        Ok(())
+    }
+
+    /// Assembles the dense lattice from the accumulated leaves —
+    /// identical to [`Hierarchy::try_build_over`] on the concatenated
+    /// shards. Fails with [`CoreError::DenseUnavailable`] past
+    /// [`MAX_PROTECTED`] attributes.
+    pub fn into_hierarchy(self) -> Result<Hierarchy, CoreError> {
+        let p = self.protected.len();
+        if p > MAX_PROTECTED {
+            return Err(CoreError::DenseUnavailable { arity: p });
+        }
+        // ≤ MAX_PROTECTED attributes always pack on the 8-bit layout,
+        // so the accumulated leaf keys are exactly the dense keys.
+        Ok(Hierarchy::from_leaf(
+            self.protected,
+            self.cards,
+            self.ordered,
+            self.leaves,
+            self.totals,
+        ))
+    }
+
+    /// Runs the level-wise support-pruned enumeration over the
+    /// accumulated leaves — identical to
+    /// [`SparseHierarchy::try_build_over`] on the concatenated shards,
+    /// because pruning sees the globally merged counts.
+    pub fn into_sparse(self, support: u64) -> Result<SparseHierarchy, CoreError> {
+        let codec = KeyCodec::for_cards(&self.cards)?;
+        SparseHierarchy::from_leaves(
+            self.protected,
+            self.cards.clone(),
+            self.ordered,
+            &codec,
+            self.leaves.iter().map(|(&k, &c)| (k, c)),
+            self.totals,
+            support,
+        )
+    }
+
+    /// Schema column indices of the protected attributes.
+    pub fn protected(&self) -> &[usize] {
+        &self.protected
+    }
+
+    /// Shard-wide label counts.
+    pub fn totals(&self) -> Counts {
+        self.totals
+    }
+
+    /// Number of distinct leaf regions seen so far.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Whether no rows have been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// Leaf key → class counts, as accumulated (persisted sorted by key
+    /// so artifacts are deterministic).
+    pub(crate) fn leaves(&self) -> &FastMap<u128, Counts> {
+        &self.leaves
+    }
+
+    /// Per-attribute cardinalities / ordered flags (for persistence).
+    pub(crate) fn cards(&self) -> &[u32] {
+        &self.cards
+    }
+
+    pub(crate) fn ordered(&self) -> &[bool] {
+        &self.ordered
+    }
+}
+
+/// The codec every shard scan packs with: minimal widths, which stays
+/// on the 8-bit dense layout while the arity allows it — so one leaf
+/// map serves both [`ShardCounts::into_hierarchy`] and
+/// [`ShardCounts::into_sparse`].
+fn codec_for(data: &Dataset, protected: &[usize]) -> Result<KeyCodec, CoreError> {
+    let cards: Vec<u32> = protected
+        .iter()
+        .map(|&a| data.schema().attribute(a).cardinality() as u32)
+        .collect();
+    KeyCodec::for_cards(&cards)
+}
+
+/// Shared layout guard of every merge seam: protected columns,
+/// cardinalities, and ordered flags must agree exactly.
+pub(crate) fn check_merge_layout(
+    ours: (&[usize], &[u32], &[bool]),
+    theirs: (&[usize], &[u32], &[bool]),
+) -> Result<(), CoreError> {
+    if ours != theirs {
+        return Err(CoreError::MergeMismatch {
+            detail: format!(
+                "protected layout {:?}/{:?}/{:?} != {:?}/{:?}/{:?}",
+                ours.0, ours.1, ours.2, theirs.0, theirs.1, theirs.2
+            ),
+        });
+    }
+    Ok(())
 }
 
 /// Projects a full packed key onto the attribute subset of node `mask`
@@ -1358,5 +1628,111 @@ mod tests {
         let d = fixture();
         let index = RegionIndex::try_build_sparse(&d).unwrap();
         let _ = index.hierarchy();
+    }
+
+    /// Splits `d` into `n` round-robin shards.
+    fn round_robin(d: &Dataset, n: usize) -> Vec<Dataset> {
+        (0..n)
+            .map(|s| {
+                let rows: Vec<usize> = (s..d.len()).step_by(n).collect();
+                d.subset(&rows)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shard_counts_merge_matches_whole_scan() {
+        let d = fixture();
+        let whole = ShardCounts::scan(&d, 1).unwrap();
+        for shards in 1..=4 {
+            let pieces = round_robin(&d, shards);
+            let mut parts = pieces.iter().map(|s| ShardCounts::scan(s, 1).unwrap());
+            let mut merged = parts.next().unwrap();
+            for part in parts {
+                merged.merge(&part).unwrap();
+            }
+            assert_eq!(merged, whole, "{shards} shards");
+            let dense = merged.clone().into_hierarchy().unwrap();
+            assert_hierarchy_eq(&dense, &Hierarchy::build(&d));
+            let sparse = merged.into_sparse(2).unwrap();
+            let direct = crate::sparse::SparseHierarchy::try_build(&d, 2).unwrap();
+            assert_eq!(sparse.nodes().len(), direct.nodes().len());
+        }
+    }
+
+    #[test]
+    fn shard_scan_packed_matches_and_validates() {
+        let d = fixture();
+        let packed = remedy_dataset::store::pack_protected(&d).unwrap();
+        let from_packed = ShardCounts::scan_packed(&d, &packed, 0).unwrap();
+        assert_eq!(from_packed, ShardCounts::scan(&d, 0).unwrap());
+        let mut bad = packed.clone();
+        bad.keys.pop();
+        assert!(matches!(
+            ShardCounts::scan_packed(&d, &bad, 0),
+            Err(CoreError::PackedLayoutMismatch { .. })
+        ));
+        let mut bad = packed.clone();
+        bad.widths = vec![4, 4];
+        assert!(matches!(
+            ShardCounts::scan_packed(&d, &bad, 0),
+            Err(CoreError::PackedLayoutMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn shard_merge_rejects_foreign_layouts() {
+        let d = fixture();
+        let mut a = ShardCounts::scan(&d, 1).unwrap();
+        let b = ShardCounts::scan_over(&d, &[0], 1).unwrap();
+        assert!(matches!(a.merge(&b), Err(CoreError::MergeMismatch { .. })));
+    }
+
+    #[test]
+    fn hierarchy_merge_from_matches_whole_build() {
+        let d = fixture();
+        let shards = round_robin(&d, 3);
+        let mut merged = Hierarchy::build(&shards[0]);
+        for s in &shards[1..] {
+            merged.merge_from(&Hierarchy::build(s)).unwrap();
+        }
+        assert_hierarchy_eq(&merged, &Hierarchy::build(&d));
+    }
+
+    #[test]
+    fn sparse_merge_from_exact_at_zero_support() {
+        let d = fixture();
+        let shards = round_robin(&d, 3);
+        let mut merged = crate::sparse::SparseHierarchy::try_build(&shards[0], 0).unwrap();
+        for s in &shards[1..] {
+            merged
+                .merge_from(&crate::sparse::SparseHierarchy::try_build(s, 0).unwrap())
+                .unwrap();
+        }
+        let whole = crate::sparse::SparseHierarchy::try_build(&d, 0).unwrap();
+        assert_eq!(merged.totals(), whole.totals());
+        assert_eq!(merged.nodes().len(), whole.nodes().len());
+        for (m, w) in merged.nodes().iter().zip(whole.nodes()) {
+            assert_eq!(m.mask, w.mask);
+            assert_eq!(m.regions.len(), w.regions.len());
+            for (key, c) in &m.regions {
+                assert_eq!(Some(c), w.regions.get(key), "node {:#b}", m.mask);
+            }
+        }
+        // support disagreements are refused
+        let other = crate::sparse::SparseHierarchy::try_build(&d, 5).unwrap();
+        assert!(matches!(
+            merged.merge_from(&other),
+            Err(CoreError::MergeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn capped_scans_are_bit_identical() {
+        let d = fixture();
+        let reference = ShardCounts::scan(&d, 1).unwrap();
+        for threads in [0usize, 2, 7] {
+            assert_eq!(ShardCounts::scan(&d, threads).unwrap(), reference);
+        }
     }
 }

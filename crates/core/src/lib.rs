@@ -45,7 +45,7 @@ pub mod scope;
 pub mod score;
 pub mod sparse;
 
-pub use counting::{CountingTally, RegionIndex};
+pub use counting::{CountingTally, RegionIndex, ShardCounts};
 pub use error::{CoreError, MAX_CARDINALITY, MAX_PROTECTED_SPARSE};
 pub use hash::{stable_hash, StableHasher};
 pub use hierarchy::Hierarchy;

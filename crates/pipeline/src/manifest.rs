@@ -65,10 +65,11 @@ impl std::fmt::Display for RunStatus {
 /// One stage execution in the manifest.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageRecord {
-    /// Stage kind: `load`, `discretize`, `identify`, `remedy`, `train`,
-    /// or `audit`.
+    /// Stage kind: `load`, `discretize`, `shard`, `count`, `identify`,
+    /// `remedy`, `train`, or `audit`.
     pub stage: &'static str,
-    /// Owning branch, or `None` for the shared prefix.
+    /// Owning branch (`s0`, `s1`, … for shard/count stages), or `None`
+    /// for the shared prefix.
     pub branch: Option<String>,
     /// The content-addressed cache key (32 hex digits).
     pub key: String,
@@ -354,10 +355,21 @@ impl RunManifest {
 
 /// Maps a parsed stage kind onto the static names [`StageRecord`] uses;
 /// anything else means the manifest was not written by this pipeline.
+/// `shard` (a partitioned dataset artifact) and `count` (a worker's
+/// mergeable leaf-count artifact) only appear in sharded runs.
 fn intern_stage(stage: &str) -> Option<&'static str> {
-    ["load", "discretize", "identify", "remedy", "train", "audit"]
-        .into_iter()
-        .find(|known| *known == stage)
+    [
+        "load",
+        "discretize",
+        "shard",
+        "count",
+        "identify",
+        "remedy",
+        "train",
+        "audit",
+    ]
+    .into_iter()
+    .find(|known| *known == stage)
 }
 
 /// Parses the audit statistic token the manifest writes (`FPR`, …).

@@ -1,0 +1,267 @@
+//! Seeded property suite for sharded counting: merging per-shard
+//! accumulators is exact (≡ one whole-dataset scan) for every dataset ×
+//! shard-count combination, merge is associative and commutative, and
+//! end-to-end sharded runs — dense and pruned, with and without a
+//! worker killed mid-run — produce byte-identical identify artifacts
+//! under the same cache key as a single-process run.
+
+use remedy_core::persist::counts_to_text;
+use remedy_core::ShardCounts;
+use remedy_dataset::{store, synth, Dataset};
+use remedy_obs::Recorder;
+use remedy_pipeline::{run_with, PipelineOptions, Plan, RunStatus, WorkerMode};
+use std::path::{Path, PathBuf};
+
+/// Deterministic seed stream so every property case is reproducible
+/// from the printed (dataset, shards, seed) triple.
+fn seeds(n: usize) -> Vec<u64> {
+    let mut s = 0x9e37_79b9_7f4a_7c15u64;
+    (0..n)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s >> 33
+        })
+        .collect()
+}
+
+fn corpora(seed: u64) -> Vec<(&'static str, Dataset)> {
+    vec![
+        ("compas", synth::compas_n(900, seed)),
+        ("adult", synth::adult_n(1200, seed)),
+        ("law", synth::law_school_n(1000, seed)),
+    ]
+}
+
+/// Canonical text form of an accumulator: leaves sorted ascending, so
+/// equality of text is equality of counts.
+fn text(counts: &ShardCounts) -> String {
+    counts_to_text(counts)
+}
+
+fn scan_shards(parts: &[Dataset]) -> Vec<ShardCounts> {
+    parts
+        .iter()
+        .map(|p| ShardCounts::scan(p, 1).unwrap())
+        .collect()
+}
+
+fn merge_all(mut counts: Vec<ShardCounts>) -> ShardCounts {
+    let mut acc = counts.remove(0);
+    for c in &counts {
+        acc.merge(c).unwrap();
+    }
+    acc
+}
+
+#[test]
+fn merged_shard_counts_equal_whole_dataset_counts() {
+    for seed in seeds(2) {
+        for (name, data) in corpora(seed) {
+            let whole = text(&ShardCounts::scan(&data, 1).unwrap());
+            for shards in 1..=8usize {
+                let parts = store::partition_stratified(&data, shards);
+                let merged = merge_all(scan_shards(&parts));
+                assert_eq!(
+                    text(&merged),
+                    whole,
+                    "merged counts diverge: dataset={name} shards={shards} seed={seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn merge_is_associative_and_commutative() {
+    for seed in seeds(2) {
+        let data = synth::compas_n(900, seed);
+        let parts = store::partition_stratified(&data, 3);
+        let [a, b, c]: [ShardCounts; 3] = scan_shards(&parts).try_into().ok().unwrap();
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b).unwrap();
+        left.merge(&c).unwrap();
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c).unwrap();
+        let mut right = a.clone();
+        right.merge(&bc).unwrap();
+        assert_eq!(
+            text(&left),
+            text(&right),
+            "merge not associative, seed={seed}"
+        );
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = a.clone();
+        ab.merge(&b).unwrap();
+        let mut ba = b.clone();
+        ba.merge(&a).unwrap();
+        assert_eq!(text(&ab), text(&ba), "merge not commutative, seed={seed}");
+    }
+}
+
+// ---- end-to-end byte identity -------------------------------------------
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("remedy_shard_props_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn plan_for(dataset: &str, enumeration: &str) -> Plan {
+    Plan::parse(&format!(
+        "dataset {dataset}\nrows 800\nseed 11\ntau 0.1\nmin-size 25\n\
+         enumeration {enumeration}\nbranch base technique=none model=dt\n"
+    ))
+    .unwrap()
+}
+
+fn opts(cache: &Path, shards: usize) -> PipelineOptions {
+    PipelineOptions {
+        cache_dir: cache.to_path_buf(),
+        threads: 1,
+        shards,
+        worker: WorkerMode::InProcess,
+        ..PipelineOptions::default()
+    }
+}
+
+/// The single `identify-<key>` cache entry as `(dir-name, artifact)`.
+fn identify_entry(cache: &Path) -> (String, Vec<u8>) {
+    let mut names: Vec<String> = std::fs::read_dir(cache)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .filter(|n| n.starts_with("identify-"))
+        .collect();
+    assert_eq!(names.len(), 1, "want one identify entry, got {names:?}");
+    let name = names.remove(0);
+    let artifact = std::fs::read(cache.join(&name).join("artifact")).unwrap();
+    (name, artifact)
+}
+
+#[test]
+fn sharded_runs_are_byte_identical_to_single_process() {
+    for enumeration in ["dense", "pruned"] {
+        for dataset in ["compas", "adult"] {
+            let dir = fresh_dir(&format!("parity_{enumeration}_{dataset}"));
+            let plan = plan_for(dataset, enumeration);
+
+            let base_cache = dir.join("cache1");
+            let base = run_with(&plan, &opts(&base_cache, 1), &Recorder::disabled()).unwrap();
+            assert_eq!(base.status, RunStatus::Ok);
+            let (base_key, base_artifact) = identify_entry(&base_cache);
+
+            for shards in [2usize, 4] {
+                let cache = dir.join(format!("cache{shards}"));
+                let sharded =
+                    run_with(&plan, &opts(&cache, shards), &Recorder::disabled()).unwrap();
+                assert_eq!(sharded.status, RunStatus::Ok);
+                let (key, artifact) = identify_entry(&cache);
+                assert_eq!(
+                    key, base_key,
+                    "identify key must ignore sharding: {enumeration}/{dataset}/{shards}"
+                );
+                assert_eq!(
+                    artifact, base_artifact,
+                    "identify artifact differs: {enumeration}/{dataset}/{shards}"
+                );
+                // the manifest carries one shard + one count record per shard
+                let cuts = sharded.stages.iter().filter(|s| s.stage == "shard").count();
+                let counts = sharded.stages.iter().filter(|s| s.stage == "count").count();
+                assert_eq!((cuts, counts), (shards, shards));
+            }
+        }
+    }
+}
+
+// ---- fault injection: killed worker, then resume ------------------------
+
+#[cfg(feature = "failpoints")]
+mod faults {
+    use super::*;
+    use remedy_pipeline::failpoint::{self, Action};
+    use remedy_pipeline::{ErrorKind, RetryPolicy, RunManifest};
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The failpoint registry is process-global: serialize armed tests.
+    fn arm_faults() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        failpoint::clear();
+        guard
+    }
+
+    /// One worker dies mid-run; the retry policy re-runs just that shard
+    /// and the output is still byte-identical to the unsharded run.
+    #[test]
+    fn killed_worker_is_retried_to_a_byte_identical_result() {
+        let _guard = arm_faults();
+        let dir = fresh_dir("kill_retry");
+        let plan = plan_for("compas", "dense");
+
+        let base_cache = dir.join("base");
+        run_with(&plan, &opts(&base_cache, 1), &Recorder::disabled()).unwrap();
+        let (base_key, base_artifact) = identify_entry(&base_cache);
+
+        let cache = dir.join("sharded");
+        let mut options = opts(&cache, 4);
+        options.retry = RetryPolicy::new(2, 1, plan.seed);
+        failpoint::set("shard.worker.s1", Action::Err, 1);
+        let recorder = Recorder::enabled();
+        let manifest = run_with(&plan, &options, &recorder).unwrap();
+        failpoint::clear();
+
+        assert_eq!(manifest.status, RunStatus::Ok);
+        let (key, artifact) = identify_entry(&cache);
+        assert_eq!((key, artifact), (base_key, base_artifact));
+        // exactly one retry, recorded under the killed shard's scope
+        let snap = recorder.snapshot();
+        let attempts: u64 = snap
+            .counters
+            .iter()
+            .filter(|(_, name, _)| name == "retry.attempts")
+            .map(|&(_, _, v)| v)
+            .sum();
+        assert_eq!(attempts, 1, "counters: {:?}", snap.counters);
+    }
+
+    /// Without a retry budget the killed worker fails the run — but the
+    /// completed shards are in the cache and the flushed manifest is
+    /// resumable, so a `--resume` rerun recovers byte-identical output.
+    #[test]
+    fn killed_run_resumes_to_a_byte_identical_result() {
+        let _guard = arm_faults();
+        let dir = fresh_dir("kill_resume");
+        let plan = plan_for("compas", "dense");
+
+        let base_cache = dir.join("base");
+        run_with(&plan, &opts(&base_cache, 1), &Recorder::disabled()).unwrap();
+        let (base_key, base_artifact) = identify_entry(&base_cache);
+
+        let cache = dir.join("sharded");
+        let manifest_path = dir.join("run.json");
+        let mut options = opts(&cache, 4);
+        options.manifest_out = Some(manifest_path.clone());
+        failpoint::set("shard.worker.s2", Action::Err, 1);
+        let err = run_with(&plan, &options, &Recorder::disabled()).unwrap_err();
+        failpoint::clear();
+        assert_eq!(err.kind(), ErrorKind::Transient);
+
+        // the incrementally-flushed manifest marks the run as killed
+        let flushed = RunManifest::from_path(&manifest_path).unwrap();
+        assert_eq!(flushed.status, RunStatus::Running);
+
+        let mut resumed_options = opts(&cache, 4);
+        resumed_options.manifest_out = Some(manifest_path.clone());
+        resumed_options.resume = Some(manifest_path);
+        let resumed = run_with(&plan, &resumed_options, &Recorder::disabled()).unwrap();
+        assert_eq!(resumed.status, RunStatus::Ok);
+        let (key, artifact) = identify_entry(&cache);
+        assert_eq!((key, artifact), (base_key, base_artifact));
+    }
+}

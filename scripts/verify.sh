@@ -207,4 +207,57 @@ if [ "$recovered" != "$reference" ]; then
     exit 1
 fi
 
+# shard parity: the same adult-10k plan run --shards 4 (real
+# pipeline-worker subprocesses) and --shards 1 must store the identify
+# artifact under the same key with byte-identical text, and warm reruns
+# of both caches must replay every stage
+shdir="$(mktemp -d)"
+trap 'rm -rf "$cache" "$cache2" "$serve_log" "$ddir" "$shdir"' EXIT
+cat > "$shdir/plan.txt" <<EOF
+dataset adult
+rows 10000
+seed 7
+tau 0.1
+min-size 30
+branch base technique=none model=dt
+EOF
+target/release/remedy pipeline "$shdir/plan.txt" --cache "$shdir/c1" \
+    --shards 1 >/dev/null
+target/release/remedy pipeline "$shdir/plan.txt" --cache "$shdir/c4" \
+    --shards 4 --threads 4 >/dev/null
+id1=("$shdir"/c1/identify-*)
+id4=("$shdir"/c4/identify-*)
+if [ "$(basename "${id1[0]}")" != "$(basename "${id4[0]}")" ]; then
+    echo "verify: FAIL — sharded run changed the identify cache key" >&2
+    exit 1
+fi
+if ! cmp -s "${id1[0]}/artifact" "${id4[0]}/artifact" ||
+    ! cmp -s "${id1[0]}/hash" "${id4[0]}/hash"; then
+    echo "verify: FAIL — sharded identify artifact diverged from --shards 1" >&2
+    exit 1
+fi
+for c in c1 c4; do
+    warm="$(target/release/remedy pipeline "$shdir/plan.txt" \
+        --cache "$shdir/$c" --shards "${c#c}")"
+    if printf '%s\n' "$warm" | grep -q '^computed'; then
+        echo "verify: FAIL — warm sharded rerun ($c) recomputed a stage:" >&2
+        printf '%s\n' "$warm" >&2
+        exit 1
+    fi
+done
+
+# worker-crash retry: rebuild with the failpoint registry compiled in,
+# arm one transient death of shard 0's worker (the parent spawns the
+# real subprocess and kills it), and require the retried run to succeed
+# with output byte-identical to the --shards 1 baseline
+cargo build --release -p remedy-cli --features failpoints
+REMEDY_FAILPOINTS='shard.worker.s0=err(1)' \
+    target/release/remedy pipeline "$shdir/plan.txt" --cache "$shdir/cfail" \
+    --shards 4 --retries 2 --retry-base-ms 1 >/dev/null
+idf=("$shdir"/cfail/identify-*)
+if ! cmp -s "${id1[0]}/artifact" "${idf[0]}/artifact"; then
+    echo "verify: FAIL — post-crash sharded artifact diverged from baseline" >&2
+    exit 1
+fi
+
 echo "verify: OK"
